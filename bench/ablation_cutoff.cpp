@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ablation — the short/long flow split. The paper cuts at 50
+ * packets because 98 % of flows are shorter and long-flow SF vectors
+ * practically never repeat. This sweep shows what other cutoffs do
+ * to the dataset sizes: lower cutoffs push flows into the verbatim
+ * (expensive) long-template dataset; higher cutoffs grow the search
+ * space for rarely-matching long vectors.
+ */
+
+#include <cstdio>
+
+#include "codec/fcc/fcc_codec.hpp"
+#include "trace/tsh.hpp"
+#include "trace/web_gen.hpp"
+
+using namespace fcc;
+
+int
+main()
+{
+    trace::WebGenConfig cfg;
+    cfg.seed = 2005;
+    cfg.durationSec = 30.0;
+    cfg.flowsPerSec = 100.0;
+    trace::WebTrafficGenerator gen(cfg);
+    auto tr = gen.generate();
+    uint64_t tshBytes = tr.size() * trace::tshRecordBytes;
+
+    std::printf("# Ablation: short/long cutoff (paper: 50 "
+                "packets)\n");
+    std::printf("%8s %10s %10s %10s %14s %14s\n", "cutoff", "ratio",
+                "shortFl", "longFl", "shortTmpl.B", "longTmpl.B");
+    for (uint32_t cutoff : {5u, 10u, 25u, 50u, 100u, 200u}) {
+        codec::fcc::FccConfig fccCfg;
+        fccCfg.shortLimit = cutoff;
+        codec::fcc::FccTraceCompressor codec(fccCfg);
+        codec::fcc::FccCompressStats stats;
+        auto bytes = codec.compressWithStats(tr, stats);
+        std::printf("%8u %9.2f%% %10llu %10llu %14llu %14llu\n",
+                    cutoff,
+                    100.0 * static_cast<double>(bytes.size()) /
+                        static_cast<double>(tshBytes),
+                    static_cast<unsigned long long>(
+                        stats.shortFlows),
+                    static_cast<unsigned long long>(stats.longFlows),
+                    static_cast<unsigned long long>(
+                        stats.sizes.shortTemplateBytes),
+                    static_cast<unsigned long long>(
+                        stats.sizes.longTemplateBytes));
+    }
+    std::printf("\n# reading: small cutoffs force most flows into "
+                "verbatim long templates\n"
+                "# (inter-packet times stored per packet), inflating "
+                "the ratio; past ~50 the\n"
+                "# gain flattens because almost no flows are that "
+                "long (98%% < 51).\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * E1 — Figure 1: "File size comparison". Compressed file size (MB)
+ * against elapsed trace time (seconds) for the original TSH file,
+ * GZIP, Van Jacobson, Peuhkuri and the proposed flow-clustering
+ * method. Regenerates the exact series the paper plots.
+ */
+
+#include <cstdio>
+
+#include "experiments/experiments.hpp"
+
+int
+main()
+{
+    fcc::trace::WebGenConfig cfg;
+    cfg.seed = 2005;
+    cfg.durationSec = 100.0;
+    cfg.flowsPerSec = 60.0;
+
+    std::vector<double> slices;
+    for (double t = 10.0; t <= 100.0; t += 10.0)
+        slices.push_back(t);
+
+    auto rows = fcc::experiments::runFileSizeComparison(cfg, slices);
+
+    std::printf("# Figure 1: file size vs elapsed time\n");
+    std::printf("# workload: synthetic web trace, seed=%llu, "
+                "%.0f flows/s\n",
+                static_cast<unsigned long long>(cfg.seed),
+                cfg.flowsPerSec);
+    std::printf("%8s %10s %12s %12s %12s %12s %12s\n", "time(s)",
+                "packets", "original.MB", "gzip.MB", "vj.MB",
+                "peuhkuri.MB", "proposed.MB");
+    auto mb = [](uint64_t bytes) {
+        return static_cast<double>(bytes) / 1e6;
+    };
+    for (const auto &row : rows) {
+        std::printf("%8.0f %10llu %12.3f %12.3f %12.3f %12.3f "
+                    "%12.3f\n",
+                    row.elapsedSec,
+                    static_cast<unsigned long long>(row.packets),
+                    mb(row.originalTshBytes), mb(row.gzipBytes),
+                    mb(row.vjBytes), mb(row.peuhkuriBytes),
+                    mb(row.fccBytes));
+    }
+
+    const auto &last = rows.back();
+    std::printf("\n# final ratios vs original TSH: gzip=%.1f%% "
+                "vj=%.1f%% peuhkuri=%.1f%% proposed=%.1f%%\n",
+                100.0 * last.gzipBytes / last.originalTshBytes,
+                100.0 * last.vjBytes / last.originalTshBytes,
+                100.0 * last.peuhkuriBytes / last.originalTshBytes,
+                100.0 * last.fccBytes / last.originalTshBytes);
+    std::printf("# paper reports:                gzip=50%%  vj=30%%  "
+                "peuhkuri=16%%  proposed=3%%\n");
+    return 0;
+}

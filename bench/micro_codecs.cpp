@@ -1,0 +1,126 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: compression and decompression
+ * throughput of the four trace codecs on a fixed synthetic web
+ * trace. Items processed = packets.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "codec/compressor.hpp"
+#include "trace/tsh.hpp"
+#include "codec/deflate/deflate.hpp"
+#include "codec/fcc/fcc_codec.hpp"
+#include "codec/peuhkuri/peuhkuri.hpp"
+#include "codec/vj/vj.hpp"
+#include "trace/web_gen.hpp"
+
+using namespace fcc;
+
+namespace {
+
+const trace::Trace &
+benchTrace()
+{
+    static trace::Trace tr = [] {
+        trace::WebGenConfig cfg;
+        cfg.seed = 99;
+        cfg.durationSec = 8.0;
+        cfg.flowsPerSec = 80.0;
+        trace::WebTrafficGenerator gen(cfg);
+        return gen.generate();
+    }();
+    return tr;
+}
+
+template <typename Codec>
+void
+compressBench(benchmark::State &state)
+{
+    Codec codec;
+    const auto &tr = benchTrace();
+    for (auto _ : state) {
+        auto out = codec.compress(tr);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * tr.size()));
+    state.SetBytesProcessed(static_cast<int64_t>(
+        state.iterations() * tr.size() * trace::tshRecordBytes));
+}
+
+template <typename Codec>
+void
+decompressBench(benchmark::State &state)
+{
+    Codec codec;
+    const auto &tr = benchTrace();
+    auto compressed = codec.compress(tr);
+    for (auto _ : state) {
+        auto out = codec.decompress(compressed);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * tr.size()));
+}
+
+void
+BM_Compress_Gzip(benchmark::State &state)
+{
+    compressBench<codec::deflate::GzipTraceCompressor>(state);
+}
+
+void
+BM_Compress_Vj(benchmark::State &state)
+{
+    compressBench<codec::vj::VjTraceCompressor>(state);
+}
+
+void
+BM_Compress_Peuhkuri(benchmark::State &state)
+{
+    compressBench<codec::peuhkuri::PeuhkuriTraceCompressor>(state);
+}
+
+void
+BM_Compress_Fcc(benchmark::State &state)
+{
+    compressBench<codec::fcc::FccTraceCompressor>(state);
+}
+
+void
+BM_Decompress_Gzip(benchmark::State &state)
+{
+    decompressBench<codec::deflate::GzipTraceCompressor>(state);
+}
+
+void
+BM_Decompress_Vj(benchmark::State &state)
+{
+    decompressBench<codec::vj::VjTraceCompressor>(state);
+}
+
+void
+BM_Decompress_Peuhkuri(benchmark::State &state)
+{
+    decompressBench<codec::peuhkuri::PeuhkuriTraceCompressor>(state);
+}
+
+void
+BM_Decompress_Fcc(benchmark::State &state)
+{
+    decompressBench<codec::fcc::FccTraceCompressor>(state);
+}
+
+} // namespace
+
+BENCHMARK(BM_Compress_Gzip)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Compress_Vj)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Compress_Peuhkuri)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Compress_Fcc)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Decompress_Gzip)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Decompress_Vj)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Decompress_Peuhkuri)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Decompress_Fcc)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the from-scratch DEFLATE:
+ * compression/decompression throughput on TSH trace bytes, compared
+ * against system zlib when available.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "codec/deflate/deflate.hpp"
+#include "trace/tsh.hpp"
+#include "trace/web_gen.hpp"
+
+#if __has_include(<zlib.h>)
+#include <zlib.h>
+#define FCC_HAVE_ZLIB 1
+#endif
+
+using namespace fcc;
+
+namespace {
+
+const std::vector<uint8_t> &
+tshBytes()
+{
+    static std::vector<uint8_t> bytes = [] {
+        trace::WebGenConfig cfg;
+        cfg.seed = 77;
+        cfg.durationSec = 6.0;
+        cfg.flowsPerSec = 80.0;
+        trace::WebTrafficGenerator gen(cfg);
+        return trace::writeTsh(gen.generate());
+    }();
+    return bytes;
+}
+
+void
+BM_OurDeflate(benchmark::State &state)
+{
+    const auto &data = tshBytes();
+    for (auto _ : state) {
+        auto out = codec::deflate::deflateCompress(data);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * data.size()));
+}
+
+void
+BM_OurInflate(benchmark::State &state)
+{
+    const auto &data = tshBytes();
+    auto compressed = codec::deflate::deflateCompress(data);
+    for (auto _ : state) {
+        auto out = codec::deflate::inflate(compressed);
+        benchmark::DoNotOptimize(out);
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * data.size()));
+}
+
+#ifdef FCC_HAVE_ZLIB
+void
+BM_ZlibDeflate(benchmark::State &state)
+{
+    const auto &data = tshBytes();
+    uLongf bound = ::compressBound(static_cast<uLong>(data.size()));
+    std::vector<uint8_t> out(bound);
+    for (auto _ : state) {
+        uLongf len = bound;
+        ::compress2(out.data(), &len, data.data(),
+                    static_cast<uLong>(data.size()), 6);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * data.size()));
+}
+
+void
+BM_ZlibInflate(benchmark::State &state)
+{
+    const auto &data = tshBytes();
+    uLongf bound = ::compressBound(static_cast<uLong>(data.size()));
+    std::vector<uint8_t> compressed(bound);
+    uLongf compLen = bound;
+    ::compress2(compressed.data(), &compLen, data.data(),
+                static_cast<uLong>(data.size()), 6);
+    std::vector<uint8_t> out(data.size());
+    for (auto _ : state) {
+        uLongf len = out.size();
+        ::uncompress(out.data(), &len, compressed.data(), compLen);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<int64_t>(state.iterations() * data.size()));
+}
+#endif  // FCC_HAVE_ZLIB
+
+} // namespace
+
+BENCHMARK(BM_OurDeflate)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OurInflate)->Unit(benchmark::kMillisecond);
+#ifdef FCC_HAVE_ZLIB
+BENCHMARK(BM_ZlibDeflate)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ZlibInflate)->Unit(benchmark::kMillisecond);
+#endif
+
+BENCHMARK_MAIN();

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the routing substrates: radix
+ * vs Patricia longest-prefix-match latency (with and without
+ * instrumentation) and flow-table assembly / characterization
+ * throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "flow/characterize.hpp"
+#include "flow/flow_table.hpp"
+#include "memsim/memory_recorder.hpp"
+#include "netbench/patricia_trie.hpp"
+#include "netbench/radix_tree.hpp"
+#include "netbench/route_entry.hpp"
+#include "trace/web_gen.hpp"
+#include "util/rng.hpp"
+
+using namespace fcc;
+
+namespace {
+
+const std::vector<netbench::RouteEntry> &
+benchTable()
+{
+    static auto table = netbench::generateRoutingTable(20000, 3);
+    return table;
+}
+
+std::vector<uint32_t>
+probeAddresses(size_t n)
+{
+    const auto &table = benchTable();
+    util::Rng rng(17);
+    std::vector<uint32_t> probes(n);
+    for (auto &addr : probes)
+        addr = table[rng.uniformInt(0, table.size() - 1)].prefix |
+               (static_cast<uint32_t>(rng.next()) & 0xff);
+    return probes;
+}
+
+void
+BM_RadixLookup(benchmark::State &state)
+{
+    netbench::RadixTree tree;
+    tree.build(benchTable());
+    auto probes = probeAddresses(4096);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            tree.lookup(probes[i++ & 4095]));
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()));
+}
+
+void
+BM_PatriciaLookup(benchmark::State &state)
+{
+    netbench::PatriciaTrie trie;
+    trie.build(benchTable());
+    auto probes = probeAddresses(4096);
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            trie.lookup(probes[i++ & 4095]));
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()));
+}
+
+void
+BM_RadixLookupInstrumented(benchmark::State &state)
+{
+    memsim::CacheConfig cacheCfg;
+    memsim::MemoryRecorder recorder(cacheCfg);
+    netbench::RadixTree tree(&recorder);
+    tree.build(benchTable());
+    auto probes = probeAddresses(4096);
+    size_t i = 0;
+    for (auto _ : state) {
+        recorder.beginPacket();
+        benchmark::DoNotOptimize(
+            tree.lookup(probes[i++ & 4095]));
+        recorder.endPacket();
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()));
+}
+
+void
+BM_FlowAssembly(benchmark::State &state)
+{
+    trace::WebGenConfig cfg;
+    cfg.seed = 4;
+    cfg.durationSec = 6.0;
+    cfg.flowsPerSec = 80.0;
+    trace::WebTrafficGenerator gen(cfg);
+    auto tr = gen.generate();
+    flow::FlowTable table;
+    for (auto _ : state) {
+        auto flows = table.assemble(tr);
+        benchmark::DoNotOptimize(flows);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * tr.size()));
+}
+
+void
+BM_Characterize(benchmark::State &state)
+{
+    trace::WebGenConfig cfg;
+    cfg.seed = 4;
+    cfg.durationSec = 6.0;
+    cfg.flowsPerSec = 80.0;
+    trace::WebTrafficGenerator gen(cfg);
+    auto tr = gen.generate();
+    flow::FlowTable table;
+    auto flows = table.assemble(tr);
+    flow::Characterizer chi;
+    for (auto _ : state) {
+        for (const auto &f : flows)
+            benchmark::DoNotOptimize(chi.characterize(f, tr));
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * tr.size()));
+}
+
+} // namespace
+
+BENCHMARK(BM_RadixLookup);
+BENCHMARK(BM_PatriciaLookup);
+BENCHMARK(BM_RadixLookupInstrumented);
+BENCHMARK(BM_FlowAssembly)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Characterize)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * E5 — the §3 workload aggregates: verifies that the synthetic
+ * workload reproduces the flow-population statistics the paper bases
+ * its design on (98 % of flows < 51 packets; short flows ~75 % of
+ * packets and ~80 % of bytes), and prints the flow-length
+ * distribution head.
+ */
+
+#include <cstdio>
+
+#include "flow/flow_stats.hpp"
+#include "flow/flow_table.hpp"
+#include "trace/web_gen.hpp"
+
+using namespace fcc;
+
+int
+main()
+{
+    trace::WebGenConfig cfg;
+    cfg.seed = 2005;
+    cfg.durationSec = 60.0;
+    cfg.flowsPerSec = 100.0;
+    trace::WebTrafficGenerator gen(cfg);
+    auto tr = gen.generate();
+
+    flow::FlowTable table;
+    auto flows = table.assemble(tr);
+    auto stats = flow::computeFlowStats(flows, tr);
+
+    std::printf("# Section 3 workload aggregates (calibration "
+                "check of the RedIRIS stand-in)\n");
+    std::printf("packets:                 %llu\n",
+                static_cast<unsigned long long>(stats.packets));
+    std::printf("flows:                   %llu\n",
+                static_cast<unsigned long long>(stats.flows));
+    std::printf("mean flow length:        %.1f packets\n",
+                stats.meanFlowLength());
+    std::printf("%-32s %8s %8s\n", "metric", "measured", "paper");
+    std::printf("%-32s %7.1f%% %8s\n", "flows with < 51 packets",
+                100.0 * stats.shortFlowShare(), "98%");
+    std::printf("%-32s %7.1f%% %8s\n", "packets in short flows",
+                100.0 * stats.shortPacketShare(), "75%");
+    std::printf("%-32s %7.1f%% %8s\n", "bytes in short flows",
+                100.0 * stats.shortByteShare(), "80%");
+
+    std::printf("\n# flow-length distribution P_n (head)\n");
+    std::printf("%6s %10s %10s\n", "n", "P(n)", "cumP");
+    double cum = 0.0;
+    for (const auto &[n, p] : stats.lengthDistribution()) {
+        cum += p;
+        if (n <= 20 || n % 10 == 0)
+            std::printf("%6u %9.4f%% %9.2f%%\n", n, 100.0 * p,
+                        100.0 * cum);
+        if (n > 100)
+            break;
+    }
+    return 0;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Extension experiment — the §1 semantic properties measured
+ * directly: temporal locality (reuse distances), spatial locality
+ * (working set), IP address structure (prefix counts, bit entropy)
+ * and TCP flag sequencing, for the original trace and the three
+ * §6.1 comparison traces. This quantifies *why* the memory-study
+ * figures separate the traces the way they do.
+ */
+
+#include <cstdio>
+
+#include "analysis/semantic.hpp"
+#include "codec/fcc/fcc_codec.hpp"
+#include "trace/transforms.hpp"
+#include "trace/web_gen.hpp"
+
+using namespace fcc;
+
+int
+main()
+{
+    trace::WebGenConfig cfg;
+    cfg.seed = 2005;
+    cfg.durationSec = 20.0;
+    cfg.flowsPerSec = 100.0;
+    trace::WebTrafficGenerator gen(cfg);
+    trace::Trace original = gen.generate();
+
+    codec::fcc::FccTraceCompressor fccCodec;
+    trace::Trace decompressed =
+        fccCodec.decompress(fccCodec.compress(original));
+
+    // Our direction-aware extension: reconstructed server-to-client
+    // packets carry the client as destination.
+    codec::fcc::FccConfig dirCfg;
+    dirCfg.directionAwareAddresses = true;
+    codec::fcc::FccTraceCompressor dirCodec(dirCfg);
+    trace::Trace decompDir =
+        dirCodec.decompress(dirCodec.compress(original));
+
+    trace::Trace random = trace::randomizeAddresses(original, 41);
+    trace::FracExpConfig fracCfg;
+    fracCfg.seed = 42;
+    fracCfg.packetCount = original.size();
+    trace::Trace fracexp = trace::generateFracExp(fracCfg);
+
+    struct Row
+    {
+        const char *name;
+        const trace::Trace *tracePtr;
+    };
+    const Row rows[] = {
+        {"original", &original},
+        {"decompressed", &decompressed},
+        {"decomp(dir)", &decompDir},
+        {"random", &random},
+        {"fracexp", &fracexp},
+    };
+
+    std::printf("# Semantic properties of the four traces "
+                "(paper SS1 definitions)\n\n");
+    std::printf("%-13s %9s %8s %8s %8s %8s %10s %9s\n", "trace",
+                "addrs", "/8", "/16", "/24", "bitH", "reuse.p50",
+                "WS(1k)");
+    for (const auto &row : rows) {
+        auto structure = analysis::addressStructure(*row.tracePtr);
+        auto reuse = analysis::reuseDistances(*row.tracePtr);
+        double p50 = reuse.distances.count()
+            ? reuse.distances.quantile(0.5)
+            : -1.0;
+        std::printf("%-13s %9llu %8llu %8llu %8llu %8.3f %10.0f "
+                    "%9.1f\n",
+                    row.name,
+                    static_cast<unsigned long long>(
+                        structure.distinctAddresses),
+                    static_cast<unsigned long long>(
+                        structure.distinctSlash8),
+                    static_cast<unsigned long long>(
+                        structure.distinctSlash16),
+                    static_cast<unsigned long long>(
+                        structure.distinctSlash24),
+                    structure.meanBitEntropy(), p50,
+                    analysis::workingSetSize(*row.tracePtr, 1000));
+    }
+
+    std::printf("\n# distance to original on every axis "
+                "(0 = identical)\n");
+    std::printf("%-13s %10s %10s %10s %10s %10s\n", "trace",
+                "reuseKS", "coldGap", "wsRatio", "bitH.gap",
+                "flagTV");
+    for (const auto &row : rows) {
+        auto cmp = analysis::compareSemantics(original,
+                                              *row.tracePtr);
+        std::printf("%-13s %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+                    row.name, cmp.reuseDistanceKs,
+                    cmp.coldFractionGap, cmp.workingSetRatio,
+                    cmp.bitEntropyGap, cmp.flagBigramTv);
+    }
+
+    std::printf("\n# reading: the paper's SS4 reconstruction keeps "
+                "the server-side address\n"
+                "# structure and flag sequencing but collapses both "
+                "directions onto the\n"
+                "# stored destination, shrinking the address "
+                "population (client addresses\n"
+                "# leave the destination stream). The direction-"
+                "aware extension restores\n"
+                "# the working-set scale with random client "
+                "addresses. Either way the\n"
+                "# reconstruction is far closer to the original "
+                "than the random trace\n"
+                "# (locality and structure destroyed) or fracexp "
+                "(locality imitated, but\n"
+                "# wrong structure and no flag sequencing).\n");
+    return 0;
+}

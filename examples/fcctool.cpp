@@ -1,0 +1,195 @@
+/**
+ * @file
+ * fcctool — command-line front end to the library, the tool a
+ * downstream user would actually run.
+ *
+ *   fcctool compress   <in.tsh> <out.fcc>    streaming compression
+ *   fcctool decompress <in.fcc> <out.tsh>    streaming decompression
+ *   fcctool info       <in.{fcc,tsh,pcap}>   describe a file
+ *   fcctool convert    <in.{tsh,pcap}> <out.{tsh,pcap}>
+ *
+ * Options (before the subcommand):
+ *   --threshold <pct>   similarity threshold (default 2.0, eq. 4)
+ *   --cutoff <n>        short/long split (default 50)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "codec/fcc/datasets.hpp"
+#include "codec/fcc/stream.hpp"
+#include "flow/flow_stats.hpp"
+#include "flow/flow_table.hpp"
+#include "trace/pcap.hpp"
+#include "trace/tsh.hpp"
+#include "util/error.hpp"
+
+using namespace fcc;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--threshold PCT] [--cutoff N] <command> ...\n"
+        "  compress   <in.tsh>  <out.fcc>\n"
+        "  decompress <in.fcc>  <out.tsh>\n"
+        "  info       <in.fcc|in.tsh|in.pcap>\n"
+        "  convert    <in.tsh|in.pcap> <out.tsh|out.pcap>\n",
+        argv0);
+    return 2;
+}
+
+bool
+hasSuffix(const std::string &text, const char *suffix)
+{
+    std::string s(suffix);
+    return text.size() >= s.size() &&
+           text.compare(text.size() - s.size(), s.size(), s) == 0;
+}
+
+trace::Trace
+loadAnyTrace(const std::string &path)
+{
+    if (hasSuffix(path, ".pcap"))
+        return trace::readPcapFile(path);
+    if (hasSuffix(path, ".tsh"))
+        return trace::readTshFile(path);
+    throw util::Error("expected a .tsh or .pcap file: " + path);
+}
+
+void
+saveAnyTrace(const trace::Trace &tr, const std::string &path)
+{
+    if (hasSuffix(path, ".pcap")) {
+        trace::writePcapFile(tr, path);
+        return;
+    }
+    if (hasSuffix(path, ".tsh")) {
+        trace::writeTshFile(tr, path);
+        return;
+    }
+    throw util::Error("expected a .tsh or .pcap output: " + path);
+}
+
+void
+infoTrace(const trace::Trace &tr)
+{
+    flow::FlowTable table;
+    auto flows = table.assemble(tr);
+    auto stats = flow::computeFlowStats(flows, tr);
+    std::printf("packets:         %zu\n", tr.size());
+    std::printf("duration:        %.3f s\n", tr.durationSec());
+    std::printf("wire bytes:      %llu\n",
+                static_cast<unsigned long long>(
+                    tr.totalWireBytes()));
+    std::printf("flows:           %llu (%.1f%% short)\n",
+                static_cast<unsigned long long>(stats.flows),
+                100.0 * stats.shortFlowShare());
+    std::printf("mean flow len:   %.1f packets\n",
+                stats.meanFlowLength());
+}
+
+void
+infoFcc(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    util::require(in.good(), "cannot open " + path);
+    std::vector<uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    auto d = codec::fcc::deserialize(bytes);
+    std::printf("FCC compressed trace (%zu bytes)\n", bytes.size());
+    std::printf("weights:          {%u, %u, %u}\n", d.weights.w1,
+                d.weights.w2, d.weights.w3);
+    std::printf("flows (time-seq): %zu\n", d.timeSeq.size());
+    std::printf("short templates:  %zu\n", d.shortTemplates.size());
+    std::printf("long templates:   %zu\n", d.longTemplates.size());
+    std::printf("addresses:        %zu\n", d.addresses.size());
+    uint64_t packets = 0;
+    for (const auto &rec : d.timeSeq)
+        packets += rec.isLong
+            ? d.longTemplates[rec.templateIndex].sValues.size()
+            : d.shortTemplates[rec.templateIndex].size();
+    std::printf("packets encoded:  %llu\n",
+                static_cast<unsigned long long>(packets));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    codec::fcc::FccConfig cfg;
+    int arg = 1;
+    while (arg < argc && std::strncmp(argv[arg], "--", 2) == 0) {
+        if (std::strcmp(argv[arg], "--threshold") == 0 &&
+            arg + 1 < argc) {
+            cfg.rule.percent = std::atof(argv[arg + 1]);
+            arg += 2;
+        } else if (std::strcmp(argv[arg], "--cutoff") == 0 &&
+                   arg + 1 < argc) {
+            cfg.shortLimit = static_cast<uint32_t>(
+                std::atoi(argv[arg + 1]));
+            arg += 2;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (arg >= argc)
+        return usage(argv[0]);
+    std::string command = argv[arg++];
+
+    try {
+        if (command == "compress" && arg + 1 < argc) {
+            auto stats = codec::fcc::compressTshFile(
+                argv[arg], argv[arg + 1], cfg);
+            std::printf("%llu packets, %llu flows: %llu -> %llu "
+                        "bytes (%.2f%%)\n",
+                        static_cast<unsigned long long>(
+                            stats.packets),
+                        static_cast<unsigned long long>(stats.flows),
+                        static_cast<unsigned long long>(
+                            stats.inputBytes),
+                        static_cast<unsigned long long>(
+                            stats.outputBytes),
+                        100.0 * stats.ratio());
+            return 0;
+        }
+        if (command == "decompress" && arg + 1 < argc) {
+            auto stats = codec::fcc::decompressToTshFile(
+                argv[arg], argv[arg + 1], cfg);
+            std::printf("%llu flows -> %llu packets, %llu bytes\n",
+                        static_cast<unsigned long long>(stats.flows),
+                        static_cast<unsigned long long>(
+                            stats.packets),
+                        static_cast<unsigned long long>(
+                            stats.outputBytes));
+            return 0;
+        }
+        if (command == "info" && arg < argc) {
+            std::string path = argv[arg];
+            if (hasSuffix(path, ".fcc"))
+                infoFcc(path);
+            else
+                infoTrace(loadAnyTrace(path));
+            return 0;
+        }
+        if (command == "convert" && arg + 1 < argc) {
+            trace::Trace tr = loadAnyTrace(argv[arg]);
+            saveAnyTrace(tr, argv[arg + 1]);
+            std::printf("converted %zu packets\n", tr.size());
+            return 0;
+        }
+    } catch (const util::Error &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+    return usage(argv[0]);
+}

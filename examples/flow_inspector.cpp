@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Flow inspector — explore the §2 characterization interactively:
+ * assemble TCP connections from a trace, print their SF vectors,
+ * and show how the template store groups them into clusters.
+ *
+ * Usage:
+ *   ./build/examples/flow_inspector              (synthetic trace)
+ *   ./build/examples/flow_inspector trace.pcap
+ *   ./build/examples/flow_inspector trace.tsh
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "flow/characterize.hpp"
+#include "flow/template_store.hpp"
+#include "flow/flow_table.hpp"
+#include "trace/pcap.hpp"
+#include "trace/tsh.hpp"
+#include "trace/web_gen.hpp"
+#include "util/error.hpp"
+
+using namespace fcc;
+
+namespace {
+
+trace::Trace
+loadTrace(int argc, char **argv)
+{
+    if (argc <= 1) {
+        trace::WebGenConfig cfg;
+        cfg.seed = 3;
+        cfg.durationSec = 5.0;
+        cfg.flowsPerSec = 60.0;
+        trace::WebTrafficGenerator gen(cfg);
+        return gen.generate();
+    }
+    std::string path = argv[1];
+    if (path.ends_with(".pcap"))
+        return trace::readPcapFile(path);
+    if (path.ends_with(".tsh"))
+        return trace::readTshFile(path);
+    throw util::Error("unknown trace extension (want .pcap or .tsh)");
+}
+
+const char *
+flagClassName(flow::FlagClass cls)
+{
+    switch (cls) {
+      case flow::FlagClass::Syn:
+        return "SYN";
+      case flow::FlagClass::SynAck:
+        return "SYN+ACK";
+      case flow::FlagClass::Ack:
+        return "ACK/data";
+      case flow::FlagClass::FinRst:
+        return "FIN/RST";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    trace::Trace tr;
+    try {
+        tr = loadTrace(argc, argv);
+    } catch (const util::Error &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+    if (!tr.isTimeOrdered())
+        tr.sortByTime();
+
+    flow::FlowTable table;
+    auto flows = table.assemble(tr);
+    flow::Characterizer chi;
+    flow::TemplateStore store;
+
+    std::printf("%zu packets -> %zu connections\n\n", tr.size(),
+                flows.size());
+
+    // Show the first few flows in detail.
+    size_t shown = 0;
+    for (const auto &f : flows) {
+        if (shown >= 3 || f.size() > 12)
+            continue;
+        ++shown;
+        std::printf("flow %s:%u <-> %s:%u  (%zu packets)\n",
+                    trace::formatIp(f.clientIp).c_str(),
+                    f.clientPort,
+                    trace::formatIp(f.serverIp).c_str(),
+                    f.serverPort, f.size());
+        auto sf = chi.characterize(f, tr);
+        std::printf("  SF = <");
+        for (size_t i = 0; i < sf.size(); ++i)
+            std::printf("%s%u", i ? " " : "", sf.values[i]);
+        std::printf(">\n");
+        for (size_t i = 0; i < f.size(); ++i) {
+            auto cls = chi.classify(f, tr, i);
+            std::printf("  p%-2zu S=%-3u %-8s %-9s dep=%d  %s\n", i,
+                        sf.values[i],
+                        f.fromClient[i] ? "c->s" : "s->c",
+                        flagClassName(cls.flag), cls.dependent,
+                        tr[f.packetIndex[i]].str().c_str());
+        }
+        std::printf("\n");
+    }
+
+    // Cluster everything short and summarize.
+    size_t shortFlows = 0;
+    for (const auto &f : flows) {
+        if (f.size() > 50)
+            continue;
+        ++shortFlows;
+        store.findOrInsert(chi.characterize(f, tr));
+    }
+    std::printf("template store: %zu short flows -> %zu clusters\n",
+                shortFlows, store.size());
+
+    // Top clusters by population.
+    std::vector<std::pair<uint64_t, uint32_t>> ranked;
+    for (uint32_t i = 0; i < store.size(); ++i)
+        ranked.emplace_back(store.populations()[i], i);
+    std::sort(ranked.rbegin(), ranked.rend());
+    std::printf("top clusters:\n");
+    for (size_t i = 0; i < ranked.size() && i < 5; ++i) {
+        const auto &tmpl = store.at(ranked[i].second);
+        std::printf("  #%u: %llu flows, n=%zu, centre = <",
+                    ranked[i].second,
+                    static_cast<unsigned long long>(ranked[i].first),
+                    tmpl.size());
+        for (size_t k = 0; k < tmpl.size() && k < 12; ++k)
+            std::printf("%s%u", k ? " " : "", tmpl.values[k]);
+        std::printf("%s>\n", tmpl.size() > 12 ? " ..." : "");
+    }
+    return 0;
+}

@@ -1,0 +1,45 @@
+#include "analysis/anonymize.hpp"
+
+#include "util/hash.hpp"
+
+namespace fcc::analysis {
+
+PrefixPreservingAnonymizer::PrefixPreservingAnonymizer(uint64_t key)
+    : key_(key)
+{
+}
+
+uint32_t
+PrefixPreservingAnonymizer::anonymize(uint32_t addr) const
+{
+    // Bit i of the output is bit i of the input XOR a PRF of the
+    // input's i-bit prefix. Addresses sharing a k-bit prefix get the
+    // same flips on those k bits (prefix preserved); the first
+    // differing bit receives the same flip for both, so it still
+    // differs (bijectivity follows by induction on bits).
+    uint32_t out = 0;
+    for (int i = 0; i < 32; ++i) {
+        uint32_t prefix = i == 0 ? 0 : addr >> (32 - i);
+        uint64_t prf = util::mix64(
+            key_ ^ (static_cast<uint64_t>(prefix) << 8) ^
+            static_cast<uint64_t>(i));
+        uint32_t bit = (addr >> (31 - i)) & 1u;
+        out = (out << 1) | (bit ^ static_cast<uint32_t>(prf & 1));
+    }
+    return out;
+}
+
+trace::Trace
+PrefixPreservingAnonymizer::anonymizeTrace(
+    const trace::Trace &input) const
+{
+    trace::Trace out;
+    for (auto pkt : input) {
+        pkt.srcIp = anonymize(pkt.srcIp);
+        pkt.dstIp = anonymize(pkt.dstIp);
+        out.add(pkt);
+    }
+    return out;
+}
+
+} // namespace fcc::analysis

@@ -1,0 +1,241 @@
+#include "analysis/semantic.hpp"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "flow/characterize.hpp"
+#include "util/hash.hpp"
+#include "util/error.hpp"
+
+namespace fcc::analysis {
+
+namespace {
+
+/** Fenwick tree over access positions (1 = still "live" mark). */
+class Fenwick
+{
+  public:
+    explicit Fenwick(size_t n)
+        : tree_(n + 1, 0)
+    {}
+
+    void
+    add(size_t i, int delta)
+    {
+        for (++i; i < tree_.size(); i += i & (~i + 1))
+            tree_[i] += delta;
+    }
+
+    /** Sum of [0, i]. */
+    int64_t
+    prefix(size_t i) const
+    {
+        int64_t sum = 0;
+        for (++i; i > 0; i -= i & (~i + 1))
+            sum += tree_[i];
+        return sum;
+    }
+
+    int64_t
+    total() const
+    {
+        return tree_.empty() ? 0 : prefix(tree_.size() - 2);
+    }
+
+  private:
+    std::vector<int64_t> tree_;
+};
+
+} // namespace
+
+ReuseDistanceResult
+reuseDistances(const trace::Trace &trace)
+{
+    ReuseDistanceResult result;
+    result.totalAccesses = trace.size();
+
+    // Classic Bennett-Kruskal: keep a "live" mark at each address's
+    // most recent position; the reuse distance is the number of live
+    // marks strictly after that position.
+    Fenwick marks(trace.size());
+    std::unordered_map<uint32_t, size_t> lastPos;
+    lastPos.reserve(trace.size());
+
+    for (size_t i = 0; i < trace.size(); ++i) {
+        uint32_t addr = trace[i].dstIp;
+        auto it = lastPos.find(addr);
+        if (it == lastPos.end()) {
+            ++result.coldAccesses;
+        } else {
+            int64_t liveAfter =
+                marks.total() - marks.prefix(it->second);
+            result.distances.add(static_cast<double>(liveAfter));
+            marks.add(it->second, -1);
+        }
+        marks.add(i, +1);
+        lastPos[addr] = i;
+    }
+    return result;
+}
+
+double
+AddressStructure::meanBitEntropy() const
+{
+    double total = 0;
+    for (double e : bitEntropy)
+        total += e;
+    return total / 32.0;
+}
+
+AddressStructure
+addressStructure(const trace::Trace &trace)
+{
+    AddressStructure out;
+    std::unordered_set<uint32_t> addrs, s8, s16, s24;
+    std::array<uint64_t, 32> ones{};
+    for (const auto &pkt : trace) {
+        addrs.insert(pkt.dstIp);
+        s8.insert(pkt.dstIp >> 24);
+        s16.insert(pkt.dstIp >> 16);
+        s24.insert(pkt.dstIp >> 8);
+        for (int bit = 0; bit < 32; ++bit)
+            ones[bit] += (pkt.dstIp >> (31 - bit)) & 1;
+    }
+    out.distinctAddresses = addrs.size();
+    out.distinctSlash8 = s8.size();
+    out.distinctSlash16 = s16.size();
+    out.distinctSlash24 = s24.size();
+    double n = static_cast<double>(trace.size());
+    for (int bit = 0; bit < 32 && n > 0; ++bit) {
+        double p = static_cast<double>(ones[bit]) / n;
+        double entropy = 0;
+        if (p > 0)
+            entropy -= p * std::log2(p);
+        if (p < 1)
+            entropy -= (1 - p) * std::log2(1 - p);
+        out.bitEntropy[bit] = entropy;
+    }
+    return out;
+}
+
+double
+workingSetSize(const trace::Trace &trace, size_t windowPackets)
+{
+    util::require(windowPackets >= 1,
+                  "workingSetSize: window must be >= 1");
+    if (trace.empty())
+        return 0.0;
+    double totalDistinct = 0;
+    size_t windows = 0;
+    std::unordered_set<uint32_t> window;
+    for (size_t i = 0; i < trace.size(); ++i) {
+        window.insert(trace[i].dstIp);
+        if ((i + 1) % windowPackets == 0 || i + 1 == trace.size()) {
+            totalDistinct += static_cast<double>(window.size());
+            ++windows;
+            window.clear();
+        }
+    }
+    return totalDistinct / static_cast<double>(windows);
+}
+
+std::map<int, double>
+flagBigramDistribution(const trace::Trace &trace)
+{
+    // Group packets by exact 5-tuple; bigrams of flag classes along
+    // each group, in trace order.
+    struct Tuple
+    {
+        uint32_t s, d;
+        uint16_t sp, dp;
+        uint8_t proto;
+        bool operator==(const Tuple &) const = default;
+    };
+    struct TupleHash
+    {
+        size_t
+        operator()(const Tuple &t) const noexcept
+        {
+            uint64_t h = util::mix64(
+                (static_cast<uint64_t>(t.s) << 32) | t.d);
+            return static_cast<size_t>(util::hashCombine(
+                h, (static_cast<uint64_t>(t.sp) << 24) |
+                       (static_cast<uint64_t>(t.dp) << 8) |
+                       t.proto));
+        }
+    };
+
+    std::unordered_map<Tuple, int, TupleHash> prevClass;
+    std::map<int, double> hist;
+    uint64_t total = 0;
+    for (const auto &pkt : trace) {
+        Tuple key{pkt.srcIp, pkt.dstIp, pkt.srcPort, pkt.dstPort,
+                  pkt.protocol};
+        int cls = static_cast<int>(flow::flagClass(pkt.tcpFlags));
+        auto it = prevClass.find(key);
+        if (it != prevClass.end()) {
+            ++hist[it->second * 4 + cls];
+            ++total;
+            it->second = cls;
+        } else {
+            prevClass.emplace(key, cls);
+        }
+    }
+    for (auto &[key, value] : hist)
+        value /= static_cast<double>(total);
+    return hist;
+}
+
+double
+tvDistance(const std::map<int, double> &a,
+           const std::map<int, double> &b)
+{
+    double distance = 0;
+    auto ia = a.begin();
+    auto ib = b.begin();
+    while (ia != a.end() || ib != b.end()) {
+        if (ib == b.end() || (ia != a.end() && ia->first < ib->first)) {
+            distance += ia->second;
+            ++ia;
+        } else if (ia == a.end() || ib->first < ia->first) {
+            distance += ib->second;
+            ++ib;
+        } else {
+            distance += std::abs(ia->second - ib->second);
+            ++ia;
+            ++ib;
+        }
+    }
+    return distance / 2.0;
+}
+
+SemanticComparison
+compareSemantics(const trace::Trace &a, const trace::Trace &b,
+                 size_t windowPackets)
+{
+    SemanticComparison out;
+
+    auto reuseA = reuseDistances(a);
+    auto reuseB = reuseDistances(b);
+    out.reuseDistanceKs =
+        reuseA.distances.count() && reuseB.distances.count()
+            ? reuseA.distances.ksDistance(reuseB.distances)
+            : 1.0;
+    out.coldFractionGap =
+        std::abs(reuseA.coldFraction() - reuseB.coldFraction());
+
+    double wsA = workingSetSize(a, windowPackets);
+    double wsB = workingSetSize(b, windowPackets);
+    out.workingSetRatio = wsA > 0 ? wsB / wsA : 0.0;
+
+    out.bitEntropyGap =
+        std::abs(addressStructure(a).meanBitEntropy() -
+                 addressStructure(b).meanBitEntropy());
+
+    out.flagBigramTv = tvDistance(flagBigramDistribution(a),
+                                  flagBigramDistribution(b));
+    return out;
+}
+
+} // namespace fcc::analysis

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Semantic-property metrics of a packet trace (paper §1): the
+ * properties a trace compressor must preserve for performance
+ * studies —
+ *
+ *  - temporal locality of destination addresses (exact LRU
+ *    reuse-distance distribution, O(n log n) via a Fenwick tree);
+ *  - spatial locality / working-set size (distinct destinations per
+ *    window);
+ *  - IP address structure (distinct prefixes at /8, /16, /24 and
+ *    per-bit entropy);
+ *  - TCP flag sequencing (flag-class bigram distribution along each
+ *    flow).
+ *
+ * compareSemantics() turns two traces into a scorecard of distances,
+ * used to quantify how much of each property survives compression.
+ */
+
+#ifndef FCC_ANALYSIS_SEMANTIC_HPP
+#define FCC_ANALYSIS_SEMANTIC_HPP
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/stats.hpp"
+
+namespace fcc::analysis {
+
+/**
+ * Exact LRU stack (reuse) distances of the destination-address
+ * stream: for every access to a previously-seen address, the number
+ * of distinct addresses touched since its last access. Cold accesses
+ * are counted separately.
+ */
+struct ReuseDistanceResult
+{
+    util::Ecdf distances;   ///< one sample per non-cold access
+    uint64_t coldAccesses = 0;
+    uint64_t totalAccesses = 0;
+
+    /** Fraction of accesses that were to a new address. */
+    double
+    coldFraction() const
+    {
+        return totalAccesses
+            ? static_cast<double>(coldAccesses) /
+                  static_cast<double>(totalAccesses)
+            : 0.0;
+    }
+};
+
+/** Compute destination-address reuse distances of @p trace. */
+ReuseDistanceResult reuseDistances(const trace::Trace &trace);
+
+/** Address-structure summary. */
+struct AddressStructure
+{
+    uint64_t distinctAddresses = 0;
+    uint64_t distinctSlash8 = 0;
+    uint64_t distinctSlash16 = 0;
+    uint64_t distinctSlash24 = 0;
+    /** Shannon entropy (bits) of each address bit, MSB first. */
+    std::array<double, 32> bitEntropy{};
+
+    /** Mean per-bit entropy (1.0 = uniformly random addresses). */
+    double meanBitEntropy() const;
+};
+
+/** Analyze the destination addresses of @p trace. */
+AddressStructure addressStructure(const trace::Trace &trace);
+
+/**
+ * Mean distinct destination addresses per non-overlapping window of
+ * @p windowPackets packets (working-set size).
+ */
+double workingSetSize(const trace::Trace &trace, size_t windowPackets);
+
+/**
+ * Distribution of consecutive flag-class pairs along each flow
+ * (keyed by 4*prev + next using flow::FlagClass codes), normalized
+ * to probabilities. Captures the paper's "TCP flags sequence"
+ * property without needing the flow layer as a dependency: packets
+ * are grouped by exact 5-tuple.
+ */
+std::map<int, double> flagBigramDistribution(const trace::Trace &trace);
+
+/** Total-variation distance between two discrete distributions. */
+double tvDistance(const std::map<int, double> &a,
+                  const std::map<int, double> &b);
+
+/** Scorecard comparing the semantic properties of two traces. */
+struct SemanticComparison
+{
+    /** KS distance between reuse-distance distributions. */
+    double reuseDistanceKs = 0;
+    /** |cold fraction a - cold fraction b|. */
+    double coldFractionGap = 0;
+    /** ratio of working-set sizes (b relative to a). */
+    double workingSetRatio = 0;
+    /** |mean bit entropy a - mean bit entropy b|. */
+    double bitEntropyGap = 0;
+    /** TV distance between flag bigram distributions. */
+    double flagBigramTv = 0;
+};
+
+/**
+ * Compare every semantic property of @p a and @p b (identical traces
+ * score 0 / ratio 1 on all axes).
+ */
+SemanticComparison compareSemantics(const trace::Trace &a, const trace::Trace &b,
+                                    size_t windowPackets = 1000);
+
+} // namespace fcc::analysis
+
+#endif // FCC_ANALYSIS_SEMANTIC_HPP

@@ -1,0 +1,33 @@
+#include "codec/compressor.hpp"
+
+#include "codec/deflate/deflate.hpp"
+#include "codec/fcc/fcc_codec.hpp"
+#include "codec/peuhkuri/peuhkuri.hpp"
+#include "codec/vj/vj.hpp"
+#include "trace/tsh.hpp"
+
+namespace fcc::codec {
+
+CompressionReport
+measure(const TraceCompressor &codec, const trace::Trace &trace)
+{
+    CompressionReport report;
+    report.codec = codec.name();
+    report.originalTshBytes = trace.size() * trace::tshRecordBytes;
+    report.compressedBytes = codec.compress(trace).size();
+    return report;
+}
+
+std::vector<std::unique_ptr<TraceCompressor>>
+makeAllCodecs()
+{
+    std::vector<std::unique_ptr<TraceCompressor>> codecs;
+    codecs.push_back(std::make_unique<deflate::GzipTraceCompressor>());
+    codecs.push_back(std::make_unique<vj::VjTraceCompressor>());
+    codecs.push_back(
+        std::make_unique<peuhkuri::PeuhkuriTraceCompressor>());
+    codecs.push_back(std::make_unique<fcc::FccTraceCompressor>());
+    return codecs;
+}
+
+} // namespace fcc::codec

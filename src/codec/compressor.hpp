@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Common interface of every packet-trace compression method under
+ * study (paper §5): GZIP/deflate, Van Jacobson, Peuhkuri and the
+ * proposed flow-clustering compressor.
+ *
+ * The unit of comparison is the serialized TSH trace: ratios are
+ * compressed bytes divided by the 44-byte-per-packet TSH encoding of
+ * the same trace, matching the paper's "percentage of the original
+ * TSH file size".
+ */
+
+#ifndef FCC_CODEC_COMPRESSOR_HPP
+#define FCC_CODEC_COMPRESSOR_HPP
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace fcc::codec {
+
+/** Abstract packet-trace compressor. */
+class TraceCompressor
+{
+  public:
+    virtual ~TraceCompressor() = default;
+
+    /** Human-readable method name ("gzip", "vj", ...). */
+    virtual std::string name() const = 0;
+
+    /** True when decompress() recovers the input exactly. */
+    virtual bool lossless() const = 0;
+
+    /** Compress a trace into a self-contained byte stream. */
+    virtual std::vector<uint8_t>
+    compress(const trace::Trace &trace) const = 0;
+
+    /**
+     * Reconstruct a trace from compress() output.
+     *
+     * Lossy methods return a statistically equivalent trace rather
+     * than the original packets.
+     *
+     * @throws fcc::util::Error on malformed input.
+     */
+    virtual trace::Trace
+    decompress(std::span<const uint8_t> data) const = 0;
+};
+
+/** Size accounting for one codec on one trace. */
+struct CompressionReport
+{
+    std::string codec;
+    uint64_t originalTshBytes = 0;
+    uint64_t compressedBytes = 0;
+
+    /** compressed size as a fraction of the TSH original. */
+    double
+    ratio() const
+    {
+        return originalTshBytes
+            ? static_cast<double>(compressedBytes) /
+                  static_cast<double>(originalTshBytes)
+            : 0.0;
+    }
+};
+
+/** Run @p codec on @p trace and account sizes against TSH. */
+CompressionReport measure(const TraceCompressor &codec,
+                          const trace::Trace &trace);
+
+/**
+ * Registry of all built-in codecs, in the order the paper's Figure 1
+ * presents them (gzip, vj, peuhkuri, fcc).
+ */
+std::vector<std::unique_ptr<TraceCompressor>> makeAllCodecs();
+
+} // namespace fcc::codec
+
+#endif // FCC_CODEC_COMPRESSOR_HPP

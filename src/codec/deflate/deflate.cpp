@@ -1,0 +1,564 @@
+#include "codec/deflate/deflate.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "codec/deflate/huffman.hpp"
+#include "trace/tsh.hpp"
+#include "util/bitstream.hpp"
+#include "util/checksum.hpp"
+#include "util/error.hpp"
+
+namespace fcc::codec::deflate {
+
+namespace {
+
+// ---- RFC 1951 fixed tables -----------------------------------------
+
+constexpr int numLitCodes = 286;   // 0..285
+constexpr int numDistCodes = 30;   // 0..29
+constexpr int endOfBlock = 256;
+
+struct LengthCode
+{
+    uint16_t code;
+    uint8_t extraBits;
+    uint16_t base;
+};
+
+constexpr uint16_t lengthBase[29] = {
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31,
+    35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258,
+};
+constexpr uint8_t lengthExtra[29] = {
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2,
+    3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+};
+
+constexpr uint16_t distBase[30] = {
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193,
+    257, 385, 513, 769, 1025, 1537, 2049, 3073, 4097, 6145, 8193,
+    12289, 16385, 24577,
+};
+constexpr uint8_t distExtra[30] = {
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6,
+    7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13,
+};
+
+/** Order in which code-length-code lengths are transmitted. */
+constexpr uint8_t clcOrder[19] = {
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+};
+
+/** Map a match length (3..258) to its length code index (0..28). */
+int
+lengthCodeIndex(uint16_t len)
+{
+    FCC_ASSERT(len >= minMatch && len <= maxMatch,
+               "match length out of range");
+    int lo = 0;
+    for (int i = 28; i >= 0; --i) {
+        if (len >= lengthBase[i]) {
+            lo = i;
+            break;
+        }
+    }
+    return lo;
+}
+
+/** Map a distance (1..32768) to its distance code (0..29). */
+int
+distCodeIndex(uint16_t dist)
+{
+    FCC_ASSERT(dist >= 1, "distance out of range");
+    int lo = 0;
+    for (int i = 29; i >= 0; --i) {
+        if (dist >= distBase[i]) {
+            lo = i;
+            break;
+        }
+    }
+    return lo;
+}
+
+/** Fixed literal/length code lengths (RFC 1951 §3.2.6). */
+std::vector<uint8_t>
+fixedLitLengths()
+{
+    std::vector<uint8_t> lens(288);
+    for (int i = 0; i <= 143; ++i)
+        lens[i] = 8;
+    for (int i = 144; i <= 255; ++i)
+        lens[i] = 9;
+    for (int i = 256; i <= 279; ++i)
+        lens[i] = 7;
+    for (int i = 280; i <= 287; ++i)
+        lens[i] = 8;
+    return lens;
+}
+
+std::vector<uint8_t>
+fixedDistLengths()
+{
+    return std::vector<uint8_t>(32, 5);
+}
+
+// ---- encoder --------------------------------------------------------
+
+/** Code-length sequence RLE item (RFC 1951 §3.2.7). */
+struct ClcItem
+{
+    uint8_t symbol;   // 0..18
+    uint8_t extra;    // repeat count payload
+    uint8_t extraBits;
+};
+
+/** RLE-encode the concatenated lit+dist code-length sequence. */
+std::vector<ClcItem>
+rleCodeLengths(std::span<const uint8_t> lens)
+{
+    std::vector<ClcItem> items;
+    size_t i = 0;
+    while (i < lens.size()) {
+        uint8_t value = lens[i];
+        size_t run = 1;
+        while (i + run < lens.size() && lens[i + run] == value)
+            ++run;
+        if (value == 0) {
+            size_t left = run;
+            while (left >= 11) {
+                size_t take = std::min<size_t>(left, 138);
+                items.push_back({18,
+                                 static_cast<uint8_t>(take - 11), 7});
+                left -= take;
+            }
+            if (left >= 3) {
+                items.push_back({17,
+                                 static_cast<uint8_t>(left - 3), 3});
+                left = 0;
+            }
+            for (; left > 0; --left)
+                items.push_back({0, 0, 0});
+        } else {
+            items.push_back({value, 0, 0});
+            size_t left = run - 1;
+            while (left >= 3) {
+                size_t take = std::min<size_t>(left, 6);
+                items.push_back({16,
+                                 static_cast<uint8_t>(take - 3), 2});
+                left -= take;
+            }
+            for (; left > 0; --left)
+                items.push_back({value, 0, 0});
+        }
+        i += run;
+    }
+    return items;
+}
+
+/** Everything needed to emit one block under a code pair. */
+struct BlockCodes
+{
+    std::vector<uint8_t> litLens, distLens;
+    std::vector<uint16_t> litCodes, distCodes;
+};
+
+/** Bit cost of the token payload under the given lengths. */
+uint64_t
+payloadCost(std::span<const uint64_t> litFreq,
+            std::span<const uint64_t> distFreq,
+            std::span<const uint8_t> litLens,
+            std::span<const uint8_t> distLens)
+{
+    uint64_t bits = 0;
+    for (int sym = 0; sym < numLitCodes; ++sym) {
+        bits += litFreq[sym] * litLens[sym];
+        if (sym >= 257)
+            bits += litFreq[sym] * lengthExtra[sym - 257];
+    }
+    for (int sym = 0; sym < numDistCodes; ++sym)
+        bits += distFreq[sym] * (distLens[sym] + distExtra[sym]);
+    return bits;
+}
+
+/** Emit the token payload plus end-of-block. */
+void
+emitTokens(util::BitWriter &out,
+           std::span<const Lz77Token> tokens,
+           const BlockCodes &codes)
+{
+    for (const auto &tok : tokens) {
+        if (tok.isLiteral()) {
+            out.putHuff(codes.litCodes[tok.length],
+                        codes.litLens[tok.length]);
+        } else {
+            int li = lengthCodeIndex(tok.length);
+            int sym = 257 + li;
+            out.putHuff(codes.litCodes[sym], codes.litLens[sym]);
+            out.put(tok.length - lengthBase[li], lengthExtra[li]);
+            int di = distCodeIndex(tok.distance);
+            out.putHuff(codes.distCodes[di], codes.distLens[di]);
+            out.put(tok.distance - distBase[di], distExtra[di]);
+        }
+    }
+    out.putHuff(codes.litCodes[endOfBlock],
+                codes.litLens[endOfBlock]);
+}
+
+/** One encoder block: tokens plus the raw bytes they cover. */
+void
+emitBlock(util::BitWriter &out, std::span<const Lz77Token> tokens,
+          std::span<const uint8_t> raw, bool final)
+{
+    // Token frequencies (end-of-block included once).
+    std::vector<uint64_t> litFreq(numLitCodes, 0);
+    std::vector<uint64_t> distFreq(numDistCodes, 0);
+    litFreq[endOfBlock] = 1;
+    for (const auto &tok : tokens) {
+        if (tok.isLiteral()) {
+            ++litFreq[tok.length];
+        } else {
+            ++litFreq[257 + lengthCodeIndex(tok.length)];
+            ++distFreq[distCodeIndex(tok.distance)];
+        }
+    }
+
+    // Dynamic code construction.
+    BlockCodes dyn;
+    dyn.litLens = buildCodeLengths(litFreq, 15);
+    dyn.distLens = buildCodeLengths(distFreq, 15);
+    dyn.litLens.resize(numLitCodes);
+    dyn.distLens.resize(numDistCodes);
+
+    int hlit = numLitCodes;
+    while (hlit > 257 && dyn.litLens[hlit - 1] == 0)
+        --hlit;
+    int hdist = numDistCodes;
+    while (hdist > 1 && dyn.distLens[hdist - 1] == 0)
+        --hdist;
+
+    std::vector<uint8_t> seq(dyn.litLens.begin(),
+                             dyn.litLens.begin() + hlit);
+    seq.insert(seq.end(), dyn.distLens.begin(),
+               dyn.distLens.begin() + hdist);
+    auto rle = rleCodeLengths(seq);
+
+    std::vector<uint64_t> clcFreq(19, 0);
+    for (const auto &item : rle)
+        ++clcFreq[item.symbol];
+    auto clcLens = buildCodeLengths(clcFreq, 7);
+    clcLens.resize(19);
+    auto clcCodes = canonicalCodes(clcLens);
+
+    int hclen = 19;
+    while (hclen > 4 && clcLens[clcOrder[hclen - 1]] == 0)
+        --hclen;
+
+    uint64_t dynHeaderBits = 5 + 5 + 4 + 3ull * hclen;
+    for (const auto &item : rle)
+        dynHeaderBits += clcLens[item.symbol] + item.extraBits;
+    uint64_t dynCost = dynHeaderBits +
+                       payloadCost(litFreq, distFreq, dyn.litLens,
+                                   dyn.distLens);
+
+    // Fixed-code cost.
+    BlockCodes fixed;
+    fixed.litLens = fixedLitLengths();
+    fixed.distLens = fixedDistLengths();
+    uint64_t fixedCost = payloadCost(
+        litFreq, distFreq,
+        std::span<const uint8_t>(fixed.litLens.data(), numLitCodes),
+        std::span<const uint8_t>(fixed.distLens.data(),
+                                 numDistCodes));
+
+    // Stored cost (only possible for blocks within the 64 KiB limit).
+    uint64_t storedCost = raw.size() <= 0xffff
+        ? 7 + 32 + 8ull * raw.size()
+        : ~0ull;
+
+    out.put(final ? 1 : 0, 1);
+    if (storedCost < dynCost + 3 && storedCost < fixedCost + 3) {
+        out.put(0, 2);  // BTYPE=00
+        out.alignToByte();
+        out.byte(static_cast<uint8_t>(raw.size()));
+        out.byte(static_cast<uint8_t>(raw.size() >> 8));
+        out.byte(static_cast<uint8_t>(~raw.size()));
+        out.byte(static_cast<uint8_t>(~raw.size() >> 8));
+        for (uint8_t b : raw)
+            out.byte(b);
+        return;
+    }
+    if (fixedCost <= dynCost) {
+        out.put(1, 2);  // BTYPE=01
+        fixed.litCodes = canonicalCodes(fixed.litLens);
+        fixed.distCodes = canonicalCodes(fixed.distLens);
+        emitTokens(out, tokens, fixed);
+        return;
+    }
+    out.put(2, 2);  // BTYPE=10
+    out.put(hlit - 257, 5);
+    out.put(hdist - 1, 5);
+    out.put(hclen - 4, 4);
+    for (int i = 0; i < hclen; ++i)
+        out.put(clcLens[clcOrder[i]], 3);
+    for (const auto &item : rle) {
+        out.putHuff(clcCodes[item.symbol], clcLens[item.symbol]);
+        if (item.extraBits > 0)
+            out.put(item.extra, item.extraBits);
+    }
+    dyn.litCodes = canonicalCodes(dyn.litLens);
+    dyn.distCodes = canonicalCodes(dyn.distLens);
+    emitTokens(out, tokens, dyn);
+}
+
+} // namespace
+
+std::vector<uint8_t>
+deflateCompress(std::span<const uint8_t> data, const Lz77Config &cfg)
+{
+    util::BitWriter out;
+    if (data.empty()) {
+        // A single empty stored block.
+        out.put(1, 1);
+        out.put(0, 2);
+        out.alignToByte();
+        out.byte(0);
+        out.byte(0);
+        out.byte(0xff);
+        out.byte(0xff);
+        return out.take();
+    }
+
+    auto tokens = lz77Tokenize(data, cfg);
+
+    // Split the token stream into blocks so each gets Huffman codes
+    // fitted to its local statistics.
+    constexpr size_t tokensPerBlock = 32768;
+    size_t rawStart = 0;
+    for (size_t begin = 0; begin < tokens.size();
+         begin += tokensPerBlock) {
+        size_t end = std::min(tokens.size(), begin + tokensPerBlock);
+        size_t rawLen = 0;
+        for (size_t i = begin; i < end; ++i)
+            rawLen += tokens[i].isLiteral() ? 1 : tokens[i].length;
+        bool final = end == tokens.size();
+        emitBlock(out,
+                  std::span<const Lz77Token>(tokens.data() + begin,
+                                             end - begin),
+                  data.subspan(rawStart, rawLen), final);
+        rawStart += rawLen;
+    }
+    FCC_ASSERT(rawStart == data.size(),
+               "token stream does not cover the input");
+    return out.take();
+}
+
+std::vector<uint8_t>
+inflate(std::span<const uint8_t> data)
+{
+    util::BitReader bits(data);
+    std::vector<uint8_t> out;
+
+    bool final = false;
+    while (!final) {
+        final = bits.get(1) != 0;
+        uint32_t btype = bits.get(2);
+        if (btype == 0) {
+            bits.alignToByte();
+            uint32_t len = bits.byte();
+            len |= static_cast<uint32_t>(bits.byte()) << 8;
+            uint32_t nlen = bits.byte();
+            nlen |= static_cast<uint32_t>(bits.byte()) << 8;
+            util::require((len ^ nlen) == 0xffff,
+                          "inflate: stored block LEN/NLEN mismatch");
+            for (uint32_t i = 0; i < len; ++i)
+                out.push_back(bits.byte());
+            continue;
+        }
+        util::require(btype != 3, "inflate: reserved block type");
+
+        std::vector<uint8_t> litLens, distLens;
+        if (btype == 1) {
+            litLens = fixedLitLengths();
+            distLens = fixedDistLengths();
+        } else {
+            uint32_t hlit = bits.get(5) + 257;
+            uint32_t hdist = bits.get(5) + 1;
+            uint32_t hclen = bits.get(4) + 4;
+            util::require(hlit <= 286 && hdist <= 30,
+                          "inflate: bad HLIT/HDIST");
+            std::vector<uint8_t> clcLens(19, 0);
+            for (uint32_t i = 0; i < hclen; ++i)
+                clcLens[clcOrder[i]] =
+                    static_cast<uint8_t>(bits.get(3));
+            HuffmanDecoder clc(clcLens);
+
+            std::vector<uint8_t> seq;
+            seq.reserve(hlit + hdist);
+            while (seq.size() < hlit + hdist) {
+                int sym = clc.decode(bits);
+                if (sym < 16) {
+                    seq.push_back(static_cast<uint8_t>(sym));
+                } else if (sym == 16) {
+                    util::require(!seq.empty(),
+                                  "inflate: repeat with no previous "
+                                  "length");
+                    uint32_t rep = 3 + bits.get(2);
+                    uint8_t prev = seq.back();
+                    for (uint32_t r = 0; r < rep; ++r)
+                        seq.push_back(prev);
+                } else if (sym == 17) {
+                    uint32_t rep = 3 + bits.get(3);
+                    seq.insert(seq.end(), rep, 0);
+                } else {
+                    uint32_t rep = 11 + bits.get(7);
+                    seq.insert(seq.end(), rep, 0);
+                }
+            }
+            util::require(seq.size() == hlit + hdist,
+                          "inflate: code length overflow");
+            litLens.assign(seq.begin(), seq.begin() + hlit);
+            distLens.assign(seq.begin() + hlit, seq.end());
+        }
+
+        HuffmanDecoder lit(litLens);
+        HuffmanDecoder dist(distLens, /*allowIncomplete=*/true);
+
+        for (;;) {
+            int sym = lit.decode(bits);
+            if (sym < 256) {
+                out.push_back(static_cast<uint8_t>(sym));
+                continue;
+            }
+            if (sym == endOfBlock)
+                break;
+            util::require(sym <= 285, "inflate: bad length symbol");
+            int li = sym - 257;
+            uint32_t len = lengthBase[li] + bits.get(lengthExtra[li]);
+            int dsym = dist.decode(bits);
+            util::require(dsym < numDistCodes,
+                          "inflate: bad distance symbol");
+            uint32_t d = distBase[dsym] + bits.get(distExtra[dsym]);
+            util::require(d <= out.size(),
+                          "inflate: distance beyond output");
+            size_t from = out.size() - d;
+            for (uint32_t i = 0; i < len; ++i)
+                out.push_back(out[from + i]);
+        }
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+zlibCompress(std::span<const uint8_t> data, const Lz77Config &cfg)
+{
+    std::vector<uint8_t> out;
+    out.push_back(0x78);  // CM=8, CINFO=7 (32K window)
+    out.push_back(0x9c);  // FCHECK making the pair % 31 == 0
+    auto body = deflateCompress(data, cfg);
+    out.insert(out.end(), body.begin(), body.end());
+    uint32_t adler = util::Adler32::of(data);
+    out.push_back(static_cast<uint8_t>(adler >> 24));
+    out.push_back(static_cast<uint8_t>(adler >> 16));
+    out.push_back(static_cast<uint8_t>(adler >> 8));
+    out.push_back(static_cast<uint8_t>(adler));
+    return out;
+}
+
+std::vector<uint8_t>
+zlibDecompress(std::span<const uint8_t> data)
+{
+    util::require(data.size() >= 6, "zlib: stream too short");
+    uint8_t cmf = data[0], flg = data[1];
+    util::require((cmf & 0x0f) == 8, "zlib: not deflate");
+    util::require((static_cast<unsigned>(cmf) * 256 + flg) % 31 == 0,
+                  "zlib: bad header check");
+    util::require(!(flg & 0x20), "zlib: preset dictionary unsupported");
+    auto body = inflate(data.subspan(2, data.size() - 6));
+    const uint8_t *t = data.data() + data.size() - 4;
+    uint32_t expect = static_cast<uint32_t>(t[0]) << 24 |
+                      static_cast<uint32_t>(t[1]) << 16 |
+                      static_cast<uint32_t>(t[2]) << 8 | t[3];
+    util::require(util::Adler32::of(body) == expect,
+                  "zlib: Adler-32 mismatch");
+    return body;
+}
+
+std::vector<uint8_t>
+gzipCompress(std::span<const uint8_t> data, const Lz77Config &cfg)
+{
+    std::vector<uint8_t> out = {
+        0x1f, 0x8b,  // magic
+        8,           // CM = deflate
+        0,           // FLG
+        0, 0, 0, 0,  // MTIME
+        0,           // XFL
+        255,         // OS = unknown
+    };
+    auto body = deflateCompress(data, cfg);
+    out.insert(out.end(), body.begin(), body.end());
+    uint32_t crc = util::Crc32::of(data);
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(crc >> (8 * i)));
+    uint32_t isize = static_cast<uint32_t>(data.size());
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<uint8_t>(isize >> (8 * i)));
+    return out;
+}
+
+std::vector<uint8_t>
+gzipDecompress(std::span<const uint8_t> data)
+{
+    util::require(data.size() >= 18, "gzip: stream too short");
+    util::require(data[0] == 0x1f && data[1] == 0x8b,
+                  "gzip: bad magic");
+    util::require(data[2] == 8, "gzip: not deflate");
+    uint8_t flg = data[3];
+    size_t pos = 10;
+    if (flg & 0x04) {  // FEXTRA
+        util::require(data.size() >= pos + 2, "gzip: truncated FEXTRA");
+        uint16_t xlen = static_cast<uint16_t>(data[pos] |
+                                              data[pos + 1] << 8);
+        pos += 2 + xlen;
+    }
+    auto skipZeroTerminated = [&data, &pos](const char *what) {
+        while (pos < data.size() && data[pos] != 0)
+            ++pos;
+        util::require(pos < data.size(), what);
+        ++pos;
+    };
+    if (flg & 0x08)  // FNAME
+        skipZeroTerminated("gzip: truncated FNAME");
+    if (flg & 0x10)  // FCOMMENT
+        skipZeroTerminated("gzip: truncated FCOMMENT");
+    if (flg & 0x02)  // FHCRC
+        pos += 2;
+    util::require(data.size() >= pos + 8, "gzip: truncated member");
+
+    auto body = inflate(data.subspan(pos, data.size() - pos - 8));
+    const uint8_t *t = data.data() + data.size() - 8;
+    uint32_t crc = 0, isize = 0;
+    for (int i = 0; i < 4; ++i) {
+        crc |= static_cast<uint32_t>(t[i]) << (8 * i);
+        isize |= static_cast<uint32_t>(t[4 + i]) << (8 * i);
+    }
+    util::require(util::Crc32::of(body) == crc,
+                  "gzip: CRC-32 mismatch");
+    util::require(static_cast<uint32_t>(body.size()) == isize,
+                  "gzip: length mismatch");
+    return body;
+}
+
+std::vector<uint8_t>
+GzipTraceCompressor::compress(const trace::Trace &trace) const
+{
+    return gzipCompress(trace::writeTsh(trace));
+}
+
+trace::Trace
+GzipTraceCompressor::decompress(std::span<const uint8_t> data) const
+{
+    return trace::readTsh(gzipDecompress(data));
+}
+
+} // namespace fcc::codec::deflate

@@ -1,0 +1,172 @@
+#include "codec/deflate/huffman.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace fcc::codec::deflate {
+
+namespace {
+
+/** One package-merge item: a weight plus the leaves it contains. */
+struct Package
+{
+    uint64_t weight = 0;
+    std::vector<uint16_t> leaves;
+};
+
+bool
+packageLess(const Package &a, const Package &b)
+{
+    return a.weight < b.weight;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+buildCodeLengths(std::span<const uint64_t> freqs, int maxBits)
+{
+    util::require(maxBits >= 1 && maxBits <= 15,
+                  "buildCodeLengths: maxBits out of range");
+
+    std::vector<uint16_t> used;
+    for (uint16_t sym = 0; sym < freqs.size(); ++sym)
+        if (freqs[sym] > 0)
+            used.push_back(sym);
+
+    std::vector<uint8_t> lengths(freqs.size(), 0);
+    if (used.empty())
+        return lengths;
+    if (used.size() == 1) {
+        lengths[used[0]] = 1;
+        return lengths;
+    }
+    util::require(used.size() <= (1ull << maxBits),
+                  "buildCodeLengths: too many symbols for maxBits");
+
+    // Package-merge: build per-level lists; leaves at every level,
+    // plus pairs packaged from the level below. Selecting the
+    // 2*(n-1) cheapest items of the top list yields, per leaf, its
+    // optimal depth count = code length.
+    std::vector<Package> leafItems;
+    leafItems.reserve(used.size());
+    for (uint16_t sym : used)
+        leafItems.push_back(Package{freqs[sym], {sym}});
+    std::sort(leafItems.begin(), leafItems.end(), packageLess);
+
+    std::vector<Package> below;  // list for the previous level
+    for (int level = 0; level < maxBits; ++level) {
+        std::vector<Package> merged;
+        merged.reserve(leafItems.size() + below.size() / 2);
+        // Package pairs from the level below.
+        std::vector<Package> pairs;
+        for (size_t i = 0; i + 1 < below.size(); i += 2) {
+            Package pkg;
+            pkg.weight = below[i].weight + below[i + 1].weight;
+            pkg.leaves = below[i].leaves;
+            pkg.leaves.insert(pkg.leaves.end(),
+                              below[i + 1].leaves.begin(),
+                              below[i + 1].leaves.end());
+            pairs.push_back(std::move(pkg));
+        }
+        std::merge(leafItems.begin(), leafItems.end(),
+                   std::make_move_iterator(pairs.begin()),
+                   std::make_move_iterator(pairs.end()),
+                   std::back_inserter(merged), packageLess);
+        below = std::move(merged);
+    }
+
+    size_t take = 2 * (used.size() - 1);
+    FCC_ASSERT(below.size() >= take,
+               "package-merge produced too few items");
+    for (size_t i = 0; i < take; ++i)
+        for (uint16_t sym : below[i].leaves)
+            ++lengths[sym];
+
+    return lengths;
+}
+
+std::vector<uint16_t>
+canonicalCodes(std::span<const uint8_t> lengths)
+{
+    int maxLen = 0;
+    for (uint8_t len : lengths)
+        maxLen = std::max(maxLen, static_cast<int>(len));
+    util::require(maxLen <= 15, "canonicalCodes: length > 15");
+
+    std::vector<uint32_t> countPerLen(maxLen + 1, 0);
+    for (uint8_t len : lengths)
+        if (len > 0)
+            ++countPerLen[len];
+
+    std::vector<uint32_t> nextCode(maxLen + 1, 0);
+    uint32_t code = 0;
+    for (int len = 1; len <= maxLen; ++len) {
+        code = (code + countPerLen[len - 1]) << 1;
+        nextCode[len] = code;
+    }
+
+    std::vector<uint16_t> codes(lengths.size(), 0);
+    for (size_t sym = 0; sym < lengths.size(); ++sym) {
+        if (lengths[sym] > 0)
+            codes[sym] =
+                static_cast<uint16_t>(nextCode[lengths[sym]]++);
+    }
+    return codes;
+}
+
+HuffmanDecoder::HuffmanDecoder(std::span<const uint8_t> lengths,
+                               bool allowIncomplete)
+{
+    for (uint8_t len : lengths) {
+        util::require(len <= maxBitsSupported,
+                      "HuffmanDecoder: code length > 15");
+        ++counts_[len];
+    }
+    counts_[0] = 0;
+
+    // Kraft check: left = remaining code space after each length.
+    int64_t left = 1;
+    for (int len = 1; len <= maxBitsSupported; ++len) {
+        left <<= 1;
+        left -= counts_[len];
+        util::require(left >= 0,
+                      "HuffmanDecoder: over-subscribed code");
+    }
+    size_t usedCount = 0;
+    for (int len = 1; len <= maxBitsSupported; ++len)
+        usedCount += counts_[len];
+    if (left > 0 && !(allowIncomplete || usedCount <= 1))
+        throw util::Error("HuffmanDecoder: incomplete code");
+
+    // Canonical symbol table: offset per length, then fill.
+    uint16_t offsets[maxBitsSupported + 2] = {};
+    for (int len = 1; len <= maxBitsSupported; ++len)
+        offsets[len + 1] =
+            static_cast<uint16_t>(offsets[len] + counts_[len]);
+    symbols_.resize(usedCount);
+    for (size_t sym = 0; sym < lengths.size(); ++sym)
+        if (lengths[sym] > 0)
+            symbols_[offsets[lengths[sym]]++] =
+                static_cast<uint16_t>(sym);
+}
+
+int
+HuffmanDecoder::decode(util::BitReader &bits) const
+{
+    // Bit-serial canonical decode (puff algorithm).
+    int code = 0, first = 0, index = 0;
+    for (int len = 1; len <= maxBitsSupported; ++len) {
+        code |= static_cast<int>(bits.get(1));
+        int count = counts_[len];
+        if (code - first < count)
+            return symbols_[index + (code - first)];
+        index += count;
+        first = (first + count) << 1;
+        code <<= 1;
+    }
+    throw util::Error("HuffmanDecoder: invalid code in stream");
+}
+
+} // namespace fcc::codec::deflate

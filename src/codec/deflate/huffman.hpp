@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Canonical, length-limited Huffman coding as required by DEFLATE
+ * (RFC 1951): optimal code-length construction via the package-merge
+ * algorithm, canonical code assignment, and a count-based decoder.
+ */
+
+#ifndef FCC_CODEC_DEFLATE_HUFFMAN_HPP
+#define FCC_CODEC_DEFLATE_HUFFMAN_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bitstream.hpp"
+
+namespace fcc::codec::deflate {
+
+/**
+ * Compute optimal code lengths bounded by @p maxBits for the given
+ * symbol frequencies (package-merge / coin-collector algorithm).
+ *
+ * Symbols with zero frequency get length 0 (not coded). A single
+ * used symbol gets length 1, as DEFLATE requires at least one bit.
+ *
+ * @throws fcc::util::Error if the used symbols cannot fit in
+ *         @p maxBits (i.e. count > 2^maxBits).
+ */
+std::vector<uint8_t>
+buildCodeLengths(std::span<const uint64_t> freqs, int maxBits);
+
+/**
+ * Assign canonical codes (RFC 1951 §3.2.2): shorter codes first,
+ * ties broken by symbol order. lengths[i] == 0 yields code 0.
+ */
+std::vector<uint16_t>
+canonicalCodes(std::span<const uint8_t> lengths);
+
+/**
+ * Canonical Huffman decoder over code lengths, bit-serial in the
+ * style of Mark Adler's puff: O(code length) per symbol with no
+ * tables beyond per-length counts.
+ */
+class HuffmanDecoder
+{
+  public:
+    /**
+     * Build from code lengths. Verifies the code is neither over-
+     * nor under-subscribed (incomplete codes are only tolerated when
+     * @p allowIncomplete — DEFLATE permits one unused distance code).
+     *
+     * @throws fcc::util::Error on an invalid code description.
+     */
+    explicit HuffmanDecoder(std::span<const uint8_t> lengths,
+                            bool allowIncomplete = false);
+
+    /**
+     * Decode one symbol from @p bits.
+     * @throws fcc::util::Error on truncation or invalid code.
+     */
+    int decode(util::BitReader &bits) const;
+
+    /** Number of symbols with non-zero length. */
+    size_t usedSymbols() const { return symbols_.size(); }
+
+  private:
+    static constexpr int maxBitsSupported = 15;
+    // counts_[l] = number of codes of length l.
+    uint16_t counts_[maxBitsSupported + 1] = {};
+    std::vector<uint16_t> symbols_;  // canonical order
+};
+
+} // namespace fcc::codec::deflate
+
+#endif // FCC_CODEC_DEFLATE_HUFFMAN_HPP

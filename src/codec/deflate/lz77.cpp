@@ -1,0 +1,160 @@
+#include "codec/deflate/lz77.hpp"
+
+#include <algorithm>
+
+namespace fcc::codec::deflate {
+
+namespace {
+
+constexpr uint32_t hashBits = 15;
+constexpr uint32_t hashSize = 1u << hashBits;
+
+/** Hash of the 3 bytes at @p p. */
+inline uint32_t
+hash3(const uint8_t *p)
+{
+    uint32_t v = static_cast<uint32_t>(p[0]) |
+                 static_cast<uint32_t>(p[1]) << 8 |
+                 static_cast<uint32_t>(p[2]) << 16;
+    return (v * 2654435761u) >> (32 - hashBits);
+}
+
+/** Longest common prefix length of a and b, up to limit. */
+inline size_t
+matchLength(const uint8_t *a, const uint8_t *b, size_t limit)
+{
+    size_t len = 0;
+    while (len < limit && a[len] == b[len])
+        ++len;
+    return len;
+}
+
+/** Hash-chain index over input positions. */
+class Chains
+{
+  public:
+    explicit Chains(size_t size)
+        : head_(hashSize, empty), prev_(size, empty)
+    {}
+
+    void
+    insert(const uint8_t *base, size_t pos)
+    {
+        uint32_t h = hash3(base + pos);
+        prev_[pos] = head_[h];
+        head_[h] = static_cast<int64_t>(pos);
+    }
+
+    /**
+     * Best match for @p pos. Returns length (0 when below minMatch)
+     * and sets @p distOut.
+     */
+    size_t
+    bestMatch(const uint8_t *base, size_t pos, size_t avail,
+              const Lz77Config &cfg, uint16_t &distOut) const
+    {
+        size_t limit = std::min(avail, maxMatch);
+        if (limit < minMatch)
+            return 0;
+
+        size_t bestLen = 0;
+        uint16_t bestDist = 0;
+        uint32_t chain = cfg.maxChainLength;
+        int64_t candidate = head_[hash3(base + pos)];
+        while (candidate >= 0 && chain-- > 0) {
+            size_t cpos = static_cast<size_t>(candidate);
+            if (pos - cpos > windowSize)
+                break;
+            // Quick reject: last byte of the best match so far.
+            if (bestLen == 0 ||
+                base[cpos + bestLen] == base[pos + bestLen]) {
+                size_t len = matchLength(base + cpos, base + pos,
+                                         limit);
+                if (len > bestLen) {
+                    bestLen = len;
+                    bestDist = static_cast<uint16_t>(pos - cpos);
+                    if (len >= cfg.goodEnoughLength || len == limit)
+                        break;
+                }
+            }
+            candidate = prev_[cpos];
+        }
+        if (bestLen < minMatch)
+            return 0;
+        distOut = bestDist;
+        return bestLen;
+    }
+
+  private:
+    static constexpr int64_t empty = -1;
+    std::vector<int64_t> head_;
+    std::vector<int64_t> prev_;
+};
+
+} // namespace
+
+std::vector<Lz77Token>
+lz77Tokenize(std::span<const uint8_t> data, const Lz77Config &cfg)
+{
+    std::vector<Lz77Token> tokens;
+    size_t n = data.size();
+    if (n == 0)
+        return tokens;
+    tokens.reserve(n / 4);
+
+    const uint8_t *base = data.data();
+    Chains chains(n);
+
+    size_t pos = 0;
+    while (pos < n) {
+        if (n - pos < minMatch) {
+            tokens.push_back(Lz77Token::literal(base[pos]));
+            ++pos;
+            continue;
+        }
+
+        uint16_t dist = 0;
+        size_t len = chains.bestMatch(base, pos, n - pos, cfg, dist);
+
+        // One-step lazy evaluation: prefer a strictly longer match
+        // starting at the next byte.
+        if (cfg.lazy && len >= minMatch && len < cfg.goodEnoughLength &&
+            n - pos > len) {
+            chains.insert(base, pos);
+            uint16_t nextDist = 0;
+            size_t nextLen =
+                n - (pos + 1) >= minMatch
+                    ? chains.bestMatch(base, pos + 1, n - pos - 1,
+                                       cfg, nextDist)
+                    : 0;
+            if (nextLen > len) {
+                tokens.push_back(Lz77Token::literal(base[pos]));
+                ++pos;
+                continue;  // re-evaluate from pos (already indexed)
+            }
+            // Keep the current match; pos was indexed above.
+            tokens.push_back(Lz77Token::match(
+                static_cast<uint16_t>(len), dist));
+            for (size_t k = 1; k < len && pos + k + minMatch <= n; ++k)
+                chains.insert(base, pos + k);
+            pos += len;
+            continue;
+        }
+
+        if (len >= minMatch) {
+            tokens.push_back(Lz77Token::match(
+                static_cast<uint16_t>(len), dist));
+            for (size_t k = 0; k < len && pos + k + minMatch <= n; ++k)
+                chains.insert(base, pos + k);
+            pos += len;
+        } else {
+            tokens.push_back(Lz77Token::literal(base[pos]));
+            if (pos + minMatch <= n)
+                chains.insert(base, pos);
+            ++pos;
+        }
+    }
+    return tokens;
+}
+
+} // namespace fcc::codec::deflate

@@ -1,0 +1,180 @@
+#include "codec/fcc/datasets.hpp"
+
+#include <algorithm>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace fcc::codec::fcc {
+
+namespace {
+
+constexpr uint32_t magic = 0x31434346u;  // "FCC1"
+
+void
+serializeInto(const Datasets &d, util::ByteWriter &w,
+              SizeBreakdown &sizes)
+{
+    // Header: magic + the weight configuration the S values use.
+    w.u32(magic);
+    w.u16(d.weights.w1);
+    w.u16(d.weights.w2);
+    w.u16(d.weights.w3);
+    sizes.headerBytes = w.size();
+
+    // short-flows-template: n then n S values (one byte each).
+    size_t mark = w.size();
+    w.varint(d.shortTemplates.size());
+    for (const auto &tmpl : d.shortTemplates) {
+        w.varint(tmpl.size());
+        for (uint16_t s : tmpl.values) {
+            util::require(s <= 0xff,
+                          "fcc: S value exceeds one byte; use "
+                          "smaller weights");
+            w.u8(static_cast<uint8_t>(s));
+        }
+    }
+    sizes.shortTemplateBytes = w.size() - mark;
+
+    // long-flows-template: n then per packet (S, inter-packet time).
+    mark = w.size();
+    w.varint(d.longTemplates.size());
+    for (const auto &tmpl : d.longTemplates) {
+        util::require(tmpl.sValues.size() == tmpl.iptUs.size(),
+                      "fcc: long template S/ipt size mismatch");
+        w.varint(tmpl.sValues.size());
+        for (size_t i = 0; i < tmpl.sValues.size(); ++i) {
+            util::require(tmpl.sValues[i] <= 0xff,
+                          "fcc: S value exceeds one byte");
+            w.u8(static_cast<uint8_t>(tmpl.sValues[i]));
+            w.varint(tmpl.iptUs[i]);
+        }
+    }
+    sizes.longTemplateBytes = w.size() - mark;
+
+    // address: unique destination addresses.
+    mark = w.size();
+    w.varint(d.addresses.size());
+    for (uint32_t addr : d.addresses)
+        w.u32(addr);
+    sizes.addressBytes = w.size() - mark;
+
+    // time-seq: sorted by timestamp, so timestamps delta-encode.
+    mark = w.size();
+    w.varint(d.timeSeq.size());
+    uint64_t prevUs = 0;
+    for (const auto &rec : d.timeSeq) {
+        util::require(rec.firstTimestampUs >= prevUs,
+                      "fcc: time-seq records not sorted");
+        w.u8(rec.isLong ? 1 : 0);
+        w.varint(rec.firstTimestampUs - prevUs);
+        w.varint(rec.templateIndex);
+        if (!rec.isLong)
+            w.varint(rec.rttUs);
+        w.varint(rec.addressIndex);
+        prevUs = rec.firstTimestampUs;
+    }
+    sizes.timeSeqBytes = w.size() - mark;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+serialize(const Datasets &datasets)
+{
+    SizeBreakdown sizes;
+    return serialize(datasets, sizes);
+}
+
+std::vector<uint8_t>
+serialize(const Datasets &datasets, SizeBreakdown &breakdown)
+{
+    util::ByteWriter w;
+    breakdown = SizeBreakdown{};
+    serializeInto(datasets, w, breakdown);
+    return w.take();
+}
+
+Datasets
+deserialize(std::span<const uint8_t> data)
+{
+    util::ByteReader r(data);
+    util::require(r.remaining() >= 10 && r.u32() == magic,
+                  "fcc: bad magic");
+    Datasets d;
+    d.weights.w1 = r.u16();
+    d.weights.w2 = r.u16();
+    d.weights.w3 = r.u16();
+    util::require(d.weights.decodable(),
+                  "fcc: stored weights are not decodable");
+
+    uint64_t shortCount = r.varint();
+    // Reservations are capped by the bytes actually present so a
+    // corrupt count cannot trigger a huge allocation.
+    d.shortTemplates.reserve(
+        std::min<uint64_t>(shortCount, r.remaining()));
+    for (uint64_t i = 0; i < shortCount; ++i) {
+        uint64_t n = r.varint();
+        util::require(n >= 1, "fcc: empty short template");
+        util::require(n <= r.remaining(),
+                      "fcc: short template longer than stream");
+        flow::SfVector sf;
+        sf.values.reserve(n);
+        for (uint64_t k = 0; k < n; ++k)
+            sf.values.push_back(r.u8());
+        d.shortTemplates.push_back(std::move(sf));
+    }
+
+    uint64_t longCount = r.varint();
+    d.longTemplates.reserve(
+        std::min<uint64_t>(longCount, r.remaining()));
+    for (uint64_t i = 0; i < longCount; ++i) {
+        uint64_t n = r.varint();
+        util::require(n >= 1, "fcc: empty long template");
+        util::require(n <= r.remaining(),
+                      "fcc: long template longer than stream");
+        LongTemplate tmpl;
+        tmpl.sValues.reserve(n);
+        tmpl.iptUs.reserve(n);
+        for (uint64_t k = 0; k < n; ++k) {
+            tmpl.sValues.push_back(r.u8());
+            tmpl.iptUs.push_back(r.varint());
+        }
+        d.longTemplates.push_back(std::move(tmpl));
+    }
+
+    uint64_t addrCount = r.varint();
+    d.addresses.reserve(
+        std::min<uint64_t>(addrCount, r.remaining()));
+    for (uint64_t i = 0; i < addrCount; ++i)
+        d.addresses.push_back(r.u32());
+
+    uint64_t flowCount = r.varint();
+    d.timeSeq.reserve(
+        std::min<uint64_t>(flowCount, r.remaining()));
+    uint64_t prevUs = 0;
+    for (uint64_t i = 0; i < flowCount; ++i) {
+        TimeSeqRecord rec;
+        uint8_t id = r.u8();
+        util::require(id <= 1, "fcc: bad dataset identifier");
+        rec.isLong = id == 1;
+        prevUs += r.varint();
+        rec.firstTimestampUs = prevUs;
+        rec.templateIndex = static_cast<uint32_t>(r.varint());
+        if (!rec.isLong)
+            rec.rttUs = static_cast<uint32_t>(r.varint());
+        rec.addressIndex = static_cast<uint32_t>(r.varint());
+
+        size_t limit = rec.isLong ? d.longTemplates.size()
+                                  : d.shortTemplates.size();
+        util::require(rec.templateIndex < limit,
+                      "fcc: template index out of range");
+        util::require(rec.addressIndex < d.addresses.size(),
+                      "fcc: address index out of range");
+        d.timeSeq.push_back(rec);
+    }
+    util::require(r.exhausted(), "fcc: trailing bytes");
+    return d;
+}
+
+} // namespace fcc::codec::fcc

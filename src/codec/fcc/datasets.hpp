@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The four compressed datasets of the proposed method (paper §3) and
+ * their wire format:
+ *
+ *  - short-flows-template: for each cluster centre, the number of
+ *    packets n followed by the n S-values;
+ *  - long-flows-template: n followed by per-packet (S value,
+ *    inter-packet time);
+ *  - address: the unique destination (server) IP addresses;
+ *  - time-seq: one record per flow, sorted by first-packet
+ *    timestamp — dataset identifier (S/L), template index, the RTT
+ *    (short flows only) and an index into the address dataset.
+ */
+
+#ifndef FCC_CODEC_FCC_DATASETS_HPP
+#define FCC_CODEC_FCC_DATASETS_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "flow/characterize.hpp"
+
+namespace fcc::codec::fcc {
+
+/** One long-flow template: S values plus exact inter-packet times. */
+struct LongTemplate
+{
+    std::vector<uint16_t> sValues;
+    /** ipt[0] == 0; ipt[i] = t_i - t_{i-1} in microseconds. */
+    std::vector<uint64_t> iptUs;
+};
+
+/** One record of the time-seq dataset (≈ 8 bytes per flow, §5). */
+struct TimeSeqRecord
+{
+    uint64_t firstTimestampUs = 0;
+    bool isLong = false;          ///< dataset identifier S/L
+    uint32_t templateIndex = 0;   ///< position in its template dataset
+    uint32_t rttUs = 0;           ///< short flows only (§3)
+    uint32_t addressIndex = 0;    ///< into the address dataset
+};
+
+/** In-memory form of a compressed trace. */
+struct Datasets
+{
+    flow::Weights weights;
+    std::vector<flow::SfVector> shortTemplates;
+    std::vector<LongTemplate> longTemplates;
+    std::vector<uint32_t> addresses;
+    std::vector<TimeSeqRecord> timeSeq;  ///< sorted by timestamp
+};
+
+/** Serialized size of each dataset, for the §5 accounting. */
+struct SizeBreakdown
+{
+    uint64_t shortTemplateBytes = 0;
+    uint64_t longTemplateBytes = 0;
+    uint64_t addressBytes = 0;
+    uint64_t timeSeqBytes = 0;
+    uint64_t headerBytes = 0;
+
+    uint64_t
+    total() const
+    {
+        return shortTemplateBytes + longTemplateBytes + addressBytes +
+               timeSeqBytes + headerBytes;
+    }
+};
+
+/** Serialize to the FCC1 wire format. */
+std::vector<uint8_t> serialize(const Datasets &datasets);
+
+/** Serialize and report per-dataset sizes through @p breakdown. */
+std::vector<uint8_t> serialize(const Datasets &datasets,
+                               SizeBreakdown &breakdown);
+
+/**
+ * Parse the FCC1 wire format.
+ * @throws fcc::util::Error on malformed input.
+ */
+Datasets deserialize(std::span<const uint8_t> data);
+
+} // namespace fcc::codec::fcc
+
+#endif // FCC_CODEC_FCC_DATASETS_HPP

@@ -1,0 +1,294 @@
+#include "codec/fcc/fcc_codec.hpp"
+
+#include <unordered_map>
+
+#include "codec/deflate/deflate.hpp"
+#include "flow/template_store.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fcc::codec::fcc {
+
+namespace {
+
+/**
+ * RTT estimate of a short flow: the gap at the first direction
+ * change (e.g. SYN -> SYN+ACK), the paper's acknowledgment
+ * dependence time. Zero when the flow never changes direction.
+ */
+uint32_t
+estimateRttUs(const flow::AssembledFlow &flow,
+              const trace::Trace &trace)
+{
+    for (size_t i = 1; i < flow.size(); ++i) {
+        if (flow.fromClient[i] != flow.fromClient[i - 1]) {
+            uint64_t delta =
+                trace[flow.packetIndex[i]].timestampUs() -
+                trace[flow.packetIndex[i - 1]].timestampUs();
+            return static_cast<uint32_t>(
+                std::min<uint64_t>(delta, 0xffffffffu));
+        }
+    }
+    return 0;
+}
+
+/** Draw a random class B or C address (paper §4's source rule). */
+uint32_t
+drawClassBOrC(util::Rng &rng)
+{
+    if (rng.chance(0.5))
+        return 0x80000000u |
+               static_cast<uint32_t>(rng.uniformInt(0, 0x3fffffff));
+    return 0xc0000000u |
+           static_cast<uint32_t>(rng.uniformInt(0, 0x1fffffff));
+}
+
+} // namespace
+
+FccTraceCompressor::FccTraceCompressor(const FccConfig &cfg)
+    : cfg_(cfg)
+{
+    // Validate eagerly: a bad weight vector should fail construction,
+    // not the first compress() call.
+    flow::Characterizer check(cfg_.weights);
+    util::require(check.maxValue() <= 0xff,
+                  "fcc: weights produce S values above one byte");
+    util::require(cfg_.shortLimit >= 1,
+                  "fcc: short/long split must be >= 1 packet");
+}
+
+Datasets
+FccTraceCompressor::buildDatasets(const trace::Trace &trace,
+                                  FccCompressStats &stats) const
+{
+    util::require(trace.isTimeOrdered(),
+                  "fcc: input trace must be time-ordered");
+    stats = FccCompressStats{};
+
+    flow::FlowTable table(cfg_.flowTable);
+    auto flows = table.assemble(trace);
+
+    flow::Characterizer chi(cfg_.weights);
+    flow::TemplateStore store(cfg_.rule);
+
+    Datasets d;
+    d.weights = cfg_.weights;
+    std::unordered_map<uint32_t, uint32_t> addrIndex;
+
+    for (const auto &flow : flows) {
+        flow::SfVector sf = chi.characterize(flow, trace);
+
+        TimeSeqRecord rec;
+        rec.firstTimestampUs =
+            trace[flow.packetIndex.front()].timestampUs();
+
+        auto [it, isNewAddr] = addrIndex.try_emplace(
+            flow.serverIp,
+            static_cast<uint32_t>(d.addresses.size()));
+        if (isNewAddr)
+            d.addresses.push_back(flow.serverIp);
+        rec.addressIndex = it->second;
+
+        ++stats.flows;
+        if (flow.size() <= cfg_.shortLimit) {
+            ++stats.shortFlows;
+            flow::TemplateMatch match = store.findOrInsert(sf);
+            if (match.isNew)
+                ++stats.shortTemplatesCreated;
+            else
+                ++stats.shortTemplateHits;
+            rec.isLong = false;
+            rec.templateIndex = match.index;
+            rec.rttUs = estimateRttUs(flow, trace);
+        } else {
+            ++stats.longFlows;
+            LongTemplate tmpl;
+            tmpl.sValues = sf.values;
+            tmpl.iptUs.resize(flow.size());
+            tmpl.iptUs[0] = 0;
+            for (size_t i = 1; i < flow.size(); ++i)
+                tmpl.iptUs[i] =
+                    trace[flow.packetIndex[i]].timestampUs() -
+                    trace[flow.packetIndex[i - 1]].timestampUs();
+            rec.isLong = true;
+            rec.templateIndex =
+                static_cast<uint32_t>(d.longTemplates.size());
+            d.longTemplates.push_back(std::move(tmpl));
+        }
+        d.timeSeq.push_back(rec);
+    }
+
+    d.shortTemplates = store.all();
+    return d;
+}
+
+std::vector<uint8_t>
+FccTraceCompressor::compressWithStats(const trace::Trace &trace,
+                                      FccCompressStats &stats) const
+{
+    Datasets d = buildDatasets(trace, stats);
+    auto bytes = serialize(d, stats.sizes);
+    if (cfg_.deflateDatasets)
+        bytes = deflate::zlibCompress(bytes);
+    return bytes;
+}
+
+std::vector<uint8_t>
+FccTraceCompressor::compress(const trace::Trace &trace) const
+{
+    FccCompressStats stats;
+    return compressWithStats(trace, stats);
+}
+
+trace::Trace
+FccTraceCompressor::expand(const Datasets &d) const
+{
+    util::Rng rng(cfg_.decompressSeed);
+    std::vector<trace::PacketRecord> packets;
+    for (const auto &rec : d.timeSeq)
+        expandFlow(d, rec, rng, packets);
+    trace::Trace out(std::move(packets));
+    out.sortByTime();
+    return out;
+}
+
+void
+FccTraceCompressor::expandFlow(const Datasets &d,
+                               const TimeSeqRecord &rec,
+                               util::Rng &rng,
+                               std::vector<trace::PacketRecord> &out) const
+{
+    flow::Characterizer chi(d.weights);
+    {
+        util::require(rec.templateIndex <
+                          (rec.isLong ? d.longTemplates.size()
+                                      : d.shortTemplates.size()),
+                      "fcc: time-seq template index out of range");
+        util::require(rec.addressIndex < d.addresses.size(),
+                      "fcc: time-seq address index out of range");
+        const std::vector<uint16_t> *sValues;
+        const std::vector<uint64_t> *iptUs = nullptr;
+        if (rec.isLong) {
+            const LongTemplate &tmpl =
+                d.longTemplates[rec.templateIndex];
+            sValues = &tmpl.sValues;
+            iptUs = &tmpl.iptUs;
+        } else {
+            sValues = &d.shortTemplates[rec.templateIndex].values;
+        }
+
+        // Paper §4: server address from the address dataset; client
+        // address random class B/C; client port random ephemeral;
+        // server port 80.
+        uint32_t serverIp = d.addresses[rec.addressIndex];
+        uint32_t clientIp = drawClassBOrC(rng);
+        uint16_t clientPort = static_cast<uint16_t>(
+            rng.uniformInt(1024, 65000));
+
+        // Synthesized TCP state, mirroring the workload generator.
+        uint32_t cSeq = static_cast<uint32_t>(rng.next());
+        uint32_t sSeq = static_cast<uint32_t>(rng.next());
+        uint16_t cIpId = static_cast<uint16_t>(rng.next());
+        uint16_t sIpId = static_cast<uint16_t>(rng.next());
+        uint16_t window = static_cast<uint16_t>(
+            rng.uniformInt(16, 255) << 8);
+
+        uint64_t t = rec.firstTimestampUs;
+        bool fromClient = true;
+        for (size_t i = 0; i < sValues->size(); ++i) {
+            flow::PacketClass cls = chi.decode((*sValues)[i]);
+
+            // Direction chain: the dependence bit says whether the
+            // direction flipped; the first packet's direction comes
+            // from its flag class.
+            if (i == 0) {
+                fromClient = cls.flag != flow::FlagClass::SynAck;
+            } else if (cls.dependent) {
+                fromClient = !fromClient;
+            }
+
+            // Timing: long flows replay exact inter-packet times;
+            // short flows space dependent packets by the flow RTT
+            // and others by a small fixed gap (§4).
+            if (i > 0) {
+                if (rec.isLong)
+                    t += (*iptUs)[i];
+                else
+                    t += cls.dependent ? rec.rttUs : cfg_.defaultGapUs;
+            }
+
+            uint16_t payload = 0;
+            if (cls.size == flow::SizeClass::Small)
+                payload = cfg_.smallPayload;
+            else if (cls.size == flow::SizeClass::Large)
+                payload = cfg_.largePayload;
+
+            uint8_t flags = 0;
+            using namespace trace::tcp_flags;
+            switch (cls.flag) {
+              case flow::FlagClass::Syn:
+                flags = Syn;
+                break;
+              case flow::FlagClass::SynAck:
+                flags = Syn | Ack;
+                break;
+              case flow::FlagClass::Ack:
+                flags = payload > 0 ? (Ack | Psh) : Ack;
+                break;
+              case flow::FlagClass::FinRst:
+                flags = Fin | Ack;
+                break;
+            }
+
+            trace::PacketRecord pkt;
+            pkt.timestampNs = t * 1000ull;
+            pkt.protocol = trace::ip_proto::Tcp;
+            pkt.tcpFlags = flags;
+            pkt.payloadBytes = payload;
+            pkt.window = window;
+            // §4 addressing: every packet of the flow carries the
+            // stored destination and the flow's random source (the
+            // direction-aware variant swaps them for s->c packets).
+            bool addrAsClient =
+                fromClient || !cfg_.directionAwareAddresses;
+            if (addrAsClient) {
+                pkt.srcIp = clientIp;
+                pkt.dstIp = serverIp;
+                pkt.srcPort = clientPort;
+                pkt.dstPort = cfg_.serverPort;
+                pkt.seq = cSeq;
+                pkt.ack = (flags & Ack) ? sSeq : 0;
+                pkt.ipId = cIpId++;
+                cSeq += payload;
+                if (flags & (Syn | Fin))
+                    ++cSeq;
+            } else {
+                pkt.srcIp = serverIp;
+                pkt.dstIp = clientIp;
+                pkt.srcPort = cfg_.serverPort;
+                pkt.dstPort = clientPort;
+                pkt.seq = sSeq;
+                pkt.ack = (flags & Ack) ? cSeq : 0;
+                pkt.ipId = sIpId++;
+                sSeq += payload;
+                if (flags & (Syn | Fin))
+                    ++sSeq;
+            }
+            out.push_back(pkt);
+        }
+    }
+}
+
+trace::Trace
+FccTraceCompressor::decompress(std::span<const uint8_t> data) const
+{
+    // Auto-detect the hybrid container: a zlib stream starts with
+    // CMF 0x78; the plain format starts with 'F' of "FCC1".
+    if (!data.empty() && data[0] == 0x78) {
+        auto inflated = deflate::zlibDecompress(data);
+        return expand(deserialize(inflated));
+    }
+    return expand(deserialize(data));
+}
+
+} // namespace fcc::codec::fcc

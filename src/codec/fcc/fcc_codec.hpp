@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The paper's proposed compressor: lossy packet-trace compression by
+ * clustering of TCP flow characterization vectors (§3), and the
+ * matching decompression algorithm (§4).
+ *
+ * Compression: assemble bidirectional flows; compute each flow's SF
+ * vector; short flows (<= 50 packets) are matched against the
+ * short-flows-template cluster store (similarity = L1 distance below
+ * 2 % of the maximum inter-flow distance 50 n); long flows are stored
+ * verbatim with their exact inter-packet times. Per flow, only a
+ * time-seq record (timestamp, S/L identifier, template index, RTT,
+ * address index) survives — ~8 bytes — which is what yields the ~3 %
+ * ratio of §5.
+ *
+ * Decompression: for every time-seq record the referenced template is
+ * expanded: (f1, f2, f3) are decoded from each S value (the weights
+ * form a mixed-radix code), packet direction is re-derived from the
+ * dependence chain, sizes from the size class, timing from the RTT
+ * (dependent packets) or a small gap (back-to-back packets), server
+ * address from the address dataset, client address randomized (class
+ * B/C), client port random in [1024, 65000], server port 80 — exactly
+ * the paper's §4 procedure.
+ */
+
+#ifndef FCC_CODEC_FCC_FCC_CODEC_HPP
+#define FCC_CODEC_FCC_FCC_CODEC_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "codec/compressor.hpp"
+#include "codec/fcc/datasets.hpp"
+#include "flow/characterize.hpp"
+#include "flow/flow_table.hpp"
+#include "util/rng.hpp"
+
+namespace fcc::codec::fcc {
+
+/** Tunables of the proposed method (paper defaults). */
+struct FccConfig
+{
+    flow::Weights weights;        ///< {16, 4, 1}
+    flow::SimilarityRule rule;    ///< d_sim = n * 50 * 2 %
+    uint32_t shortLimit = 50;     ///< short/long split (packets)
+    flow::FlowTableConfig flowTable;
+
+    /**
+     * Address assignment on decompression. The paper (§4) writes the
+     * stored destination address and the random source on *every*
+     * packet of a flow; with directionAwareAddresses the recovered
+     * direction chain instead swaps source/destination for
+     * server-to-client packets (an extension; more TCP-realistic but
+     * not what the paper's decompressor does).
+     */
+    bool directionAwareAddresses = false;
+
+    /**
+     * Hybrid mode (extension): run the serialized datasets through
+     * the built-in zlib/deflate. The template datasets are highly
+     * repetitive, so this roughly halves the compressed size again;
+     * decompress() auto-detects either container.
+     */
+    bool deflateDatasets = false;
+
+    // Decompression reconstruction parameters.
+    uint32_t defaultGapUs = 300;   ///< spacing of non-dependent pkts
+    uint16_t smallPayload = 400;   ///< representative size, class 1
+    uint16_t largePayload = 1460;  ///< representative size, class 2
+    uint16_t serverPort = 80;      ///< paper: Web traffic
+    uint64_t decompressSeed = 0x5eedf10e;  ///< address randomization
+};
+
+/** Compression-side statistics (cluster behaviour, §2.1/§3). */
+struct FccCompressStats
+{
+    uint64_t flows = 0;
+    uint64_t shortFlows = 0;
+    uint64_t longFlows = 0;
+    uint64_t shortTemplatesCreated = 0;  ///< clusters
+    uint64_t shortTemplateHits = 0;      ///< flows matched to one
+    SizeBreakdown sizes;
+
+    double
+    hitRate() const
+    {
+        return shortFlows ? static_cast<double>(shortTemplateHits) /
+                                static_cast<double>(shortFlows)
+                          : 0.0;
+    }
+};
+
+/** The proposed flow-clustering trace compressor. */
+class FccTraceCompressor : public TraceCompressor
+{
+  public:
+    explicit FccTraceCompressor(const FccConfig &cfg = {});
+
+    std::string name() const override { return "fcc"; }
+    bool lossless() const override { return false; }
+
+    std::vector<uint8_t>
+    compress(const trace::Trace &trace) const override;
+
+    trace::Trace
+    decompress(std::span<const uint8_t> data) const override;
+
+    /** compress() and additionally report cluster statistics. */
+    std::vector<uint8_t>
+    compressWithStats(const trace::Trace &trace,
+                      FccCompressStats &stats) const;
+
+    /** Build the in-memory datasets without serializing. */
+    Datasets
+    buildDatasets(const trace::Trace &trace,
+                  FccCompressStats &stats) const;
+
+    /** Expand in-memory datasets into a reconstructed trace. */
+    trace::Trace expand(const Datasets &datasets) const;
+
+    /**
+     * Expand one time-seq record into its flow's packets, appended
+     * to @p out in flow order (not globally time-sorted). @p rng
+     * supplies the §4 random source address / client port; expand()
+     * and the streaming decompressor share this so both produce the
+     * same packets for the same seed.
+     */
+    void
+    expandFlow(const Datasets &datasets, const TimeSeqRecord &record,
+               util::Rng &rng,
+               std::vector<trace::PacketRecord> &out) const;
+
+    const FccConfig &config() const { return cfg_; }
+
+  private:
+    FccConfig cfg_;
+};
+
+} // namespace fcc::codec::fcc
+
+#endif // FCC_CODEC_FCC_FCC_CODEC_HPP

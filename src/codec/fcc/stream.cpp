@@ -1,0 +1,307 @@
+#include "codec/fcc/stream.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+
+#include "flow/template_store.hpp"
+#include "trace/tsh.hpp"
+#include "util/error.hpp"
+
+namespace fcc::codec::fcc {
+
+namespace {
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const { if (f) std::fclose(f); }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+FilePtr
+openFile(const std::string &path, const char *mode, const char *what)
+{
+    FilePtr f(std::fopen(path.c_str(), mode));
+    util::require(f != nullptr, what);
+    return f;
+}
+
+/**
+ * Incremental single-flow state: enough to classify packets online
+ * (the dependence bit only needs the previous packet's direction)
+ * and to emit the flow's datasets entry when it closes.
+ */
+struct OpenFlow
+{
+    uint32_t clientIp = 0;
+    uint16_t clientPort = 0;
+    uint32_t serverIp = 0;
+    bool clientKnown = false;
+    bool prevFromClient = true;
+    bool finFromClient = false;
+    bool finFromServer = false;
+    uint32_t rttUs = 0;  ///< first direction-change gap
+    std::vector<uint16_t> sValues;
+    std::vector<uint64_t> packetUs;
+};
+
+/** Shared dataset-building state of a streaming compression. */
+class StreamingBuilder
+{
+  public:
+    explicit StreamingBuilder(const FccConfig &cfg)
+        : cfg_(cfg), chi_(cfg.weights), store_(cfg.rule)
+    {
+        datasets_.weights = cfg.weights;
+    }
+
+    void
+    addPacket(const trace::PacketRecord &pkt)
+    {
+        util::require(pkt.timestampNs >= lastNs_,
+                      "fcc stream: input not time-ordered");
+        lastNs_ = pkt.timestampNs;
+        ++packets_;
+
+        flow::FlowKey key = flow::FlowKey::fromPacket(pkt);
+        auto it = open_.find(key);
+        if (it != open_.end() && cfg_.flowTable.idleTimeoutNs > 0 &&
+            !it->second.packetUs.empty() &&
+            pkt.timestampNs - it->second.packetUs.back() * 1000 >
+                cfg_.flowTable.idleTimeoutNs) {
+            closeFlow(it->second);
+            open_.erase(it);
+            it = open_.end();
+        }
+        if (it == open_.end())
+            it = open_.emplace(key, OpenFlow{}).first;
+        OpenFlow &flowState = it->second;
+
+        if (!flowState.clientKnown) {
+            bool synAck = pkt.hasSyn() && pkt.hasAck();
+            flowState.clientIp = synAck ? pkt.dstIp : pkt.srcIp;
+            flowState.clientPort = synAck ? pkt.dstPort : pkt.srcPort;
+            flowState.serverIp = synAck ? pkt.srcIp : pkt.dstIp;
+            flowState.clientKnown = true;
+        }
+        bool fromClient = pkt.srcIp == flowState.clientIp &&
+                          pkt.srcPort == flowState.clientPort;
+
+        flow::PacketClass cls;
+        cls.flag = flow::flagClass(pkt.tcpFlags);
+        cls.size = flow::sizeClass(pkt.payloadBytes);
+        cls.dependent = !flowState.sValues.empty() &&
+                        fromClient != flowState.prevFromClient;
+        if (cls.dependent && flowState.rttUs == 0) {
+            uint64_t gap =
+                pkt.timestampUs() - flowState.packetUs.back();
+            flowState.rttUs = static_cast<uint32_t>(
+                std::min<uint64_t>(gap, 0xffffffffu));
+        }
+        flowState.sValues.push_back(chi_.encode(cls));
+        flowState.packetUs.push_back(pkt.timestampUs());
+        flowState.prevFromClient = fromClient;
+
+        if (pkt.hasFin()) {
+            if (fromClient)
+                flowState.finFromClient = true;
+            else
+                flowState.finFromServer = true;
+        }
+        bool gracefulDone = flowState.finFromClient &&
+                            flowState.finFromServer &&
+                            !pkt.hasFin() && pkt.hasAck();
+        if (pkt.hasRst() || gracefulDone) {
+            closeFlow(flowState);
+            open_.erase(key);
+        }
+    }
+
+    /** Close every open flow and produce the final datasets. */
+    Datasets
+    finish()
+    {
+        for (auto &[key, flowState] : open_)
+            closeFlow(flowState);
+        open_.clear();
+        // Flows close out of order; the time-seq dataset is sorted
+        // by first-packet timestamp (one record per flow).
+        std::sort(datasets_.timeSeq.begin(), datasets_.timeSeq.end(),
+                  [](const TimeSeqRecord &a, const TimeSeqRecord &b) {
+                      return a.firstTimestampUs < b.firstTimestampUs;
+                  });
+        datasets_.shortTemplates = store_.all();
+        return std::move(datasets_);
+    }
+
+    uint64_t packets() const { return packets_; }
+    uint64_t flows() const { return flows_; }
+
+  private:
+    void
+    closeFlow(OpenFlow &flowState)
+    {
+        if (flowState.sValues.empty())
+            return;
+        ++flows_;
+        TimeSeqRecord rec;
+        rec.firstTimestampUs = flowState.packetUs.front();
+
+        auto [it, isNew] = addrIndex_.try_emplace(
+            flowState.serverIp,
+            static_cast<uint32_t>(datasets_.addresses.size()));
+        if (isNew)
+            datasets_.addresses.push_back(flowState.serverIp);
+        rec.addressIndex = it->second;
+
+        if (flowState.sValues.size() <= cfg_.shortLimit) {
+            flow::SfVector sf;
+            sf.values = std::move(flowState.sValues);
+            rec.isLong = false;
+            rec.templateIndex = store_.findOrInsert(sf).index;
+            rec.rttUs = flowState.rttUs;
+        } else {
+            LongTemplate tmpl;
+            tmpl.sValues = std::move(flowState.sValues);
+            tmpl.iptUs.resize(flowState.packetUs.size());
+            tmpl.iptUs[0] = 0;
+            for (size_t i = 1; i < flowState.packetUs.size(); ++i)
+                tmpl.iptUs[i] = flowState.packetUs[i] -
+                                flowState.packetUs[i - 1];
+            rec.isLong = true;
+            rec.templateIndex = static_cast<uint32_t>(
+                datasets_.longTemplates.size());
+            datasets_.longTemplates.push_back(std::move(tmpl));
+        }
+        datasets_.timeSeq.push_back(rec);
+    }
+
+    FccConfig cfg_;
+    flow::Characterizer chi_;
+    flow::TemplateStore store_;
+    Datasets datasets_;
+    std::unordered_map<flow::FlowKey, OpenFlow> open_;
+    std::unordered_map<uint32_t, uint32_t> addrIndex_;
+    uint64_t lastNs_ = 0;
+    uint64_t packets_ = 0;
+    uint64_t flows_ = 0;
+};
+
+} // namespace
+
+StreamStats
+compressTshFile(const std::string &tshPath, const std::string &fccPath,
+                const FccConfig &cfg)
+{
+    FilePtr in = openFile(tshPath, "rb",
+                          "fcc stream: cannot open TSH input");
+    StreamingBuilder builder(cfg);
+    StreamStats stats;
+
+    // Read whole TSH records in chunks.
+    constexpr size_t recordsPerChunk = 4096;
+    std::vector<uint8_t> buf(recordsPerChunk * trace::tshRecordBytes);
+    size_t pending = 0;
+    for (;;) {
+        size_t n = std::fread(buf.data() + pending, 1,
+                              buf.size() - pending, in.get());
+        if (n == 0) {
+            util::require(pending == 0,
+                          "fcc stream: trailing partial TSH record");
+            break;
+        }
+        pending += n;
+        size_t whole = pending / trace::tshRecordBytes *
+                       trace::tshRecordBytes;
+        trace::Trace chunk = trace::readTsh(
+            std::span<const uint8_t>(buf.data(), whole));
+        for (const auto &pkt : chunk)
+            builder.addPacket(pkt);
+        stats.inputBytes += whole;
+        std::copy(buf.begin() + static_cast<std::ptrdiff_t>(whole),
+                  buf.begin() + static_cast<std::ptrdiff_t>(pending),
+                  buf.begin());
+        pending -= whole;
+    }
+
+    Datasets datasets = builder.finish();
+    auto bytes = serialize(datasets);
+
+    FilePtr out = openFile(fccPath, "wb",
+                           "fcc stream: cannot open FCC output");
+    util::require(std::fwrite(bytes.data(), 1, bytes.size(),
+                              out.get()) == bytes.size(),
+                  "fcc stream: short write");
+    stats.outputBytes = bytes.size();
+    stats.packets = builder.packets();
+    stats.flows = builder.flows();
+    return stats;
+}
+
+StreamStats
+decompressToTshFile(const std::string &fccPath,
+                    const std::string &tshPath, const FccConfig &cfg)
+{
+    FilePtr in = openFile(fccPath, "rb",
+                          "fcc stream: cannot open FCC input");
+    std::vector<uint8_t> bytes;
+    uint8_t buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), in.get())) > 0)
+        bytes.insert(bytes.end(), buf, buf + n);
+    Datasets datasets = deserialize(bytes);
+
+    FccTraceCompressor codec(cfg);
+    util::Rng rng(cfg.decompressSeed);
+    FilePtr out = openFile(tshPath, "wb",
+                           "fcc stream: cannot open TSH output");
+
+    StreamStats stats;
+    stats.inputBytes = bytes.size();
+    stats.flows = datasets.timeSeq.size();
+
+    // Paper §4: reconstructed packets wait in a time-ordered buffer;
+    // everything older than the next time-seq record's timestamp is
+    // flushed to the output file.
+    auto later = [](const trace::PacketRecord &a,
+                    const trace::PacketRecord &b) {
+        return a.timestampNs > b.timestampNs;
+    };
+    std::priority_queue<trace::PacketRecord,
+                        std::vector<trace::PacketRecord>,
+                        decltype(later)>
+        pendingQ(later);
+
+    auto flushOlderThan = [&](uint64_t limitNs) {
+        trace::Trace batch;
+        while (!pendingQ.empty() &&
+               pendingQ.top().timestampNs < limitNs) {
+            batch.add(pendingQ.top());
+            pendingQ.pop();
+        }
+        if (batch.empty())
+            return;
+        auto tsh = trace::writeTsh(batch);
+        util::require(std::fwrite(tsh.data(), 1, tsh.size(),
+                                  out.get()) == tsh.size(),
+                      "fcc stream: short write");
+        stats.outputBytes += tsh.size();
+        stats.packets += batch.size();
+    };
+
+    std::vector<trace::PacketRecord> flowPackets;
+    for (const auto &rec : datasets.timeSeq) {
+        flushOlderThan(rec.firstTimestampUs * 1000);
+        flowPackets.clear();
+        codec.expandFlow(datasets, rec, rng, flowPackets);
+        for (const auto &pkt : flowPackets)
+            pendingQ.push(pkt);
+    }
+    flushOlderThan(~0ull);
+    return stats;
+}
+
+} // namespace fcc::codec::fcc

@@ -1,0 +1,72 @@
+#include "codec/peuhkuri/flow_cache.hpp"
+
+#include "util/error.hpp"
+
+namespace fcc::codec::peuhkuri {
+
+FlowCache::FlowCache(uint32_t capacity)
+    : capacity_(capacity), nodes_(capacity)
+{
+    util::require(capacity >= 1 && capacity <= 0x10000,
+                  "FlowCache: capacity must be in [1, 65536]");
+}
+
+void
+FlowCache::unlink(uint32_t slot)
+{
+    Node &node = nodes_[slot];
+    if (node.prev != invalid)
+        nodes_[node.prev].next = node.next;
+    else
+        head_ = node.next;
+    if (node.next != invalid)
+        nodes_[node.next].prev = node.prev;
+    else
+        tail_ = node.prev;
+    node.prev = node.next = invalid;
+}
+
+void
+FlowCache::pushFront(uint32_t slot)
+{
+    Node &node = nodes_[slot];
+    node.prev = invalid;
+    node.next = head_;
+    if (head_ != invalid)
+        nodes_[head_].prev = slot;
+    head_ = slot;
+    if (tail_ == invalid)
+        tail_ = slot;
+}
+
+FlowCache::Assignment
+FlowCache::touch(uint64_t key)
+{
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        uint32_t slot = it->second;
+        if (head_ != slot) {
+            unlink(slot);
+            pushFront(slot);
+        }
+        return {static_cast<uint16_t>(slot), false};
+    }
+
+    uint32_t slot;
+    if (nextFree_ < capacity_) {
+        slot = nextFree_++;
+    } else {
+        // Recycle the least recently used slot.
+        slot = tail_;
+        FCC_ASSERT(slot != invalid, "LRU list empty at capacity");
+        unlink(slot);
+        map_.erase(nodes_[slot].key);
+    }
+    nodes_[slot].key = key;
+    nodes_[slot].used = true;
+    map_.emplace(key, slot);
+    pushFront(slot);
+    return {static_cast<uint16_t>(slot), true};
+}
+
+} // namespace fcc::codec::peuhkuri

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fixed-capacity LRU flow cache used by the Peuhkuri codec: flows are
+ * assigned 16-bit slots; when the cache is full the least recently
+ * used slot is recycled (its flow, if it reappears, is re-announced).
+ * This bounds the per-packet flow reference to 2 bytes regardless of
+ * trace length, as in the original method's flow table.
+ */
+
+#ifndef FCC_CODEC_PEUHKURI_FLOW_CACHE_HPP
+#define FCC_CODEC_PEUHKURI_FLOW_CACHE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fcc::codec::peuhkuri {
+
+/**
+ * LRU mapping from an opaque 64-bit flow key to a slot in
+ * [0, capacity). All operations are O(1); the LRU order is kept in an
+ * intrusive doubly-linked list over the slot array.
+ */
+class FlowCache
+{
+  public:
+    /** @param capacity number of slots; must be >= 1. */
+    explicit FlowCache(uint32_t capacity);
+
+    /** Result of a lookup-or-assign. */
+    struct Assignment
+    {
+        uint16_t slot = 0;
+        bool isNew = false;  ///< slot newly assigned (or recycled)
+    };
+
+    /**
+     * Look up @p key, assigning (possibly recycling) a slot on miss,
+     * and mark the slot most recently used.
+     */
+    Assignment touch(uint64_t key);
+
+    /** Current number of live slots. */
+    size_t size() const { return map_.size(); }
+    uint32_t capacity() const { return capacity_; }
+
+  private:
+    void unlink(uint32_t slot);
+    void pushFront(uint32_t slot);
+
+    struct Node
+    {
+        uint64_t key = 0;
+        uint32_t prev = invalid;
+        uint32_t next = invalid;
+        bool used = false;
+    };
+
+    static constexpr uint32_t invalid = 0xffffffffu;
+
+    uint32_t capacity_;
+    std::vector<Node> nodes_;
+    std::unordered_map<uint64_t, uint32_t> map_;
+    uint32_t head_ = invalid;  ///< most recently used
+    uint32_t tail_ = invalid;  ///< least recently used
+    uint32_t nextFree_ = 0;
+};
+
+} // namespace fcc::codec::peuhkuri
+
+#endif // FCC_CODEC_PEUHKURI_FLOW_CACHE_HPP

@@ -1,0 +1,168 @@
+#include "codec/peuhkuri/peuhkuri.hpp"
+
+#include "codec/peuhkuri/flow_cache.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace fcc::codec::peuhkuri {
+
+namespace {
+
+constexpr uint32_t magic = 0x32555050u;  // "PPU2"
+
+/**
+ * 64-bit flow identity for the cache. A hash collision would merge
+ * two flows into one slot (mis-attributing their 5-tuple); with a
+ * mixed 64-bit key the probability is negligible below billions of
+ * flows, the same trade the original method's flow hashing makes.
+ */
+uint64_t
+flowKeyHash(const trace::PacketRecord &pkt)
+{
+    uint64_t h = util::mix64(
+        (static_cast<uint64_t>(pkt.srcIp) << 32) | pkt.dstIp);
+    return util::hashCombine(
+        h, (static_cast<uint64_t>(pkt.srcPort) << 24) |
+               (static_cast<uint64_t>(pkt.dstPort) << 8) |
+               pkt.protocol);
+}
+
+/** Decoder-side per-slot state. */
+struct SlotState
+{
+    uint32_t srcIp = 0, dstIp = 0;
+    uint16_t srcPort = 0, dstPort = 0;
+    uint8_t protocol = 0;
+    uint64_t lastUs = 0;
+    uint32_t synthSeq = 0;
+    uint16_t synthIpId = 0;
+    bool live = false;
+};
+
+} // namespace
+
+PeuhkuriTraceCompressor::PeuhkuriTraceCompressor(uint32_t cacheCapacity)
+    : cacheCapacity_(cacheCapacity)
+{
+    util::require(cacheCapacity >= 1 && cacheCapacity < newFlowMarker,
+                  "peuhkuri: cache capacity must be in [1, 65534]");
+}
+
+std::vector<uint8_t>
+PeuhkuriTraceCompressor::compress(const trace::Trace &trace) const
+{
+    util::require(trace.isTimeOrdered(),
+                  "peuhkuri: input trace must be time-ordered");
+    util::ByteWriter w;
+    w.u32(magic);
+    w.varint(trace.size());
+    w.varint(cacheCapacity_);
+
+    FlowCache cache(cacheCapacity_);
+    std::vector<uint64_t> lastUs(cacheCapacity_, 0);
+    uint64_t prevNewFlowUs = 0;
+
+    for (const auto &pkt : trace) {
+        auto assign = cache.touch(flowKeyHash(pkt));
+        uint64_t nowUs = pkt.timestampUs();
+
+        if (assign.isNew) {
+            w.u16(newFlowMarker);
+            w.u16(assign.slot);
+            w.u32(pkt.srcIp);
+            w.u32(pkt.dstIp);
+            w.u16(pkt.srcPort);
+            w.u16(pkt.dstPort);
+            w.u8(pkt.protocol);
+            // New flows appear in time order, so their timestamps
+            // delta-encode compactly.
+            w.varint(nowUs - prevNewFlowUs);
+            w.u8(pkt.tcpFlags);
+            w.varint(pkt.payloadBytes);
+            prevNewFlowUs = nowUs;
+        } else {
+            w.u16(assign.slot);
+            w.u8(pkt.tcpFlags);
+            w.varint(nowUs - lastUs[assign.slot]);
+            w.varint(pkt.payloadBytes);
+        }
+        lastUs[assign.slot] = nowUs;
+    }
+    return w.take();
+}
+
+trace::Trace
+PeuhkuriTraceCompressor::decompress(std::span<const uint8_t> data) const
+{
+    util::ByteReader r(data);
+    util::require(r.remaining() >= 4 && r.u32() == magic,
+                  "peuhkuri: bad magic");
+    uint64_t count = r.varint();
+    uint64_t capacity = r.varint();
+    util::require(capacity >= 1 && capacity < newFlowMarker,
+                  "peuhkuri: bad cache capacity");
+
+    std::vector<SlotState> slots(capacity);
+    uint64_t prevNewFlowUs = 0;
+    trace::Trace out;
+
+    for (uint64_t i = 0; i < count; ++i) {
+        uint16_t ref = r.u16();
+        trace::PacketRecord pkt;
+        SlotState *slot;
+
+        if (ref == newFlowMarker) {
+            uint16_t idx = r.u16();
+            util::require(idx < capacity,
+                          "peuhkuri: slot out of range");
+            slot = &slots[idx];
+            // (Re)announce: overwrite whatever lived here before.
+            slot->srcIp = r.u32();
+            slot->dstIp = r.u32();
+            slot->srcPort = r.u16();
+            slot->dstPort = r.u16();
+            slot->protocol = r.u8();
+            slot->lastUs = prevNewFlowUs + r.varint();
+            prevNewFlowUs = slot->lastUs;
+            pkt.tcpFlags = r.u8();
+            pkt.payloadBytes = static_cast<uint16_t>(r.varint());
+
+            uint64_t seed = util::hashCombine(
+                util::mix64((static_cast<uint64_t>(slot->srcIp)
+                             << 32) |
+                            slot->dstIp),
+                slot->srcPort ^ (static_cast<uint64_t>(slot->dstPort)
+                                 << 16));
+            slot->synthSeq = static_cast<uint32_t>(seed);
+            slot->synthIpId = static_cast<uint16_t>(seed >> 32);
+            slot->live = true;
+        } else {
+            util::require(ref < capacity,
+                          "peuhkuri: slot out of range");
+            slot = &slots[ref];
+            util::require(slot->live,
+                          "peuhkuri: packet references empty slot");
+            pkt.tcpFlags = r.u8();
+            slot->lastUs += r.varint();
+            pkt.payloadBytes = static_cast<uint16_t>(r.varint());
+        }
+
+        pkt.timestampNs = slot->lastUs * 1000ull;
+        pkt.srcIp = slot->srcIp;
+        pkt.dstIp = slot->dstIp;
+        pkt.srcPort = slot->srcPort;
+        pkt.dstPort = slot->dstPort;
+        pkt.protocol = slot->protocol;
+        pkt.seq = slot->synthSeq;
+        pkt.ipId = slot->synthIpId;
+        pkt.window = 0xffff;
+        slot->synthSeq += pkt.payloadBytes;
+        ++slot->synthIpId;
+        out.add(pkt);
+    }
+    util::require(r.exhausted(), "peuhkuri: trailing bytes");
+    return out;
+}
+
+} // namespace fcc::codec::peuhkuri

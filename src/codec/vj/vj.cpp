@@ -1,0 +1,275 @@
+#include "codec/vj/vj.hpp"
+
+#include <unordered_map>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace fcc::codec::vj {
+
+namespace {
+
+constexpr uint32_t magic = 0x314a4a56u;  // "VJJ1"
+constexpr uint32_t maxCid = (1u << 24) - 1;
+
+/** Directional 5-tuple (VJ state is per unidirectional stream). */
+struct DirKey
+{
+    uint32_t srcIp, dstIp;
+    uint16_t srcPort, dstPort;
+    uint8_t protocol;
+
+    bool operator==(const DirKey &) const = default;
+};
+
+struct DirKeyHash
+{
+    size_t
+    operator()(const DirKey &key) const noexcept
+    {
+        uint64_t h = util::mix64(
+            (static_cast<uint64_t>(key.srcIp) << 32) | key.dstIp);
+        h = util::hashCombine(
+            h, (static_cast<uint64_t>(key.srcPort) << 24) |
+                   (static_cast<uint64_t>(key.dstPort) << 8) |
+                   key.protocol);
+        return static_cast<size_t>(h);
+    }
+};
+
+DirKey
+keyOf(const trace::PacketRecord &pkt)
+{
+    return DirKey{pkt.srcIp, pkt.dstIp, pkt.srcPort, pkt.dstPort,
+                  pkt.protocol};
+}
+
+/** Per-flow predictor state: the previous packet, at us precision. */
+struct FlowState
+{
+    trace::PacketRecord prev;
+    uint64_t prevUs = 0;
+};
+
+uint64_t
+zigzag(int64_t v)
+{
+    return (static_cast<uint64_t>(v) << 1) ^
+           static_cast<uint64_t>(v >> 63);
+}
+
+int64_t
+unzigzag(uint64_t v)
+{
+    return static_cast<int64_t>(v >> 1) ^
+           -static_cast<int64_t>(v & 1);
+}
+
+/** Sequence number a packet is predicted to carry (RFC 1144 rule). */
+uint32_t
+predictedSeq(const trace::PacketRecord &prev)
+{
+    uint32_t next = prev.seq + prev.payloadBytes;
+    if (prev.tcpFlags &
+        (trace::tcp_flags::Syn | trace::tcp_flags::Fin))
+        ++next;
+    return next;
+}
+
+void
+putCid(util::ByteWriter &w, uint32_t cid)
+{
+    w.u8(static_cast<uint8_t>(cid));
+    w.u8(static_cast<uint8_t>(cid >> 8));
+    w.u8(static_cast<uint8_t>(cid >> 16));
+}
+
+uint32_t
+getCid(util::ByteReader &r)
+{
+    uint32_t cid = r.u8();
+    cid |= static_cast<uint32_t>(r.u8()) << 8;
+    cid |= static_cast<uint32_t>(r.u8()) << 16;
+    return cid;
+}
+
+void
+writeFull(util::ByteWriter &w, uint32_t cid,
+          const trace::PacketRecord &pkt)
+{
+    w.u8(mask::Full);
+    putCid(w, cid);
+    w.u64(pkt.timestampUs());
+    w.u32(pkt.srcIp);
+    w.u32(pkt.dstIp);
+    w.u16(pkt.srcPort);
+    w.u16(pkt.dstPort);
+    w.u8(pkt.protocol);
+    w.u8(pkt.tcpFlags);
+    w.u16(pkt.payloadBytes);
+    w.u32(pkt.seq);
+    w.u32(pkt.ack);
+    w.u16(pkt.window);
+    w.u16(pkt.ipId);
+}
+
+} // namespace
+
+std::vector<uint8_t>
+VjTraceCompressor::compress(const trace::Trace &trace) const
+{
+    util::require(trace.isTimeOrdered(),
+                  "vj: input trace must be time-ordered");
+    util::ByteWriter w;
+    w.u32(magic);
+    w.varint(trace.size());
+
+    std::unordered_map<DirKey, uint32_t, DirKeyHash> cids;
+    std::vector<FlowState> states;
+
+    for (const auto &pkt : trace) {
+        DirKey key = keyOf(pkt);
+        auto it = cids.find(key);
+        if (it == cids.end()) {
+            util::require(states.size() <= maxCid,
+                          "vj: more than 2^24 flows");
+            uint32_t cid = static_cast<uint32_t>(states.size());
+            cids.emplace(key, cid);
+            states.push_back(
+                FlowState{pkt, pkt.timestampUs()});
+            writeFull(w, cid, pkt);
+            continue;
+        }
+
+        uint32_t cid = it->second;
+        FlowState &state = states[cid];
+        const trace::PacketRecord &prev = state.prev;
+
+        uint64_t nowUs = pkt.timestampUs();
+        uint64_t timeDelta = nowUs - state.prevUs;
+
+        uint8_t changeMask = 0;
+        if (pkt.seq != predictedSeq(prev))
+            changeMask |= mask::Seq;
+        if (pkt.ack != prev.ack)
+            changeMask |= mask::Ack;
+        if (pkt.window != prev.window)
+            changeMask |= mask::Window;
+        if (pkt.ipId != static_cast<uint16_t>(prev.ipId + 1))
+            changeMask |= mask::IpId;
+        if (pkt.payloadBytes != prev.payloadBytes)
+            changeMask |= mask::Payload;
+        if (pkt.tcpFlags != prev.tcpFlags)
+            changeMask |= mask::Flags;
+        if (timeDelta > 0xffff)
+            changeMask |= mask::Time;
+
+        w.u8(changeMask);
+        putCid(w, cid);
+        w.u16(static_cast<uint16_t>(timeDelta));
+        if (changeMask & mask::Time)
+            w.varint(timeDelta >> 16);
+        if (changeMask & mask::Seq)
+            w.varint(zigzag(static_cast<int64_t>(pkt.seq) -
+                            static_cast<int64_t>(predictedSeq(prev))));
+        if (changeMask & mask::Ack)
+            w.varint(zigzag(static_cast<int64_t>(pkt.ack) -
+                            static_cast<int64_t>(prev.ack)));
+        if (changeMask & mask::Window)
+            w.u16(pkt.window);
+        if (changeMask & mask::IpId)
+            w.varint(zigzag(static_cast<int16_t>(
+                pkt.ipId - static_cast<uint16_t>(prev.ipId + 1))));
+        if (changeMask & mask::Payload)
+            w.varint(pkt.payloadBytes);
+        if (changeMask & mask::Flags)
+            w.u8(pkt.tcpFlags);
+
+        state.prev = pkt;
+        state.prevUs = nowUs;
+    }
+    return w.take();
+}
+
+trace::Trace
+VjTraceCompressor::decompress(std::span<const uint8_t> data) const
+{
+    util::ByteReader r(data);
+    util::require(r.remaining() >= 4 && r.u32() == magic,
+                  "vj: bad magic");
+    uint64_t count = r.varint();
+
+    std::vector<FlowState> states;
+    trace::Trace out;
+
+    for (uint64_t i = 0; i < count; ++i) {
+        uint8_t changeMask = r.u8();
+        uint32_t cid = getCid(r);
+
+        if (changeMask & mask::Full) {
+            util::require(changeMask == mask::Full,
+                          "vj: full record with stray mask bits");
+            util::require(cid == states.size(),
+                          "vj: unexpected CID in full record");
+            trace::PacketRecord pkt;
+            uint64_t us = r.u64();
+            pkt.timestampNs = us * 1000ull;
+            pkt.srcIp = r.u32();
+            pkt.dstIp = r.u32();
+            pkt.srcPort = r.u16();
+            pkt.dstPort = r.u16();
+            pkt.protocol = r.u8();
+            pkt.tcpFlags = r.u8();
+            pkt.payloadBytes = r.u16();
+            pkt.seq = r.u32();
+            pkt.ack = r.u32();
+            pkt.window = r.u16();
+            pkt.ipId = r.u16();
+            states.push_back(FlowState{pkt, us});
+            out.add(pkt);
+            continue;
+        }
+
+        util::require(cid < states.size(), "vj: unknown CID");
+        FlowState &state = states[cid];
+        const trace::PacketRecord &prev = state.prev;
+
+        uint64_t timeDelta = r.u16();
+        if (changeMask & mask::Time)
+            timeDelta |= r.varint() << 16;
+
+        trace::PacketRecord pkt = prev;
+        pkt.seq = predictedSeq(prev);
+        pkt.ipId = static_cast<uint16_t>(prev.ipId + 1);
+
+        uint64_t nowUs = state.prevUs + timeDelta;
+        pkt.timestampNs = nowUs * 1000ull;
+        if (changeMask & mask::Seq)
+            pkt.seq = static_cast<uint32_t>(
+                static_cast<int64_t>(pkt.seq) +
+                unzigzag(r.varint()));
+        if (changeMask & mask::Ack)
+            pkt.ack = static_cast<uint32_t>(
+                static_cast<int64_t>(prev.ack) +
+                unzigzag(r.varint()));
+        if (changeMask & mask::Window)
+            pkt.window = r.u16();
+        if (changeMask & mask::IpId)
+            pkt.ipId = static_cast<uint16_t>(
+                pkt.ipId +
+                static_cast<int16_t>(unzigzag(r.varint())));
+        if (changeMask & mask::Payload)
+            pkt.payloadBytes = static_cast<uint16_t>(r.varint());
+        if (changeMask & mask::Flags)
+            pkt.tcpFlags = r.u8();
+
+        state.prev = pkt;
+        state.prevUs = nowUs;
+        out.add(pkt);
+    }
+    util::require(r.exhausted(), "vj: trailing bytes after stream");
+    return out;
+}
+
+} // namespace fcc::codec::vj

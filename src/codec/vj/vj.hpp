@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Van Jacobson TCP/IP header compression (RFC 1144), adapted for
+ * high-speed trace storage exactly as the paper describes (§5):
+ *
+ *  - a 2-byte time stamp (delta) is added to each encoded header;
+ *  - the flow (connection) identifier is widened from 1 to 3 bytes,
+ *    because a high-speed link carries far more concurrent flows than
+ *    a serial line;
+ *  - the TCP checksum is not stored;
+ *  - the resulting minimal encoded header is 6 bytes: 1 change-mask
+ *    byte + 3-byte CID + 2-byte time delta.
+ *
+ * The scheme is delta-based and lossless over the stored fields: the
+ * first packet of each flow ships a full header; subsequent packets
+ * ship only the fields that deviate from their RFC-1144 predictions
+ * (sequence advances by the previous payload, the IP id by one, all
+ * else unchanged).
+ */
+
+#ifndef FCC_CODEC_VJ_VJ_HPP
+#define FCC_CODEC_VJ_VJ_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "codec/compressor.hpp"
+
+namespace fcc::codec::vj {
+
+/** Change-mask bits of a compressed VJ record. */
+namespace mask {
+constexpr uint8_t Seq = 0x01;     ///< explicit sequence delta
+constexpr uint8_t Ack = 0x02;     ///< explicit ack delta
+constexpr uint8_t Window = 0x04;  ///< explicit window value
+constexpr uint8_t IpId = 0x08;    ///< explicit IP-id delta
+constexpr uint8_t Payload = 0x10; ///< explicit payload length
+constexpr uint8_t Flags = 0x20;   ///< explicit TCP flag byte
+constexpr uint8_t Time = 0x40;    ///< 4 extra time-delta bytes
+// 0x80 marks a FULL record; never set on compressed records.
+constexpr uint8_t Full = 0x80;
+} // namespace mask
+
+/** Paper-visible constants of the adapted scheme. */
+constexpr size_t cidBytes = 3;
+constexpr size_t timeDeltaBytes = 2;
+constexpr size_t minEncodedBytes = 1 + cidBytes + timeDeltaBytes;
+
+/**
+ * The Van Jacobson baseline compressor of Figure 1. Lossless over
+ * every field PacketRecord stores.
+ */
+class VjTraceCompressor : public TraceCompressor
+{
+  public:
+    std::string name() const override { return "vj"; }
+    bool lossless() const override { return true; }
+
+    std::vector<uint8_t>
+    compress(const trace::Trace &trace) const override;
+
+    trace::Trace
+    decompress(std::span<const uint8_t> data) const override;
+};
+
+} // namespace fcc::codec::vj
+
+#endif // FCC_CODEC_VJ_VJ_HPP

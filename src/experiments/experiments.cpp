@@ -1,0 +1,181 @@
+#include "experiments/experiments.hpp"
+
+#include <memory>
+
+#include "codec/compressor.hpp"
+#include "codec/deflate/deflate.hpp"
+#include "codec/models.hpp"
+#include "codec/peuhkuri/peuhkuri.hpp"
+#include "codec/vj/vj.hpp"
+#include "flow/flow_stats.hpp"
+#include "flow/flow_table.hpp"
+#include "netbench/apps.hpp"
+#include "trace/transforms.hpp"
+#include "trace/tsh.hpp"
+#include "util/error.hpp"
+
+namespace fcc::experiments {
+
+std::vector<FileSizeRow>
+runFileSizeComparison(const trace::WebGenConfig &webCfg,
+                      const std::vector<double> &slices)
+{
+    util::require(!slices.empty(),
+                  "runFileSizeComparison: no slice points");
+    trace::WebTrafficGenerator gen(webCfg);
+    trace::Trace full = gen.generate();
+
+    codec::deflate::GzipTraceCompressor gzip;
+    codec::vj::VjTraceCompressor vj;
+    codec::peuhkuri::PeuhkuriTraceCompressor peuhkuri;
+    codec::fcc::FccTraceCompressor fcc;
+
+    std::vector<FileSizeRow> rows;
+    for (double elapsed : slices) {
+        trace::Trace slice = full.sliceSeconds(0.0, elapsed);
+        FileSizeRow row;
+        row.elapsedSec = elapsed;
+        row.packets = slice.size();
+        row.originalTshBytes = slice.size() * trace::tshRecordBytes;
+        row.gzipBytes = gzip.compress(slice).size();
+        row.vjBytes = vj.compress(slice).size();
+        row.peuhkuriBytes = peuhkuri.compress(slice).size();
+        row.fccBytes = fcc.compress(slice).size();
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+std::vector<RatioRow>
+runRatioComparison(const trace::WebGenConfig &webCfg)
+{
+    trace::WebTrafficGenerator gen(webCfg);
+    trace::Trace full = gen.generate();
+
+    // Flow-length distribution feeding the analytical models.
+    flow::FlowTable table;
+    auto stats = flow::computeFlowStats(table.assemble(full), full);
+    auto dist = stats.lengthDistribution();
+
+    std::vector<RatioRow> rows;
+    for (const auto &codecPtr : codec::makeAllCodecs()) {
+        RatioRow row;
+        row.method = codecPtr->name();
+        row.measured = codec::measure(*codecPtr, full).ratio();
+        if (row.method == "vj")
+            row.analytical =
+                codec::aggregateRatio(dist, codec::vjRatio);
+        else if (row.method == "fcc")
+            row.analytical =
+                codec::aggregateRatio(dist, codec::fccRatio);
+        else if (row.method == "peuhkuri")
+            row.analytical = codec::peuhkuriRatio();
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+const char *
+validationTraceName(ValidationTrace trace)
+{
+    switch (trace) {
+      case ValidationTrace::Original:
+        return "original";
+      case ValidationTrace::Decompressed:
+        return "decompressed";
+      case ValidationTrace::Random:
+        return "random";
+      case ValidationTrace::FracExp:
+        return "fracexp";
+    }
+    return "?";
+}
+
+const char *
+kernelName(Kernel kernel)
+{
+    switch (kernel) {
+      case Kernel::Route:
+        return "route";
+      case Kernel::Nat:
+        return "nat";
+      case Kernel::Rtr:
+        return "rtr";
+    }
+    return "?";
+}
+
+namespace {
+
+std::unique_ptr<netbench::PacketKernel>
+makeKernel(Kernel kind,
+           const std::vector<netbench::RouteEntry> &table,
+           memsim::MemoryRecorder *recorder)
+{
+    switch (kind) {
+      case Kernel::Route:
+        return std::make_unique<netbench::RouteApp>(table, recorder);
+      case Kernel::Nat:
+        return std::make_unique<netbench::NatApp>(table, recorder);
+      case Kernel::Rtr:
+        return std::make_unique<netbench::RtrApp>(table, recorder);
+    }
+    throw util::Error("makeKernel: unknown kernel");
+}
+
+} // namespace
+
+std::vector<ValidationResult>
+runMemoryValidation(const ValidationConfig &cfg)
+{
+    // The four §6.1 traces.
+    trace::WebTrafficGenerator gen(cfg.webCfg);
+    trace::Trace original = gen.generate();
+
+    codec::fcc::FccTraceCompressor fcc(cfg.fccCfg);
+    trace::Trace decompressed =
+        fcc.decompress(fcc.compress(original));
+
+    trace::Trace random =
+        trace::randomizeAddresses(original, cfg.randomSeed);
+
+    trace::FracExpConfig fracCfg;
+    fracCfg.seed = cfg.randomSeed + 1;
+    fracCfg.packetCount = original.size();
+    // Match the original's mean inter-packet time so the temporal
+    // scale is comparable.
+    if (original.size() > 1)
+        fracCfg.meanIptUs = original.durationSec() * 1e6 /
+                            static_cast<double>(original.size() - 1);
+    trace::Trace fracexp = trace::generateFracExp(fracCfg);
+
+    // The routing table serves the original traffic (a share of its
+    // prefixes is derived from the original's destinations, §6.1).
+    std::vector<uint32_t> dsts;
+    dsts.reserve(original.size());
+    for (const auto &pkt : original)
+        dsts.push_back(pkt.dstIp);
+    auto table = netbench::generateRoutingTable(cfg.routingEntries,
+                                                cfg.tableSeed, dsts);
+
+    std::vector<ValidationResult> results;
+    const std::pair<ValidationTrace, const trace::Trace *> runs[] = {
+        {ValidationTrace::Original, &original},
+        {ValidationTrace::Decompressed, &decompressed},
+        {ValidationTrace::Random, &random},
+        {ValidationTrace::FracExp, &fracexp},
+    };
+    for (const auto &[kind, tracePtr] : runs) {
+        // Fresh recorder (and cold cache) per trace.
+        memsim::MemoryRecorder recorder(cfg.cache);
+        auto kernel = makeKernel(cfg.kernel, table, &recorder);
+        ValidationResult result;
+        result.trace = kind;
+        result.samples =
+            netbench::profileTrace(*kernel, *tracePtr, recorder);
+        results.push_back(std::move(result));
+    }
+    return results;
+}
+
+} // namespace fcc::experiments

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * End-to-end experiment drivers reproducing the paper's evaluation:
+ *
+ *  - E1/Fig. 1 — file size vs elapsed time for the original TSH file
+ *    and the four compression methods;
+ *  - E2/§5     — measured vs analytical compression-ratio table;
+ *  - E3/Fig. 2 — per-packet memory-access distributions of the Radix
+ *    Tree kernels over the four §6.1 traces;
+ *  - E4/Fig. 3 — per-packet cache-miss-rate buckets over the same
+ *    traces.
+ *
+ * The bench binaries and examples are thin printers over these
+ * functions, so every figure is reproducible from library code.
+ */
+
+#ifndef FCC_EXPERIMENTS_EXPERIMENTS_HPP
+#define FCC_EXPERIMENTS_EXPERIMENTS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codec/fcc/fcc_codec.hpp"
+#include "memsim/cache_model.hpp"
+#include "memsim/memory_recorder.hpp"
+#include "trace/web_gen.hpp"
+
+namespace fcc::experiments {
+
+// ---- E1: Figure 1 ---------------------------------------------------------
+
+/** One Figure 1 row: sizes at a given elapsed-time slice. */
+struct FileSizeRow
+{
+    double elapsedSec = 0;
+    uint64_t packets = 0;
+    uint64_t originalTshBytes = 0;
+    uint64_t gzipBytes = 0;
+    uint64_t vjBytes = 0;
+    uint64_t peuhkuriBytes = 0;
+    uint64_t fccBytes = 0;
+};
+
+/**
+ * Reproduce Figure 1: compress growing prefixes of a synthetic web
+ * trace with every method.
+ *
+ * @param webCfg workload configuration (duration bounds the sweep).
+ * @param slices elapsed-time points, e.g. {10, 20, ..., 100}.
+ */
+std::vector<FileSizeRow>
+runFileSizeComparison(const trace::WebGenConfig &webCfg,
+                      const std::vector<double> &slices);
+
+// ---- E2: §5 ratio table -----------------------------------------------------
+
+/** Measured and analytical ratio of one method. */
+struct RatioRow
+{
+    std::string method;
+    double measured = 0;    ///< compressed / original TSH bytes
+    double analytical = 0;  ///< §5 model (0 when no model applies)
+};
+
+/** Reproduce the §5 comparison (gzip, vj, peuhkuri, fcc). */
+std::vector<RatioRow>
+runRatioComparison(const trace::WebGenConfig &webCfg);
+
+// ---- E3/E4: Figures 2 and 3 -----------------------------------------------
+
+/** The four §6.1 traces. */
+enum class ValidationTrace
+{
+    Original,     ///< synthetic web trace (RedIRIS stand-in)
+    Decompressed, ///< FCC round trip of Original
+    Random,       ///< random destinations, same temporal pattern
+    FracExp,      ///< multiplicative addresses + exponential times
+};
+
+/** Human-readable trace label as used in the figures. */
+const char *validationTraceName(ValidationTrace trace);
+
+/** Which §6 kernel processes the packets. */
+enum class Kernel { Route, Nat, Rtr };
+
+const char *kernelName(Kernel kernel);
+
+/** Configuration of the memory-performance validation. */
+struct ValidationConfig
+{
+    trace::WebGenConfig webCfg;       ///< the Original trace
+    codec::fcc::FccConfig fccCfg;     ///< compressor under test
+    size_t routingEntries = 20000;    ///< synthetic table size
+    uint64_t tableSeed = 97;
+    uint64_t randomSeed = 41;         ///< Random-trace addresses
+    memsim::CacheConfig cache;        ///< §6.2 cache geometry
+    Kernel kernel = Kernel::Route;
+};
+
+/** Per-trace per-packet samples of one validation run. */
+struct ValidationResult
+{
+    ValidationTrace trace;
+    std::vector<memsim::PacketSample> samples;
+};
+
+/**
+ * Reproduce the §6 study: build the four traces, run the selected
+ * kernel over each against the same routing table (fresh cache per
+ * trace), and return the per-packet samples behind Figures 2 and 3.
+ */
+std::vector<ValidationResult>
+runMemoryValidation(const ValidationConfig &cfg);
+
+} // namespace fcc::experiments
+
+#endif // FCC_EXPERIMENTS_EXPERIMENTS_HPP

@@ -1,0 +1,176 @@
+#include "flow/clustering.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "flow/template_store.hpp"
+#include "util/error.hpp"
+
+namespace fcc::flow {
+
+KMedoidsResult
+kMedoids(const std::vector<SfVector> &vectors, size_t k,
+         util::Rng &rng, uint32_t maxIterations)
+{
+    util::require(!vectors.empty(), "kMedoids: empty input");
+    util::require(k >= 1 && k <= vectors.size(),
+                  "kMedoids: k out of range");
+    size_t len = vectors.front().size();
+    for (const auto &v : vectors)
+        util::require(v.size() == len,
+                      "kMedoids: vectors must share one length");
+
+    size_t n = vectors.size();
+    KMedoidsResult result;
+
+    // Draw k distinct initial medoids.
+    std::unordered_set<uint32_t> chosen;
+    while (chosen.size() < k)
+        chosen.insert(
+            static_cast<uint32_t>(rng.uniformInt(0, n - 1)));
+    result.medoids.assign(chosen.begin(), chosen.end());
+    std::sort(result.medoids.begin(), result.medoids.end());
+
+    result.assignment.assign(n, 0);
+    for (uint32_t iter = 0; iter < maxIterations; ++iter) {
+        ++result.iterations;
+
+        // Assignment step.
+        result.totalCost = 0;
+        for (size_t i = 0; i < n; ++i) {
+            uint64_t bestD = std::numeric_limits<uint64_t>::max();
+            uint32_t bestSlot = 0;
+            for (uint32_t slot = 0; slot < result.medoids.size();
+                 ++slot) {
+                uint64_t d = sfDistance(
+                    vectors[i], vectors[result.medoids[slot]], bestD);
+                if (d < bestD) {
+                    bestD = d;
+                    bestSlot = slot;
+                }
+            }
+            result.assignment[i] = bestSlot;
+            result.totalCost += bestD;
+        }
+
+        // Medoid-update step: within each cluster pick the member
+        // minimizing the summed distance to the others.
+        bool changed = false;
+        for (uint32_t slot = 0; slot < result.medoids.size(); ++slot) {
+            std::vector<uint32_t> members;
+            for (size_t i = 0; i < n; ++i)
+                if (result.assignment[i] == slot)
+                    members.push_back(static_cast<uint32_t>(i));
+            if (members.empty())
+                continue;
+            uint64_t bestCost = std::numeric_limits<uint64_t>::max();
+            uint32_t bestMember = result.medoids[slot];
+            for (uint32_t candidate : members) {
+                uint64_t cost = 0;
+                for (uint32_t other : members) {
+                    cost += sfDistance(vectors[candidate],
+                                       vectors[other],
+                                       bestCost - std::min(bestCost,
+                                                           cost));
+                    if (cost >= bestCost)
+                        break;
+                }
+                if (cost < bestCost) {
+                    bestCost = cost;
+                    bestMember = candidate;
+                }
+            }
+            if (bestMember != result.medoids[slot]) {
+                result.medoids[slot] = bestMember;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+    }
+    return result;
+}
+
+DiversitySummary
+summarizeDiversity(const std::vector<SfVector> &vectors,
+                   const SimilarityRule &rule)
+{
+    DiversitySummary out;
+    TemplateStore store(rule);
+    size_t exact = 0;
+    for (const auto &v : vectors) {
+        TemplateMatch m = store.findOrInsert(v);
+        if (!m.isNew && m.distance == 0)
+            ++exact;
+        if (m.isNew)
+            ++exact;  // a centre trivially equals itself
+    }
+    out.flows = vectors.size();
+    out.clusters = store.size();
+    out.meanPopulation = out.clusters
+        ? static_cast<double>(out.flows) /
+              static_cast<double>(out.clusters)
+        : 0.0;
+    out.exactShare = out.flows
+        ? static_cast<double>(exact) / static_cast<double>(out.flows)
+        : 0.0;
+
+    std::vector<uint64_t> pops = store.populations();
+    std::sort(pops.begin(), pops.end(), std::greater<>());
+    uint64_t top = 0;
+    for (size_t i = 0; i < pops.size() && i < 10; ++i)
+        top += pops[i];
+    out.top10Share = out.flows
+        ? static_cast<double>(top) / static_cast<double>(out.flows)
+        : 0.0;
+    return out;
+}
+
+double
+silhouette(const std::vector<SfVector> &vectors,
+           const std::vector<uint32_t> &assignment)
+{
+    util::require(vectors.size() == assignment.size(),
+                  "silhouette: assignment size mismatch");
+    uint32_t clusters = 0;
+    for (uint32_t a : assignment)
+        clusters = std::max(clusters, a + 1);
+    util::require(clusters >= 2, "silhouette: need >= 2 clusters");
+
+    size_t n = vectors.size();
+    double total = 0.0;
+    size_t counted = 0;
+    for (size_t i = 0; i < n; ++i) {
+        std::vector<double> meanDist(clusters, 0.0);
+        std::vector<size_t> count(clusters, 0);
+        for (size_t j = 0; j < n; ++j) {
+            if (i == j)
+                continue;
+            meanDist[assignment[j]] += static_cast<double>(
+                sfDistance(vectors[i], vectors[j]));
+            ++count[assignment[j]];
+        }
+        uint32_t own = assignment[i];
+        if (count[own] == 0)
+            continue;  // singleton cluster: silhouette undefined
+        double a = meanDist[own] / static_cast<double>(count[own]);
+        double b = std::numeric_limits<double>::max();
+        for (uint32_t c = 0; c < clusters; ++c) {
+            if (c == own || count[c] == 0)
+                continue;
+            b = std::min(b,
+                         meanDist[c] / static_cast<double>(count[c]));
+        }
+        if (b == std::numeric_limits<double>::max())
+            continue;
+        double s = (b - a) / std::max(a, b);
+        if (a == 0.0 && b == 0.0)
+            s = 0.0;
+        total += s;
+        ++counted;
+    }
+    return counted ? total / static_cast<double>(counted) : 0.0;
+}
+
+} // namespace fcc::flow

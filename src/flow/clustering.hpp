@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Offline flow-diversity study tools (paper §2.1).
+ *
+ * The paper's claim — "in consequence of the huge similarity among Web
+ * flows, we can group a high amount of them into few clusters" — is
+ * reproduced two ways: the greedy leader clustering the compressor
+ * itself performs (TemplateStore) and a classical k-medoids
+ * clustering with silhouette-style quality metrics, both over SF
+ * vectors of equal length.
+ */
+
+#ifndef FCC_FLOW_CLUSTERING_HPP
+#define FCC_FLOW_CLUSTERING_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "flow/characterize.hpp"
+#include "util/rng.hpp"
+
+namespace fcc::flow {
+
+/** Result of a k-medoids run over same-length SF vectors. */
+struct KMedoidsResult
+{
+    std::vector<uint32_t> medoids;     ///< indices into the input set
+    std::vector<uint32_t> assignment;  ///< per-vector medoid slot
+    uint64_t totalCost = 0;            ///< sum of L1 distances
+    uint32_t iterations = 0;           ///< iterations until stable
+};
+
+/**
+ * k-medoids (PAM-style, alternating assignment / medoid update) under
+ * the L1 metric. All vectors must share one length.
+ *
+ * @param vectors same-length SF vectors to cluster (non-empty).
+ * @param k number of clusters (1 <= k <= vectors.size()).
+ * @param rng randomness for the initial medoid draw.
+ * @param maxIterations safety cap.
+ * @throws fcc::util::Error on invalid arguments.
+ */
+KMedoidsResult kMedoids(const std::vector<SfVector> &vectors, size_t k,
+                        util::Rng &rng, uint32_t maxIterations = 50);
+
+/** Aggregate diversity statistics of a set of flows. */
+struct DiversitySummary
+{
+    size_t flows = 0;            ///< clustered flows
+    size_t clusters = 0;         ///< leader clusters created
+    double meanPopulation = 0;   ///< flows per cluster
+    /** Fraction of flows absorbed by the 10 largest clusters. */
+    double top10Share = 0;
+    /** Fraction of flows whose vector exactly equals its centre. */
+    double exactShare = 0;
+};
+
+/**
+ * Greedy leader clustering of @p vectors under @p rule (exactly what
+ * the compressor does), summarized.
+ */
+DiversitySummary
+summarizeDiversity(const std::vector<SfVector> &vectors,
+                   const SimilarityRule &rule = {});
+
+/**
+ * Mean silhouette coefficient of a clustering (L1 metric), a standard
+ * cluster-quality score in [-1, 1]. Expensive (O(n^2)); intended for
+ * study-sized inputs.
+ *
+ * @throws fcc::util::Error if fewer than 2 clusters are present.
+ */
+double silhouette(const std::vector<SfVector> &vectors,
+                  const std::vector<uint32_t> &assignment);
+
+} // namespace fcc::flow
+
+#endif // FCC_FLOW_CLUSTERING_HPP

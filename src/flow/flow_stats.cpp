@@ -1,0 +1,74 @@
+#include "flow/flow_stats.hpp"
+
+namespace fcc::flow {
+
+double
+FlowStats::shortFlowShare() const
+{
+    return flows ? static_cast<double>(shortFlows) /
+                       static_cast<double>(flows)
+                 : 0.0;
+}
+
+double
+FlowStats::shortPacketShare() const
+{
+    return packets ? static_cast<double>(shortPackets) /
+                         static_cast<double>(packets)
+                   : 0.0;
+}
+
+double
+FlowStats::shortByteShare() const
+{
+    return wireBytes ? static_cast<double>(shortWireBytes) /
+                           static_cast<double>(wireBytes)
+                     : 0.0;
+}
+
+double
+FlowStats::meanFlowLength() const
+{
+    return flows ? static_cast<double>(packets) /
+                       static_cast<double>(flows)
+                 : 0.0;
+}
+
+std::vector<std::pair<uint32_t, double>>
+FlowStats::lengthDistribution() const
+{
+    std::vector<std::pair<uint32_t, double>> out;
+    out.reserve(lengthCounts.size());
+    for (const auto &[len, count] : lengthCounts)
+        out.emplace_back(len, flows
+                                  ? static_cast<double>(count) /
+                                        static_cast<double>(flows)
+                                  : 0.0);
+    return out;
+}
+
+FlowStats
+computeFlowStats(const std::vector<AssembledFlow> &flows,
+                 const trace::Trace &trace, uint32_t shortLimit)
+{
+    FlowStats stats;
+    for (const auto &flow : flows) {
+        uint64_t bytes = 0;
+        for (uint32_t idx : flow.packetIndex)
+            bytes += trace[idx].ipTotalLength();
+
+        uint32_t len = static_cast<uint32_t>(flow.size());
+        ++stats.flows;
+        stats.packets += len;
+        stats.wireBytes += bytes;
+        ++stats.lengthCounts[len];
+        if (len <= shortLimit) {
+            ++stats.shortFlows;
+            stats.shortPackets += len;
+            stats.shortWireBytes += bytes;
+        }
+    }
+    return stats;
+}
+
+} // namespace fcc::flow

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Flow-population statistics (paper §3 aggregates and the flow-length
+ * distribution P_n feeding the analytical compression-ratio models of
+ * §5).
+ */
+
+#ifndef FCC_FLOW_FLOW_STATS_HPP
+#define FCC_FLOW_FLOW_STATS_HPP
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "flow/flow_table.hpp"
+#include "trace/trace.hpp"
+
+namespace fcc::flow {
+
+/** Aggregates over an assembled flow population. */
+struct FlowStats
+{
+    uint64_t flows = 0;
+    uint64_t packets = 0;
+    uint64_t wireBytes = 0;
+
+    uint64_t shortFlows = 0;     ///< 2..50 packets (and 1-packet)
+    uint64_t shortPackets = 0;
+    uint64_t shortWireBytes = 0;
+
+    /** flow length (packets) -> number of flows. */
+    std::map<uint32_t, uint64_t> lengthCounts;
+
+    double shortFlowShare() const;
+    double shortPacketShare() const;
+    double shortByteShare() const;
+    double meanFlowLength() const;
+
+    /**
+     * Flow-length probabilities P_n as (n, P_n) pairs — the
+     * distribution the paper plugs into eqs. 6 and 8.
+     */
+    std::vector<std::pair<uint32_t, double>> lengthDistribution() const;
+};
+
+/**
+ * Compute flow statistics for @p flows over @p trace.
+ *
+ * @param shortLimit largest packet count still counted short
+ *        (paper: 50).
+ */
+FlowStats computeFlowStats(const std::vector<AssembledFlow> &flows,
+                           const trace::Trace &trace,
+                           uint32_t shortLimit = 50);
+
+} // namespace fcc::flow
+
+#endif // FCC_FLOW_FLOW_STATS_HPP

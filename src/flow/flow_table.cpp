@@ -1,0 +1,125 @@
+#include "flow/flow_table.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace fcc::flow {
+
+namespace {
+
+/** Mutable per-connection assembly state. */
+struct OpenFlow
+{
+    AssembledFlow flow;
+    uint64_t lastTimestampNs = 0;
+    bool finFromClient = false;
+    bool finFromServer = false;
+    bool clientKnown = false;
+};
+
+} // namespace
+
+FlowTable::FlowTable(const FlowTableConfig &cfg)
+    : cfg_(cfg)
+{
+}
+
+std::vector<AssembledFlow>
+FlowTable::assemble(const trace::Trace &trace) const
+{
+    util::require(trace.isTimeOrdered(),
+                  "FlowTable: input trace must be time-ordered");
+
+    std::unordered_map<FlowKey, OpenFlow> open;
+    std::vector<AssembledFlow> done;
+
+    auto finish = [&done](OpenFlow &state) {
+        done.push_back(std::move(state.flow));
+    };
+
+    for (uint32_t i = 0; i < trace.size(); ++i) {
+        const auto &pkt = trace[i];
+        FlowKey key = FlowKey::fromPacket(pkt);
+
+        auto it = open.find(key);
+        if (it != open.end() && cfg_.idleTimeoutNs > 0 &&
+            pkt.timestampNs - it->second.lastTimestampNs >
+                cfg_.idleTimeoutNs) {
+            // Same 5-tuple after a long silence: a new connection
+            // (ephemeral port reuse). Flush the stale one.
+            finish(it->second);
+            open.erase(it);
+            it = open.end();
+        }
+
+        if (it == open.end()) {
+            OpenFlow state;
+            state.flow.key = key;
+            state.flow.firstTimestampNs = pkt.timestampNs;
+            it = open.emplace(key, std::move(state)).first;
+        }
+        OpenFlow &state = it->second;
+
+        // Identify the initiator from the first packet: the sender,
+        // unless that packet is a SYN+ACK (capture started
+        // mid-handshake), in which case the receiver initiated.
+        if (!state.clientKnown) {
+            bool synAck = pkt.hasSyn() && pkt.hasAck();
+            if (synAck) {
+                state.flow.clientIp = pkt.dstIp;
+                state.flow.clientPort = pkt.dstPort;
+                state.flow.serverIp = pkt.srcIp;
+                state.flow.serverPort = pkt.srcPort;
+            } else {
+                state.flow.clientIp = pkt.srcIp;
+                state.flow.clientPort = pkt.srcPort;
+                state.flow.serverIp = pkt.dstIp;
+                state.flow.serverPort = pkt.dstPort;
+            }
+            state.clientKnown = true;
+        }
+
+        bool fromClient = pkt.srcIp == state.flow.clientIp &&
+                          pkt.srcPort == state.flow.clientPort;
+        state.flow.packetIndex.push_back(i);
+        state.flow.fromClient.push_back(fromClient);
+        state.lastTimestampNs = pkt.timestampNs;
+
+        if (pkt.hasFin()) {
+            if (fromClient)
+                state.finFromClient = true;
+            else
+                state.finFromServer = true;
+        }
+
+        // Teardown complete: RST ends the connection immediately; a
+        // pure ACK after FINs in both directions is the final ack of
+        // a graceful close.
+        bool gracefulDone = state.finFromClient &&
+                            state.finFromServer && !pkt.hasFin() &&
+                            pkt.hasAck();
+        if (pkt.hasRst() || gracefulDone) {
+            finish(state);
+            open.erase(it);
+        }
+    }
+
+    for (auto &entry : open)
+        done.push_back(std::move(entry.second.flow));
+
+    if (cfg_.dropSinglePacketFlows) {
+        std::erase_if(done, [](const AssembledFlow &flow) {
+            return flow.size() < 2;
+        });
+    }
+
+    std::sort(done.begin(), done.end(),
+              [](const AssembledFlow &a, const AssembledFlow &b) {
+                  return a.firstTimestampNs < b.firstTimestampNs;
+              });
+    return done;
+}
+
+} // namespace fcc::flow

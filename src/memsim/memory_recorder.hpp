@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Memory-access instrumentation, substituting for the paper's ATOM
+ * binary instrumentation (§6): data structures call record() on every
+ * logical memory touch; checkpoints delimit per-packet processing,
+ * and the recorder accumulates per-packet access counts and, when a
+ * cache model is attached, per-packet miss counts.
+ */
+
+#ifndef FCC_MEMSIM_MEMORY_RECORDER_HPP
+#define FCC_MEMSIM_MEMORY_RECORDER_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "memsim/cache_model.hpp"
+
+namespace fcc::memsim {
+
+/** Access counts of one processed packet (ATOM checkpoint pair). */
+struct PacketSample
+{
+    uint32_t accesses = 0;
+    uint32_t misses = 0;
+
+    /** Cache miss rate of this packet (0 when it made no accesses). */
+    double
+    missRate() const
+    {
+        return accesses
+            ? static_cast<double>(misses) /
+                  static_cast<double>(accesses)
+            : 0.0;
+    }
+};
+
+/**
+ * Sink for instrumented memory accesses.
+ *
+ * Usage per packet: beginPacket(); <process packet>; endPacket().
+ * Accesses recorded outside a packet window (e.g. while building the
+ * routing table) count toward totals but no packet sample — exactly
+ * like instrumenting only the packet-processing checkpoints.
+ */
+class MemoryRecorder
+{
+  public:
+    MemoryRecorder() = default;
+
+    /** Attach a cache model; accesses will be simulated through it. */
+    explicit MemoryRecorder(const CacheConfig &cacheConfig)
+        : cache_(CacheModel(cacheConfig))
+    {}
+
+    /** Record one access of @p size bytes at @p addr. */
+    void
+    record(uint64_t addr, uint32_t size, bool write = false)
+    {
+        ++totalAccesses_;
+        uint32_t misses = 0;
+        if (cache_) {
+            // Accesses that straddle line boundaries touch each line.
+            uint64_t first = addr / cache_->config().lineBytes;
+            uint64_t last =
+                (addr + (size ? size - 1 : 0)) /
+                cache_->config().lineBytes;
+            for (uint64_t line = first; line <= last; ++line)
+                misses += cache_->access(
+                              line * cache_->config().lineBytes, write)
+                    ? 0 : 1;
+        }
+        totalMisses_ += misses;
+        if (inPacket_) {
+            ++current_.accesses;
+            current_.misses += misses;
+        }
+    }
+
+    /** Open a packet checkpoint window. */
+    void
+    beginPacket()
+    {
+        current_ = PacketSample{};
+        inPacket_ = true;
+    }
+
+    /** Close the window and append the sample. */
+    void
+    endPacket()
+    {
+        if (inPacket_)
+            samples_.push_back(current_);
+        inPacket_ = false;
+    }
+
+    const std::vector<PacketSample> &samples() const { return samples_; }
+    uint64_t totalAccesses() const { return totalAccesses_; }
+    uint64_t totalMisses() const { return totalMisses_; }
+    bool hasCache() const { return cache_.has_value(); }
+    const CacheModel *cache() const
+    {
+        return cache_ ? &*cache_ : nullptr;
+    }
+
+    /** Drop all samples and counters (cache contents persist). */
+    void
+    resetSamples()
+    {
+        samples_.clear();
+        totalAccesses_ = 0;
+        totalMisses_ = 0;
+        inPacket_ = false;
+    }
+
+  private:
+    std::optional<CacheModel> cache_;
+    std::vector<PacketSample> samples_;
+    PacketSample current_;
+    bool inPacket_ = false;
+    uint64_t totalAccesses_ = 0;
+    uint64_t totalMisses_ = 0;
+};
+
+} // namespace fcc::memsim
+
+#endif // FCC_MEMSIM_MEMORY_RECORDER_HPP

@@ -1,0 +1,106 @@
+#include "netbench/apps.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace fcc::netbench {
+
+RouteApp::RouteApp(const std::vector<RouteEntry> &table,
+                   memsim::MemoryRecorder *recorder)
+    : tree_(recorder)
+{
+    tree_.build(table);
+}
+
+void
+RouteApp::process(const trace::PacketRecord &pkt)
+{
+    tree_.lookup(pkt.dstIp);
+}
+
+NatApp::NatApp(const std::vector<RouteEntry> &table,
+               memsim::MemoryRecorder *recorder, uint32_t natSlots)
+    : tree_(recorder), recorder_(recorder)
+{
+    util::require(natSlots >= 16 && std::has_single_bit(natSlots),
+                  "NatApp: slots must be a power of two >= 16");
+    tree_.build(table);
+    slots_.assign(natSlots, NatSlot{});
+}
+
+void
+NatApp::process(const trace::PacketRecord &pkt)
+{
+    tree_.lookup(pkt.dstIp);
+
+    // Translation lookup keyed by the 5-tuple.
+    uint64_t key = util::hashCombine(
+        util::mix64((static_cast<uint64_t>(pkt.srcIp) << 32) |
+                    pkt.dstIp),
+        (static_cast<uint64_t>(pkt.srcPort) << 24) |
+            (static_cast<uint64_t>(pkt.dstPort) << 8) |
+            pkt.protocol);
+    uint32_t mask = static_cast<uint32_t>(slots_.size()) - 1;
+    uint32_t idx = static_cast<uint32_t>(key) & mask;
+
+    for (uint32_t probe = 0; probe < maxProbes; ++probe) {
+        uint32_t slot = (idx + probe) & mask;
+        if (recorder_)
+            recorder_->record(mem_layout::natTableBase +
+                                  static_cast<uint64_t>(slot) * 16,
+                              16);
+        NatSlot &entry = slots_[slot];
+        if (entry.used && entry.key == key)
+            return;  // existing binding
+        if (!entry.used) {
+            entry.used = true;
+            entry.key = key;
+            entry.translatedPort = nextPort_++;
+            if (recorder_)  // write the new binding
+                recorder_->record(mem_layout::natTableBase +
+                                      static_cast<uint64_t>(slot) *
+                                          16,
+                                  16, true);
+            ++bindings_;
+            return;
+        }
+    }
+    // Probe limit hit: recycle the home slot (bounded NAT table).
+    NatSlot &entry = slots_[idx & mask];
+    entry.key = key;
+    entry.translatedPort = nextPort_++;
+    if (recorder_)
+        recorder_->record(mem_layout::natTableBase +
+                              static_cast<uint64_t>(idx & mask) * 16,
+                          16, true);
+}
+
+RtrApp::RtrApp(const std::vector<RouteEntry> &table,
+               memsim::MemoryRecorder *recorder)
+    : trie_(recorder)
+{
+    trie_.build(table);
+}
+
+void
+RtrApp::process(const trace::PacketRecord &pkt)
+{
+    trie_.lookup(pkt.dstIp);
+}
+
+std::vector<memsim::PacketSample>
+profileTrace(PacketKernel &kernel, const trace::Trace &trace,
+             memsim::MemoryRecorder &recorder)
+{
+    recorder.resetSamples();
+    for (const auto &pkt : trace) {
+        recorder.beginPacket();
+        kernel.process(pkt);
+        recorder.endPacket();
+    }
+    return recorder.samples();
+}
+
+} // namespace fcc::netbench

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The three §6 benchmark kernels, re-implemented around their shared
+ * Radix-Tree routing core: Route (Netbench), NAT (Netbench) and RTR
+ * (Commbench). Each processes one packet at a time while reporting
+ * its memory touches to a MemoryRecorder; profileTrace() brackets
+ * every packet with the ATOM-style checkpoints.
+ */
+
+#ifndef FCC_NETBENCH_APPS_HPP
+#define FCC_NETBENCH_APPS_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "memsim/memory_recorder.hpp"
+#include "netbench/patricia_trie.hpp"
+#include "netbench/radix_tree.hpp"
+#include "trace/trace.hpp"
+
+namespace fcc::netbench {
+
+/** A packet-processing benchmark kernel. */
+class PacketKernel
+{
+  public:
+    virtual ~PacketKernel() = default;
+
+    /** Kernel name ("route", "nat", "rtr"). */
+    virtual std::string name() const = 0;
+
+    /** Process one packet (memory touches go to the recorder). */
+    virtual void process(const trace::PacketRecord &pkt) = 0;
+};
+
+/**
+ * Netbench Route: one longest-prefix-match lookup on the destination
+ * address per packet.
+ */
+class RouteApp : public PacketKernel
+{
+  public:
+    RouteApp(const std::vector<RouteEntry> &table,
+             memsim::MemoryRecorder *recorder);
+
+    std::string name() const override { return "route"; }
+    void process(const trace::PacketRecord &pkt) override;
+
+    const RadixTree &tree() const { return tree_; }
+
+  private:
+    RadixTree tree_;
+};
+
+/**
+ * Netbench NAT: route lookup plus a translation-table lookup/insert
+ * keyed by the packet 5-tuple (an instrumented open-addressing hash
+ * table), as address translators do per packet.
+ */
+class NatApp : public PacketKernel
+{
+  public:
+    /** @param natSlots hash-table slots (power of two). */
+    NatApp(const std::vector<RouteEntry> &table,
+           memsim::MemoryRecorder *recorder,
+           uint32_t natSlots = 1 << 16);
+
+    std::string name() const override { return "nat"; }
+    void process(const trace::PacketRecord &pkt) override;
+
+    uint64_t bindings() const { return bindings_; }
+
+  private:
+    struct NatSlot
+    {
+        uint64_t key = 0;
+        uint16_t translatedPort = 0;
+        bool used = false;
+    };
+
+    static constexpr uint32_t maxProbes = 8;
+
+    RadixTree tree_;
+    std::vector<NatSlot> slots_;
+    memsim::MemoryRecorder *recorder_;
+    uint64_t bindings_ = 0;
+    uint16_t nextPort_ = 20000;
+};
+
+/**
+ * Commbench RTR: a Patricia (path-compressed) trie lookup per packet,
+ * the BSD-style structure the original program uses.
+ */
+class RtrApp : public PacketKernel
+{
+  public:
+    RtrApp(const std::vector<RouteEntry> &table,
+           memsim::MemoryRecorder *recorder);
+
+    std::string name() const override { return "rtr"; }
+    void process(const trace::PacketRecord &pkt) override;
+
+    const PatriciaTrie &trie() const { return trie_; }
+
+  private:
+    PatriciaTrie trie_;
+};
+
+/**
+ * Run @p kernel over every packet of @p trace with per-packet
+ * checkpoints on @p recorder; returns the per-packet samples
+ * (recorder sample state is reset first, cache contents are not).
+ */
+std::vector<memsim::PacketSample>
+profileTrace(PacketKernel &kernel, const trace::Trace &trace,
+             memsim::MemoryRecorder &recorder);
+
+} // namespace fcc::netbench
+
+#endif // FCC_NETBENCH_APPS_HPP

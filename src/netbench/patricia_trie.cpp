@@ -1,0 +1,175 @@
+#include "netbench/patricia_trie.hpp"
+
+#include "netbench/radix_tree.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace fcc::netbench {
+
+namespace {
+
+/** Bit @p i (0 = most significant) of @p addr. */
+inline uint32_t
+bitAt(uint32_t addr, uint32_t i)
+{
+    return (addr >> (31 - i)) & 1u;
+}
+
+/** Bits [pos, pos+len) of @p v, MSB-first, right-aligned. */
+inline uint32_t
+bits(uint32_t v, uint32_t pos, uint32_t len)
+{
+    if (len == 0)
+        return 0;
+    if (len >= 32)
+        return v;
+    return (v << pos) >> (32 - len);
+}
+
+} // namespace
+
+PatriciaTrie::PatriciaTrie(memsim::MemoryRecorder *recorder)
+    : recorder_(recorder)
+{
+    nodes_.emplace_back();  // root (empty label)
+}
+
+void
+PatriciaTrie::touchNode(size_t idx) const
+{
+    if (recorder_)
+        recorder_->record(mem_layout::patriciaNodeBase +
+                              idx * mem_layout::nodeBytes,
+                          mem_layout::nodeBytes);
+}
+
+void
+PatriciaTrie::touchEntry(size_t idx) const
+{
+    if (recorder_)
+        recorder_->record(mem_layout::routeEntryBase +
+                              idx * mem_layout::entryBytes,
+                          mem_layout::entryBytes);
+}
+
+void
+PatriciaTrie::insert(const RouteEntry &entry)
+{
+    util::require(entry.prefixLen <= 32,
+                  "PatriciaTrie: prefix length > 32");
+    size_t cur = 0;
+    uint32_t depth = 0;
+
+    for (;;) {
+        uint32_t skipLen = nodes_[cur].skipLen;
+        uint32_t skip = nodes_[cur].skip;
+        uint32_t avail = entry.prefixLen - depth;
+        uint32_t cmp = std::min(skipLen, avail);
+
+        // Leading bits the prefix shares with this node's edge label.
+        uint32_t want = bits(entry.prefix, depth, cmp);
+        uint32_t have = cmp ? (skip >> (skipLen - cmp)) : 0;
+        uint32_t diff = want ^ have;
+        uint32_t common =
+            diff == 0 ? cmp
+                      : cmp - static_cast<uint32_t>(
+                                  std::bit_width(diff));
+
+        if (common < skipLen) {
+            // Split the edge after `common` bits: a new node takes
+            // the remainder (minus the branch bit) plus the original
+            // children and entry.
+            Node tail;
+            uint32_t branchBit =
+                (skip >> (skipLen - 1 - common)) & 1u;
+            tail.skipLen = static_cast<uint8_t>(skipLen - common - 1);
+            tail.skip = skip & ((tail.skipLen
+                                     ? (1u << tail.skipLen)
+                                     : 1u) - 1u);
+            tail.child[0] = nodes_[cur].child[0];
+            tail.child[1] = nodes_[cur].child[1];
+            tail.entry = nodes_[cur].entry;
+
+            int32_t tailIdx = static_cast<int32_t>(nodes_.size());
+            nodes_.push_back(tail);  // may invalidate references
+
+            Node &head = nodes_[cur];
+            head.skipLen = static_cast<uint8_t>(common);
+            head.skip = common ? (skip >> (skipLen - common)) : 0;
+            head.child[0] = head.child[1] = -1;
+            head.child[branchBit] = tailIdx;
+            head.entry = -1;
+        }
+        depth += common;
+
+        if (depth == entry.prefixLen) {
+            Node &node = nodes_[cur];
+            if (node.entry >= 0) {
+                entries_[static_cast<size_t>(node.entry)] = entry;
+            } else {
+                node.entry = static_cast<int32_t>(entries_.size());
+                entries_.push_back(entry);
+            }
+            return;
+        }
+
+        uint32_t b = bitAt(entry.prefix, depth);
+        if (nodes_[cur].child[b] < 0) {
+            Node leaf;
+            leaf.skipLen =
+                static_cast<uint8_t>(entry.prefixLen - depth - 1);
+            leaf.skip = bits(entry.prefix, depth + 1, leaf.skipLen);
+            leaf.entry = static_cast<int32_t>(entries_.size());
+            entries_.push_back(entry);
+            int32_t leafIdx = static_cast<int32_t>(nodes_.size());
+            nodes_.push_back(leaf);
+            nodes_[cur].child[b] = leafIdx;
+            return;
+        }
+        cur = static_cast<size_t>(nodes_[cur].child[b]);
+        ++depth;
+    }
+}
+
+void
+PatriciaTrie::build(const std::vector<RouteEntry> &table)
+{
+    for (const auto &entry : table)
+        insert(entry);
+}
+
+std::optional<uint32_t>
+PatriciaTrie::lookup(uint32_t addr) const
+{
+    std::optional<uint32_t> best;
+    size_t cur = 0;
+    uint32_t depth = 0;
+
+    for (;;) {
+        touchNode(cur);
+        const Node &node = nodes_[cur];
+        if (node.skipLen) {
+            if (depth + node.skipLen > 32)
+                break;
+            if (bits(addr, depth, node.skipLen) != node.skip)
+                break;
+            depth += node.skipLen;
+        }
+        if (node.entry >= 0) {
+            touchEntry(static_cast<size_t>(node.entry));
+            best = entries_[static_cast<size_t>(node.entry)].nextHop;
+        }
+        if (depth >= 32)
+            break;
+        int32_t next = node.child[bitAt(addr, depth)];
+        if (next < 0)
+            break;
+        cur = static_cast<size_t>(next);
+        ++depth;
+    }
+    return best;
+}
+
+} // namespace fcc::netbench

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Path-compressed (Patricia-style) longest-prefix-match trie — the
+ * BSD-flavoured structure at the heart of Commbench's RTR kernel.
+ * Each node consumes a run of bits (edge label) before branching, so
+ * lookups visit far fewer nodes than the plain RadixTree while
+ * touching the same kind of per-node and per-entry memory.
+ */
+
+#ifndef FCC_NETBENCH_PATRICIA_TRIE_HPP
+#define FCC_NETBENCH_PATRICIA_TRIE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "memsim/memory_recorder.hpp"
+#include "netbench/route_entry.hpp"
+
+namespace fcc::netbench {
+
+/** Binary trie with edge (path) compression. */
+class PatriciaTrie
+{
+  public:
+    /** @param recorder optional instrumentation sink (not owned). */
+    explicit PatriciaTrie(memsim::MemoryRecorder *recorder = nullptr);
+
+    /** Insert a route. @throws fcc::util::Error for prefixLen > 32. */
+    void insert(const RouteEntry &entry);
+
+    /** Bulk-build from a table. */
+    void build(const std::vector<RouteEntry> &table);
+
+    /** Longest-prefix match with instrumented node/entry accesses. */
+    std::optional<uint32_t> lookup(uint32_t addr) const;
+
+    size_t nodeCount() const { return nodes_.size(); }
+    size_t entryCount() const { return entries_.size(); }
+
+  private:
+    struct Node
+    {
+        uint32_t skip = 0;      ///< edge label, MSB-aligned in low bits
+        uint8_t skipLen = 0;    ///< number of label bits (0..32)
+        int32_t child[2] = {-1, -1};
+        int32_t entry = -1;
+    };
+
+    void touchNode(size_t idx) const;
+    void touchEntry(size_t idx) const;
+
+    std::vector<Node> nodes_;
+    std::vector<RouteEntry> entries_;
+    memsim::MemoryRecorder *recorder_;
+};
+
+} // namespace fcc::netbench
+
+#endif // FCC_NETBENCH_PATRICIA_TRIE_HPP

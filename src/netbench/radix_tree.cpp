@@ -1,0 +1,76 @@
+#include "netbench/radix_tree.hpp"
+
+#include "util/error.hpp"
+
+namespace fcc::netbench {
+
+namespace {
+
+/** Bit @p i (0 = most significant) of @p addr. */
+inline uint32_t
+bitAt(uint32_t addr, uint32_t i)
+{
+    return (addr >> (31 - i)) & 1u;
+}
+
+} // namespace
+
+RadixTree::RadixTree(memsim::MemoryRecorder *recorder)
+    : recorder_(recorder)
+{
+    nodes_.emplace_back();  // root
+}
+
+void
+RadixTree::insert(const RouteEntry &entry)
+{
+    util::require(entry.prefixLen <= 32,
+                  "RadixTree: prefix length > 32");
+    size_t cur = 0;
+    for (uint32_t depth = 0; depth < entry.prefixLen; ++depth) {
+        uint32_t b = bitAt(entry.prefix, depth);
+        if (nodes_[cur].child[b] < 0) {
+            nodes_[cur].child[b] =
+                static_cast<int32_t>(nodes_.size());
+            nodes_.emplace_back();
+        }
+        cur = static_cast<size_t>(nodes_[cur].child[b]);
+    }
+    if (nodes_[cur].entry >= 0) {
+        entries_[static_cast<size_t>(nodes_[cur].entry)] = entry;
+    } else {
+        nodes_[cur].entry = static_cast<int32_t>(entries_.size());
+        entries_.push_back(entry);
+    }
+}
+
+void
+RadixTree::build(const std::vector<RouteEntry> &table)
+{
+    for (const auto &entry : table)
+        insert(entry);
+}
+
+std::optional<uint32_t>
+RadixTree::lookup(uint32_t addr) const
+{
+    std::optional<uint32_t> best;
+    size_t cur = 0;
+    for (uint32_t depth = 0;; ++depth) {
+        touchNode(cur);
+        const Node &node = nodes_[cur];
+        if (node.entry >= 0) {
+            touchEntry(static_cast<size_t>(node.entry));
+            best = entries_[static_cast<size_t>(node.entry)].nextHop;
+        }
+        if (depth >= 32)
+            break;
+        int32_t next = node.child[bitAt(addr, depth)];
+        if (next < 0)
+            break;
+        cur = static_cast<size_t>(next);
+    }
+    return best;
+}
+
+} // namespace fcc::netbench

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The paper's Radix Tree Routing structure (§6): "a binary tree,
+ * which starting at the root, stores the prefix address and mask so
+ * far. As you move down the tree, more bits are matched."
+ *
+ * One bit is consumed per level (no path compression; see
+ * PatriciaTrie for the compressed variant used by the RTR kernel).
+ * Every node visit and every route-entry inspection is reported to an
+ * optional MemoryRecorder with stable synthetic addresses, standing
+ * in for ATOM's load/store instrumentation.
+ */
+
+#ifndef FCC_NETBENCH_RADIX_TREE_HPP
+#define FCC_NETBENCH_RADIX_TREE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "memsim/memory_recorder.hpp"
+#include "netbench/route_entry.hpp"
+
+namespace fcc::netbench {
+
+/** Synthetic address-space bases for instrumentation. */
+namespace mem_layout {
+constexpr uint64_t radixNodeBase = 0x10000000ull;
+constexpr uint64_t routeEntryBase = 0x20000000ull;
+constexpr uint64_t patriciaNodeBase = 0x30000000ull;
+constexpr uint64_t natTableBase = 0x40000000ull;
+constexpr uint32_t nodeBytes = 16;
+constexpr uint32_t entryBytes = 16;
+} // namespace mem_layout
+
+/** Uncompressed binary (bit-per-level) longest-prefix-match trie. */
+class RadixTree
+{
+  public:
+    /** @param recorder optional instrumentation sink (not owned). */
+    explicit RadixTree(memsim::MemoryRecorder *recorder = nullptr);
+
+    /**
+     * Insert a route (later duplicates replace earlier next hops).
+     * @throws fcc::util::Error for prefixLen > 32.
+     */
+    void insert(const RouteEntry &entry);
+
+    /** Bulk-build from a table. */
+    void build(const std::vector<RouteEntry> &table);
+
+    /**
+     * Longest-prefix match. Records one node access per visited
+     * level plus one access per inspected route entry.
+     *
+     * @return next hop of the most specific matching route.
+     */
+    std::optional<uint32_t> lookup(uint32_t addr) const;
+
+    size_t nodeCount() const { return nodes_.size(); }
+    size_t entryCount() const { return entries_.size(); }
+
+  private:
+    struct Node
+    {
+        int32_t child[2] = {-1, -1};
+        int32_t entry = -1;
+    };
+
+    void
+    touchNode(size_t idx) const
+    {
+        if (recorder_)
+            recorder_->record(mem_layout::radixNodeBase +
+                                  idx * mem_layout::nodeBytes,
+                              mem_layout::nodeBytes);
+    }
+
+    void
+    touchEntry(size_t idx) const
+    {
+        if (recorder_)
+            recorder_->record(mem_layout::routeEntryBase +
+                                  idx * mem_layout::entryBytes,
+                              mem_layout::entryBytes);
+    }
+
+    std::vector<Node> nodes_;
+    std::vector<RouteEntry> entries_;
+    memsim::MemoryRecorder *recorder_;
+};
+
+} // namespace fcc::netbench
+
+#endif // FCC_NETBENCH_RADIX_TREE_HPP

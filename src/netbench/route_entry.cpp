@@ -1,0 +1,55 @@
+#include "netbench/route_entry.hpp"
+
+#include <unordered_set>
+
+#include "util/distributions.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fcc::netbench {
+
+std::vector<RouteEntry>
+generateRoutingTable(size_t entries, uint64_t seed,
+                     const std::vector<uint32_t> &sampleAddrs)
+{
+    util::require(entries >= 1,
+                  "generateRoutingTable: need >= 1 entry");
+    util::Rng rng(seed);
+
+    // BGP-table-like prefix length mix (mass at /24).
+    util::Discrete lengths(
+        {8, 12, 14, 16, 17, 18, 19, 20, 21, 22, 23, 24, 26, 28, 30},
+        {0.5, 1.5, 1.5, 9, 3, 4, 5, 6, 6, 9, 11, 48, 2, 1, 1});
+
+    std::vector<RouteEntry> table;
+    table.reserve(entries);
+    std::unordered_set<uint64_t> seen;
+
+    while (table.size() < entries) {
+        RouteEntry entry;
+        entry.prefixLen = static_cast<uint8_t>(lengths.sample(rng));
+
+        uint32_t base;
+        if (!sampleAddrs.empty() && rng.chance(0.6)) {
+            // Derive from traffic so lookups descend deep.
+            base = sampleAddrs[rng.uniformInt(
+                0, sampleAddrs.size() - 1)];
+        } else {
+            base = static_cast<uint32_t>(rng.next());
+        }
+        uint32_t mask = entry.prefixLen >= 32
+            ? 0xffffffffu
+            : ~((1u << (32 - entry.prefixLen)) - 1);
+        entry.prefix = base & mask;
+        entry.nextHop = static_cast<uint32_t>(
+            rng.uniformInt(1, 64));  // 64 egress ports
+
+        uint64_t key = (static_cast<uint64_t>(entry.prefix) << 8) |
+                       entry.prefixLen;
+        if (seen.insert(key).second)
+            table.push_back(entry);
+    }
+    return table;
+}
+
+} // namespace fcc::netbench

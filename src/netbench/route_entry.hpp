@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Routing table entry shared by the lookup structures, plus the
+ * synthetic routing-table generator that substitutes for the
+ * forwarding tables of the Netbench/Commbench kernels.
+ */
+
+#ifndef FCC_NETBENCH_ROUTE_ENTRY_HPP
+#define FCC_NETBENCH_ROUTE_ENTRY_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fcc::netbench {
+
+/** One IPv4 prefix route. */
+struct RouteEntry
+{
+    uint32_t prefix = 0;    ///< network address (host order)
+    uint8_t prefixLen = 0;  ///< 0..32 significant bits
+    uint32_t nextHop = 0;   ///< opaque next-hop id
+
+    /** True when @p addr falls inside this prefix. */
+    bool
+    matches(uint32_t addr) const
+    {
+        if (prefixLen == 0)
+            return true;
+        uint32_t mask = prefixLen >= 32
+            ? 0xffffffffu
+            : ~((1u << (32 - prefixLen)) - 1);
+        return (addr & mask) == (prefix & mask);
+    }
+};
+
+/**
+ * Generate a deterministic synthetic forwarding table with a
+ * realistic prefix-length mix (mass at /24, spread over /16../23,
+ * a few short prefixes and a default-free core feel).
+ *
+ * @param entries number of routes to produce.
+ * @param seed RNG seed.
+ * @param sampleAddrs optional addresses (e.g. the trace's
+ *        destinations); a share of the prefixes is derived from them
+ *        so lookups actually descend the tree, as they would against
+ *        a table serving that traffic.
+ */
+std::vector<RouteEntry>
+generateRoutingTable(size_t entries, uint64_t seed,
+                     const std::vector<uint32_t> &sampleAddrs = {});
+
+} // namespace fcc::netbench
+
+#endif // FCC_NETBENCH_ROUTE_ENTRY_HPP

@@ -1,0 +1,111 @@
+#include "trace/ops.hpp"
+
+#include "util/error.hpp"
+
+namespace fcc::trace {
+
+Trace
+merge(const Trace &a, const Trace &b)
+{
+    util::require(a.isTimeOrdered() && b.isTimeOrdered(),
+                  "merge: inputs must be time-ordered");
+    Trace out;
+    size_t i = 0, j = 0;
+    while (i < a.size() || j < b.size()) {
+        bool takeA = j >= b.size() ||
+                     (i < a.size() &&
+                      a[i].timestampNs <= b[j].timestampNs);
+        out.add(takeA ? a[i++] : b[j++]);
+    }
+    return out;
+}
+
+Trace
+filter(const Trace &input, const PacketPredicate &keep)
+{
+    util::require(static_cast<bool>(keep),
+                  "filter: empty predicate");
+    Trace out;
+    for (const auto &pkt : input)
+        if (keep(pkt))
+            out.add(pkt);
+    return out;
+}
+
+Trace
+rebaseTime(const Trace &input, uint64_t newStartNs)
+{
+    Trace out;
+    if (input.empty())
+        return out;
+    uint64_t oldStart = input[0].timestampNs;
+    for (auto pkt : input) {
+        util::require(pkt.timestampNs >= oldStart,
+                      "rebaseTime: input must be time-ordered");
+        pkt.timestampNs = newStartNs + (pkt.timestampNs - oldStart);
+        out.add(pkt);
+    }
+    return out;
+}
+
+PacketPredicate
+portIs(uint16_t port)
+{
+    return [port](const PacketRecord &pkt) {
+        return pkt.srcPort == port || pkt.dstPort == port;
+    };
+}
+
+PacketPredicate
+dstInPrefix(uint32_t prefix, uint8_t prefixLen)
+{
+    util::require(prefixLen <= 32, "dstInPrefix: length > 32");
+    uint32_t mask = prefixLen == 0
+        ? 0u
+        : ~((prefixLen >= 32 ? 0u : (1u << (32 - prefixLen))) - 1u);
+    if (prefixLen >= 32)
+        mask = 0xffffffffu;
+    uint32_t network = prefix & mask;
+    return [network, mask](const PacketRecord &pkt) {
+        return (pkt.dstIp & mask) == network;
+    };
+}
+
+PacketPredicate
+timeWindow(const Trace &reference, double startSec, double endSec)
+{
+    util::require(startSec <= endSec,
+                  "timeWindow: start after end");
+    uint64_t base = reference.empty()
+        ? 0
+        : reference[0].timestampNs;
+    uint64_t lo = base + static_cast<uint64_t>(startSec * 1e9);
+    uint64_t hi = base + static_cast<uint64_t>(endSec * 1e9);
+    return [lo, hi](const PacketRecord &pkt) {
+        return pkt.timestampNs >= lo && pkt.timestampNs < hi;
+    };
+}
+
+PacketPredicate
+allOf(PacketPredicate a, PacketPredicate b)
+{
+    return [a = std::move(a), b = std::move(b)](
+               const PacketRecord &pkt) { return a(pkt) && b(pkt); };
+}
+
+PacketPredicate
+anyOf(PacketPredicate a, PacketPredicate b)
+{
+    return [a = std::move(a), b = std::move(b)](
+               const PacketRecord &pkt) { return a(pkt) || b(pkt); };
+}
+
+PacketPredicate
+notOf(PacketPredicate a)
+{
+    return [a = std::move(a)](const PacketRecord &pkt) {
+        return !a(pkt);
+    };
+}
+
+} // namespace fcc::trace

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Trace manipulation utilities: merging, filtering and time
+ * shifting. These are the operations a trace library's users reach
+ * for when preparing inputs (combine captures from two links, keep
+ * only one server's traffic, re-base timestamps) before compressing
+ * or replaying.
+ */
+
+#ifndef FCC_TRACE_OPS_HPP
+#define FCC_TRACE_OPS_HPP
+
+#include <cstdint>
+#include <functional>
+
+#include "trace/trace.hpp"
+
+namespace fcc::trace {
+
+/** Packet predicate used by filter(). */
+using PacketPredicate = std::function<bool(const PacketRecord &)>;
+
+/**
+ * Merge two time-ordered traces into one time-ordered trace
+ * (stable: ties keep a-before-b order).
+ *
+ * @throws fcc::util::Error if either input is unordered.
+ */
+Trace merge(const Trace &a, const Trace &b);
+
+/** Copy of the packets satisfying @p keep, in order. */
+Trace filter(const Trace &input, const PacketPredicate &keep);
+
+/**
+ * Shift every timestamp so the first packet lands at
+ * @p newStartNs (empty traces pass through).
+ */
+Trace rebaseTime(const Trace &input, uint64_t newStartNs);
+
+// ---- ready-made predicates -------------------------------------------------
+
+/** Packets whose source or destination port equals @p port. */
+PacketPredicate portIs(uint16_t port);
+
+/** Packets whose destination falls inside prefix/len. */
+PacketPredicate dstInPrefix(uint32_t prefix, uint8_t prefixLen);
+
+/** Packets captured in [startSec, endSec) relative to trace start.
+ *  The returned predicate is bound to @p reference's first
+ *  timestamp. */
+PacketPredicate timeWindow(const Trace &reference, double startSec,
+                           double endSec);
+
+/** Conjunction / disjunction / negation of predicates. */
+PacketPredicate allOf(PacketPredicate a, PacketPredicate b);
+PacketPredicate anyOf(PacketPredicate a, PacketPredicate b);
+PacketPredicate notOf(PacketPredicate a);
+
+} // namespace fcc::trace
+
+#endif // FCC_TRACE_OPS_HPP

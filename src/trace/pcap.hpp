@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Minimal pcap (libpcap savefile) reader/writer, implemented from
+ * scratch so the library has no external capture dependency.
+ *
+ * Written files use LINKTYPE_RAW (101): each packet body is the raw
+ * 40-byte IPv4+TCP header (no payload — these are header traces). The
+ * reader accepts both byte orders and both microsecond and nanosecond
+ * magic numbers, and both RAW and Ethernet link types.
+ */
+
+#ifndef FCC_TRACE_PCAP_HPP
+#define FCC_TRACE_PCAP_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace fcc::trace {
+
+/** Serialize a trace as a microsecond, LINKTYPE_RAW pcap file. */
+std::vector<uint8_t> writePcap(const Trace &trace);
+
+/**
+ * Parse a pcap byte buffer.
+ *
+ * Non-IPv4 packets and packets whose captured length is too short to
+ * hold the TCP header prefix raise an error; this is a header-trace
+ * library, silent skipping would bias every statistic downstream.
+ *
+ * @throws fcc::util::Error on malformed input.
+ */
+Trace readPcap(std::span<const uint8_t> data);
+
+/** Write a trace to a pcap file. @throws fcc::util::Error on I/O. */
+void writePcapFile(const Trace &trace, const std::string &path);
+
+/** Read a pcap file. @throws fcc::util::Error on I/O or bad data. */
+Trace readPcapFile(const std::string &path);
+
+} // namespace fcc::trace
+
+#endif // FCC_TRACE_PCAP_HPP

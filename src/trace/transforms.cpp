@@ -1,0 +1,96 @@
+#include "trace/transforms.hpp"
+
+#include <deque>
+#include <vector>
+
+#include "util/distributions.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace fcc::trace {
+
+Trace
+randomizeAddresses(const Trace &input, uint64_t seed)
+{
+    util::Rng rng(seed);
+    Trace out;
+    for (const auto &pkt : input) {
+        PacketRecord copy = pkt;
+        copy.dstIp = static_cast<uint32_t>(rng.next());
+        out.add(copy);
+    }
+    return out;
+}
+
+Trace
+generateFracExp(const FracExpConfig &cfg)
+{
+    util::require(cfg.packetCount > 0, "FracExp: empty trace requested");
+    util::require(cfg.reuseProbability >= 0 &&
+                      cfg.reuseProbability < 1,
+                  "FracExp: reuse probability out of [0,1)");
+    util::require(cfg.bitBiasLo > 0 && cfg.bitBiasHi < 1 &&
+                      cfg.bitBiasLo <= cfg.bitBiasHi,
+                  "FracExp: bad cascade bias range");
+
+    util::Rng rng(cfg.seed);
+
+    // Fixed per-level biases define the multiplicative measure on the
+    // address space; drawing them once makes the cascade stationary.
+    double bias[32];
+    for (double &b : bias)
+        b = cfg.bitBiasLo +
+            (cfg.bitBiasHi - cfg.bitBiasLo) * rng.uniform();
+
+    auto cascadeAddress = [&rng, &bias]() {
+        uint32_t addr = 0;
+        for (int level = 0; level < 32; ++level) {
+            addr <<= 1;
+            if (rng.chance(bias[level]))
+                addr |= 1;
+        }
+        return addr;
+    };
+
+    util::Exponential ipt(1e6 / cfg.meanIptUs);  // rate in 1/s
+    util::BoundedPareto depthDist(cfg.stackAlpha, 1.0,
+                                  static_cast<double>(
+                                      cfg.stackMaxDepth));
+    util::Discrete sizes({0, 536, 1460}, {0.45, 0.25, 0.30});
+
+    std::deque<uint32_t> stack;  // front = most recently used
+    Trace out;
+    double t = 0.0;
+    for (size_t i = 0; i < cfg.packetCount; ++i) {
+        uint32_t dst;
+        if (!stack.empty() && rng.chance(cfg.reuseProbability)) {
+            size_t depth = static_cast<size_t>(
+                depthDist.sample(rng)) - 1;
+            depth = std::min(depth, stack.size() - 1);
+            dst = stack[depth];
+            stack.erase(stack.begin() +
+                        static_cast<std::ptrdiff_t>(depth));
+        } else {
+            dst = cascadeAddress();
+        }
+        stack.push_front(dst);
+        if (stack.size() > cfg.stackMaxDepth)
+            stack.pop_back();
+
+        PacketRecord pkt;
+        pkt.timestampNs = static_cast<uint64_t>(t * 1e9);
+        pkt.srcIp = static_cast<uint32_t>(rng.next());
+        pkt.dstIp = dst;
+        pkt.srcPort = static_cast<uint16_t>(
+            rng.uniformInt(1024, 65000));
+        pkt.dstPort = 80;
+        pkt.tcpFlags = tcp_flags::Ack;
+        pkt.payloadBytes = static_cast<uint16_t>(sizes.sample(rng));
+        pkt.window = 0xffff;
+        out.add(pkt);
+        t += ipt.sample(rng);
+    }
+    return out;
+}
+
+} // namespace fcc::trace

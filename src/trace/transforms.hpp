@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Comparison-trace constructors for the memory-performance validation
+ * (paper §6.1): the "random" trace — same temporal distribution but
+ * uniformly random destination addresses — and the "fracexp" trace —
+ * destinations from a multiplicative (multifractal) process replayed
+ * through an LRU stack locality model with exponential inter-packet
+ * times.
+ */
+
+#ifndef FCC_TRACE_TRANSFORMS_HPP
+#define FCC_TRACE_TRANSFORMS_HPP
+
+#include <cstdint>
+#include <cstddef>
+
+#include "trace/trace.hpp"
+
+namespace fcc::trace {
+
+/**
+ * Copy @p input replacing every destination address with a uniformly
+ * random one; timestamps, sizes and all other fields are preserved
+ * ("assigning random IP destination addresses, but maintaining the
+ * same temporal distribution").
+ */
+Trace randomizeAddresses(const Trace &input, uint64_t seed);
+
+/** Parameters of the fractal-address / exponential-time generator. */
+struct FracExpConfig
+{
+    uint64_t seed = 7;
+    size_t packetCount = 100000;
+    double meanIptUs = 120.0;    ///< exponential inter-packet time
+    double reuseProbability = 0.72;  ///< LRU stack hit probability
+    double stackAlpha = 1.3;     ///< Pareto shape of reuse depth
+    size_t stackMaxDepth = 4096; ///< deepest reusable stack entry
+    double bitBiasLo = 0.55;     ///< per-level cascade bias range
+    double bitBiasHi = 0.95;
+};
+
+/**
+ * Generate the "fracexp" trace: destination addresses drawn from a
+ * 32-level multiplicative cascade (each address bit is 1 with a fixed
+ * per-level bias, yielding a multifractal address distribution),
+ * replayed through an LRU stack model (temporal locality), with
+ * exponential inter-packet times. Other fields are filled with
+ * plausible constants; only destinations, times and sizes matter to
+ * the routing kernels.
+ */
+Trace generateFracExp(const FracExpConfig &cfg);
+
+} // namespace fcc::trace
+
+#endif // FCC_TRACE_TRANSFORMS_HPP

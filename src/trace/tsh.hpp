@@ -1,0 +1,64 @@
+/**
+ * @file
+ * NLANR TSH (Time-Sequenced Header) trace format.
+ *
+ * This is the on-disk format the paper measures compression against: a
+ * flat sequence of fixed 44-byte records, each holding a timestamp
+ * (seconds + interface/microseconds word), the 20-byte IPv4 header and
+ * the first 16 bytes of the TCP header. All header fields are network
+ * byte order.
+ *
+ * Layout of one record:
+ *   0..3   timestamp seconds (big-endian)
+ *   4      interface number
+ *   5..7   timestamp microseconds (24-bit big-endian)
+ *   8..27  IPv4 header (20 bytes)
+ *   28..43 TCP header prefix: ports, seq, ack, offset, flags, window
+ */
+
+#ifndef FCC_TRACE_TSH_HPP
+#define FCC_TRACE_TSH_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace fcc::trace {
+
+/** Size of one TSH record in bytes. */
+constexpr size_t tshRecordBytes = 44;
+
+/**
+ * Serialize a trace to TSH bytes.
+ *
+ * The IPv4 header checksum is computed; timestamps are truncated to
+ * microsecond precision (the format has no room for more).
+ */
+std::vector<uint8_t> writeTsh(const Trace &trace);
+
+/**
+ * Parse TSH bytes into a trace.
+ *
+ * @throws fcc::util::Error if the buffer is not a whole number of
+ *         records or an IP header is malformed.
+ */
+Trace readTsh(std::span<const uint8_t> data);
+
+/** Write a trace to a TSH file. @throws fcc::util::Error on I/O. */
+void writeTshFile(const Trace &trace, const std::string &path);
+
+/** Read a TSH file. @throws fcc::util::Error on I/O or bad data. */
+Trace readTshFile(const std::string &path);
+
+/**
+ * Compute the RFC 791 Internet checksum of @p data (16-bit one's
+ * complement sum). Exposed for tests and the pcap writer.
+ */
+uint16_t ipChecksum(std::span<const uint8_t> data);
+
+} // namespace fcc::trace
+
+#endif // FCC_TRACE_TSH_HPP

@@ -1,0 +1,303 @@
+#include "trace/web_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/distributions.hpp"
+#include "util/error.hpp"
+
+namespace fcc::trace {
+
+namespace {
+
+/** Draw a random routable class B or class C network address. */
+uint32_t
+drawPublicIp(util::Rng &rng)
+{
+    if (rng.chance(0.5)) {
+        // Class B: 128.0.0.0 .. 191.255.255.255
+        return 0x80000000u |
+               static_cast<uint32_t>(rng.uniformInt(0, 0x3fffffff));
+    }
+    // Class C: 192.0.0.0 .. 223.255.255.255
+    return 0xc0000000u |
+           static_cast<uint32_t>(rng.uniformInt(0, 0x1fffffff));
+}
+
+} // namespace
+
+WebTrafficGenerator::WebTrafficGenerator(const WebGenConfig &cfg)
+    : cfg_(cfg), rng_(cfg.seed),
+      serverPop_(std::max<size_t>(cfg.serverCount, 1), cfg.serverZipf)
+{
+    util::require(cfg_.durationSec > 0, "WebGen: duration must be > 0");
+    util::require(cfg_.flowsPerSec > 0, "WebGen: rate must be > 0");
+    util::require(cfg_.serverCount > 0 && cfg_.clientCount > 0,
+                  "WebGen: need at least one server and client");
+    util::require(cfg_.longLenMax > 50,
+                  "WebGen: long length cap must exceed 50");
+    util::require(cfg_.longFlowFraction >= 0 &&
+                      cfg_.longFlowFraction <= 1,
+                  "WebGen: long flow fraction out of [0,1]");
+
+    serverIps_.reserve(cfg_.serverCount);
+    for (size_t i = 0; i < cfg_.serverCount; ++i)
+        serverIps_.push_back(drawPublicIp(rng_));
+    clientIps_.reserve(cfg_.clientCount);
+    for (size_t i = 0; i < cfg_.clientCount; ++i)
+        clientIps_.push_back(drawPublicIp(rng_));
+}
+
+uint32_t
+WebTrafficGenerator::drawShortLength()
+{
+    // Empirical-style web mix: a few aborted handshakes, a lognormal
+    // body peaking around 10 packets, and a thin tail out to 50.
+    static thread_local std::vector<double> weights;
+    if (weights.empty()) {
+        weights.resize(51, 0.0);
+        weights[2] = 0.012;
+        weights[3] = 0.018;
+        for (int n = 4; n <= 50; ++n) {
+            double x = std::log(static_cast<double>(n));
+            double mu = std::log(10.0), sigma = 0.42;
+            weights[n] = std::exp(-0.5 * (x - mu) * (x - mu) /
+                                  (sigma * sigma)) /
+                         static_cast<double>(n);
+        }
+    }
+    double total = 0.0;
+    for (double w : weights)
+        total += w;
+    double u = rng_.uniform() * total;
+    double acc = 0.0;
+    for (int n = 2; n <= 50; ++n) {
+        acc += weights[n];
+        if (u < acc)
+            return static_cast<uint32_t>(n);
+    }
+    return 50;
+}
+
+uint32_t
+WebTrafficGenerator::drawLongLength()
+{
+    util::BoundedPareto lens(cfg_.longLenAlpha, 51.0,
+                             static_cast<double>(cfg_.longLenMax));
+    return static_cast<uint32_t>(std::lround(lens.sample(rng_)));
+}
+
+void
+WebTrafficGenerator::makeConnection(uint64_t startNs, Trace &out)
+{
+    bool isLong = rng_.chance(cfg_.longFlowFraction);
+    uint32_t n = isLong ? drawLongLength() : drawShortLength();
+
+    GeneratedFlowInfo info;
+    info.serverIp = serverIps_[serverPop_.sample(rng_) - 1];
+    uint16_t server_port = cfg_.mix == TrafficMix::Web
+        ? 80
+        : static_cast<uint16_t>(rng_.uniformInt(6881, 6999));
+    info.clientIp =
+        clientIps_[rng_.uniformInt(0, clientIps_.size() - 1)];
+    info.clientPort = nextEphemeral_;
+    nextEphemeral_ = nextEphemeral_ >= 64999
+        ? 1024 : static_cast<uint16_t>(nextEphemeral_ + 1);
+    info.packets = n;
+    info.isLong = n > 50;
+
+    util::LogNormal rttDist =
+        util::LogNormal::fromMedian(cfg_.rttMedianMs * 1e-3,
+                                    cfg_.rttSigma);
+    info.rttSec = rttDist.sample(rng_);
+    util::Exponential gap(1e6 / cfg_.burstGapMeanUs);  // seconds
+
+    // Per-side TCP state.
+    uint32_t cSeq = static_cast<uint32_t>(rng_.next());
+    uint32_t sSeq = static_cast<uint32_t>(rng_.next());
+    uint16_t cIpId = static_cast<uint16_t>(rng_.next());
+    uint16_t sIpId = static_cast<uint16_t>(rng_.next());
+    uint16_t window = static_cast<uint16_t>(
+        rng_.uniformInt(16, 255) << 8);
+
+    double t = static_cast<double>(startNs) * 1e-9;
+    bool havePrev = false;
+    bool prevFromClient = true;
+
+    auto emit = [&](bool fromClient, uint8_t flags, uint16_t payload) {
+        // Observable dependence rule: a packet following an
+        // opposite-direction packet was triggered by it and is spaced
+        // by the connection RTT; same-direction packets are
+        // back-to-back.
+        bool dependent = havePrev && fromClient != prevFromClient;
+        if (dependent)
+            t += info.rttSec * (0.9 + 0.2 * rng_.uniform());
+        else if (havePrev)
+            t += gap.sample(rng_);
+        havePrev = true;
+        prevFromClient = fromClient;
+
+        PacketRecord pkt;
+        pkt.timestampNs = static_cast<uint64_t>(t * 1e9);
+        pkt.protocol = ip_proto::Tcp;
+        pkt.tcpFlags = flags;
+        pkt.payloadBytes = payload;
+        pkt.window = window;
+        if (fromClient) {
+            pkt.srcIp = info.clientIp;
+            pkt.dstIp = info.serverIp;
+            pkt.srcPort = info.clientPort;
+            pkt.dstPort = server_port;
+            pkt.seq = cSeq;
+            pkt.ack = (flags & tcp_flags::Ack) ? sSeq : 0;
+            pkt.ipId = cIpId++;
+            cSeq += payload;
+            if (flags & (tcp_flags::Syn | tcp_flags::Fin))
+                ++cSeq;
+        } else {
+            pkt.srcIp = info.serverIp;
+            pkt.dstIp = info.clientIp;
+            pkt.srcPort = server_port;
+            pkt.dstPort = info.clientPort;
+            pkt.seq = sSeq;
+            pkt.ack = (flags & tcp_flags::Ack) ? cSeq : 0;
+            pkt.ipId = sIpId++;
+            sSeq += payload;
+            if (flags & (tcp_flags::Syn | tcp_flags::Fin))
+                ++sSeq;
+        }
+        info.bytes += pkt.ipTotalLength();
+        out.add(pkt);
+    };
+
+    using namespace tcp_flags;
+
+    if (n == 2) {  // unanswered handshake
+        emit(true, Syn, 0);
+        emit(false, Syn | Ack, 0);
+        flows_.push_back(info);
+        return;
+    }
+    if (n == 3) {  // handshake aborted by the client
+        emit(true, Syn, 0);
+        emit(false, Syn | Ack, 0);
+        emit(true, Rst, 0);
+        flows_.push_back(info);
+        return;
+    }
+
+    // Flows too small for handshake + 3-packet FIN exchange close
+    // with a RST (1 packet) instead.
+    bool rstClose = rng_.chance(cfg_.resetFraction) || n < 7;
+    uint32_t teardown = rstClose ? 1 : 3;
+    // 3 handshake + teardown packets; the rest is the HTTP middle.
+    uint32_t middle = n - 3 - teardown;
+
+    emit(true, Syn, 0);
+    emit(false, Syn | Ack, 0);
+    emit(true, Ack, 0);
+
+    // The middle is a sequence of request/response exchanges with
+    // delayed ACKs. Long flows model persistent (keep-alive)
+    // connections: many small objects rather than one bulk transfer,
+    // which keeps their mean packet size modest, matching the byte /
+    // packet shares the paper reports.
+    uint32_t budget = middle;
+    while (budget > 0) {
+        if (budget < 3) {
+            // Window-update / keepalive ACKs absorb the remainder.
+            for (; budget > 0; --budget)
+                emit(true, Ack, 0);
+            break;
+        }
+        // Request. In the P2P mix either peer may ask (and the
+        // other answers), making both directions carry payload.
+        bool requesterIsClient = cfg_.mix == TrafficMix::Web ||
+                                 rng_.chance(0.5);
+        uint16_t reqBytes = static_cast<uint16_t>(
+            rng_.uniformInt(220, 640));
+        emit(requesterIsClient, Ack | Psh, reqBytes);
+        --budget;
+
+        // Response: d data segments plus floor(d/2) delayed ACKs must
+        // fit in the remaining budget.
+        uint32_t maxData = std::max(1u, budget * 2 / 3);
+        uint32_t want = isLong
+            ? static_cast<uint32_t>(rng_.uniformInt(1, 2))
+            : static_cast<uint32_t>(rng_.uniformInt(2, 7));
+        uint32_t d = std::min(want, maxData);
+        uint32_t acks = std::min(d / 2, budget - d);
+        uint32_t sent = 0, acked = 0;
+        while (sent < d || acked < acks) {
+            if (sent < d) {
+                bool last = sent + 1 == d;
+                // Short flows download whole objects in MSS-sized
+                // segments; long (persistent, keep-alive) flows carry
+                // many small objects, keeping their mean packet size
+                // modest — that is what gives short flows the larger
+                // byte share the paper reports (~80 %).
+                uint16_t bytes;
+                if (isLong)
+                    bytes = static_cast<uint16_t>(
+                        rng_.uniformInt(100, 500));
+                else if (last)
+                    bytes = static_cast<uint16_t>(
+                        rng_.uniformInt(600, cfg_.mss));
+                else
+                    bytes = cfg_.mss;
+                emit(!requesterIsClient, last ? (Ack | Psh) : Ack,
+                     bytes);
+                ++sent;
+            }
+            if (acked < acks && sent >= 2 * (acked + 1)) {
+                emit(requesterIsClient, Ack, 0);
+                ++acked;
+            }
+        }
+        budget -= d + acks;
+    }
+
+    if (rstClose) {
+        emit(true, Rst | Ack, 0);
+    } else {
+        emit(false, Fin | Ack, 0);
+        emit(true, Fin | Ack, 0);
+        emit(false, Ack, 0);
+    }
+    flows_.push_back(info);
+}
+
+WebGenConfig
+p2pConfig(uint64_t seed, double durationSec, double flowsPerSec)
+{
+    WebGenConfig cfg;
+    cfg.seed = seed;
+    cfg.durationSec = durationSec;
+    cfg.flowsPerSec = flowsPerSec;
+    cfg.mix = TrafficMix::P2p;
+    // P2P flows live longer and more of them are long.
+    cfg.longFlowFraction = 0.08;
+    cfg.longLenAlpha = 1.1;
+    cfg.resetFraction = 0.12;
+    return cfg;
+}
+
+Trace
+WebTrafficGenerator::generate()
+{
+    flows_.clear();
+    Trace out;
+
+    util::Exponential interArrival(cfg_.flowsPerSec);
+    double t = 0.0;
+    while (true) {
+        t += interArrival.sample(rng_);
+        if (t >= cfg_.durationSec)
+            break;
+        makeConnection(static_cast<uint64_t>(t * 1e9), out);
+    }
+    out.sortByTime();
+    return out;
+}
+
+} // namespace fcc::trace

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Synthetic Web/TCP workload generator.
+ *
+ * Substitute for the paper's RedIRIS / NLANR captures (not publicly
+ * available): synthesizes bidirectional HTTP-over-TCP connections with
+ * the aggregate structure the paper reports for its traces —
+ *
+ *  - ~98 % of flows shorter than 51 packets ("mice"), the rest
+ *    heavy-tailed "elephants" (bounded Pareto lengths);
+ *  - short flows carrying ~75 % of packets and ~80 % of bytes;
+ *  - full TCP packet semantics: SYN / SYN+ACK handshake, request and
+ *    response segments, delayed ACKs, FIN or RST teardown, so that
+ *    the f1/f2/f3 characterization of the paper sees realistic flag,
+ *    dependence and size sequences;
+ *  - per-connection lognormal RTTs; dependent packets are spaced by
+ *    the RTT, back-to-back packets by a small transmission gap;
+ *  - Zipf-popular server addresses (spatial locality) and ephemeral
+ *    client ports, server port 80.
+ *
+ * Everything is deterministic given the seed.
+ */
+
+#ifndef FCC_TRACE_WEB_GEN_HPP
+#define FCC_TRACE_WEB_GEN_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+
+namespace fcc::trace {
+
+/**
+ * Traffic mix preset. Web (default) is the paper's workload:
+ * client-server HTTP exchanges on port 80. P2p models the traffic
+ * class the paper's future work asks about: symmetric exchanges on
+ * ephemeral ports where either peer may carry the payload, and a
+ * heavier long-lived-connection share.
+ */
+enum class TrafficMix { Web, P2p };
+
+/** Tunable parameters of the synthetic Web workload. */
+struct WebGenConfig
+{
+    uint64_t seed = 1;            ///< RNG seed; same seed, same trace
+    double durationSec = 60.0;    ///< flow arrival window length
+    double flowsPerSec = 120.0;   ///< Poisson flow arrival rate
+    TrafficMix mix = TrafficMix::Web;
+
+    size_t serverCount = 400;     ///< distinct server addresses
+    double serverZipf = 1.05;     ///< server popularity exponent
+    size_t clientCount = 3000;    ///< distinct client addresses
+
+    double longFlowFraction = 0.02;  ///< paper: 2 % of flows > 50 pkts
+    double longLenAlpha = 1.25;      ///< Pareto tail of long lengths
+    size_t longLenMax = 4000;        ///< cap on long-flow packets
+
+    double rttMedianMs = 80.0;    ///< lognormal RTT median
+    double rttSigma = 0.5;        ///< lognormal RTT shape
+    double burstGapMeanUs = 250;  ///< mean gap of non-dependent pkts
+
+    uint16_t mss = 1460;          ///< maximum segment size
+    double resetFraction = 0.06;  ///< flows aborted by RST
+};
+
+/** Per-flow ground-truth metadata the generator can report. */
+struct GeneratedFlowInfo
+{
+    uint32_t clientIp = 0;
+    uint32_t serverIp = 0;
+    uint16_t clientPort = 0;
+    uint32_t packets = 0;
+    uint64_t bytes = 0;      ///< wire bytes (40 B header + payload)
+    double rttSec = 0.0;
+    bool isLong = false;     ///< more than 50 packets
+};
+
+/** A ready-made P2P-flavoured configuration (future-work study). */
+WebGenConfig p2pConfig(uint64_t seed, double durationSec = 60.0,
+                       double flowsPerSec = 120.0);
+
+/**
+ * Generator for synthetic Web header traces.
+ *
+ * Usage: construct with a config, call generate(). flowInfos() then
+ * describes every synthesized connection (ground truth for tests and
+ * the calibration bench).
+ */
+class WebTrafficGenerator
+{
+  public:
+    explicit WebTrafficGenerator(const WebGenConfig &cfg);
+
+    /** Synthesize the whole trace (time-sorted). */
+    Trace generate();
+
+    /** Ground truth for the most recent generate() call. */
+    const std::vector<GeneratedFlowInfo> &flowInfos() const
+    {
+        return flows_;
+    }
+
+    const WebGenConfig &config() const { return cfg_; }
+
+  private:
+    /** Synthesize one connection starting at @p startNs. */
+    void makeConnection(uint64_t startNs, Trace &out);
+
+    /** Draw a short-flow total packet count (2..50). */
+    uint32_t drawShortLength();
+    /** Draw a long-flow total packet count (51..longLenMax). */
+    uint32_t drawLongLength();
+
+    WebGenConfig cfg_;
+    util::Rng rng_;
+    util::Zipf serverPop_;
+    std::vector<uint32_t> serverIps_;
+    std::vector<uint32_t> clientIps_;
+    std::vector<GeneratedFlowInfo> flows_;
+    uint16_t nextEphemeral_ = 1024;
+};
+
+} // namespace fcc::trace
+
+#endif // FCC_TRACE_WEB_GEN_HPP

@@ -1,0 +1,117 @@
+#include "util/bitstream.hpp"
+
+#include "util/error.hpp"
+
+namespace fcc::util {
+
+void
+BitWriter::put(uint32_t value, int nbits)
+{
+    FCC_ASSERT(nbits >= 0 && nbits <= 24, "bit count out of range");
+    bitbuf_ |= (value & ((1u << nbits) - 1)) << nbits_;
+    nbits_ += nbits;
+    while (nbits_ >= 8) {
+        buf_.push_back(static_cast<uint8_t>(bitbuf_));
+        bitbuf_ >>= 8;
+        nbits_ -= 8;
+    }
+}
+
+void
+BitWriter::putHuff(uint32_t code, int nbits)
+{
+    // Reverse the code so the first (MSB) code bit lands in the first
+    // stream bit position, per RFC 1951 section 3.1.1.
+    uint32_t rev = 0;
+    for (int i = 0; i < nbits; ++i)
+        rev |= ((code >> i) & 1u) << (nbits - 1 - i);
+    put(rev, nbits);
+}
+
+void
+BitWriter::alignToByte()
+{
+    if (nbits_ > 0) {
+        buf_.push_back(static_cast<uint8_t>(bitbuf_));
+        bitbuf_ = 0;
+        nbits_ = 0;
+    }
+}
+
+void
+BitWriter::byte(uint8_t v)
+{
+    FCC_ASSERT(nbits_ == 0, "byte() requires byte alignment");
+    buf_.push_back(v);
+}
+
+std::vector<uint8_t>
+BitWriter::take()
+{
+    alignToByte();
+    return std::move(buf_);
+}
+
+void
+BitReader::fill()
+{
+    while (nbits_ <= 56 && pos_ < len_) {
+        bitbuf_ |= static_cast<uint64_t>(data_[pos_++]) << nbits_;
+        nbits_ += 8;
+    }
+}
+
+uint32_t
+BitReader::get(int nbits)
+{
+    FCC_ASSERT(nbits >= 0 && nbits <= 24, "bit count out of range");
+    fill();
+    if (nbits_ < nbits)
+        throw Error("BitReader: truncated bit stream");
+    uint32_t v = static_cast<uint32_t>(bitbuf_) & ((1u << nbits) - 1);
+    bitbuf_ >>= nbits;
+    nbits_ -= nbits;
+    return v;
+}
+
+uint32_t
+BitReader::peek(int nbits)
+{
+    FCC_ASSERT(nbits >= 0 && nbits <= 24, "bit count out of range");
+    fill();
+    // Past end of stream the buffer reads as zero bits; Huffman
+    // decoders detect truncation when consume() overruns.
+    return static_cast<uint32_t>(bitbuf_) & ((1u << nbits) - 1);
+}
+
+void
+BitReader::consume(int nbits)
+{
+    if (nbits_ < nbits)
+        throw Error("BitReader: truncated bit stream");
+    bitbuf_ >>= nbits;
+    nbits_ -= nbits;
+}
+
+void
+BitReader::alignToByte()
+{
+    int drop = nbits_ % 8;
+    bitbuf_ >>= drop;
+    nbits_ -= drop;
+}
+
+uint8_t
+BitReader::byte()
+{
+    FCC_ASSERT(nbits_ % 8 == 0, "byte() requires byte alignment");
+    fill();
+    if (nbits_ < 8)
+        throw Error("BitReader: truncated bit stream");
+    uint8_t v = static_cast<uint8_t>(bitbuf_);
+    bitbuf_ >>= 8;
+    nbits_ -= 8;
+    return v;
+}
+
+} // namespace fcc::util

@@ -1,0 +1,148 @@
+#include "util/bytes.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace fcc::util {
+
+void
+ByteWriter::u16(uint16_t v)
+{
+    buf_.push_back(static_cast<uint8_t>(v));
+    buf_.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void
+ByteWriter::u32(uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+ByteWriter::u64(uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+ByteWriter::varint(uint64_t v)
+{
+    while (v >= 0x80) {
+        buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    buf_.push_back(static_cast<uint8_t>(v));
+}
+
+void
+ByteWriter::bytes(const uint8_t *data, size_t len)
+{
+    buf_.insert(buf_.end(), data, data + len);
+}
+
+void
+ByteWriter::bytes(std::span<const uint8_t> data)
+{
+    buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void
+ByteWriter::blob(std::span<const uint8_t> data)
+{
+    varint(data.size());
+    bytes(data);
+}
+
+void
+ByteReader::need(size_t n) const
+{
+    if (len_ - pos_ < n)
+        throw Error("ByteReader: truncated input");
+}
+
+uint8_t
+ByteReader::u8()
+{
+    need(1);
+    return data_[pos_++];
+}
+
+uint16_t
+ByteReader::u16()
+{
+    need(2);
+    uint16_t v = static_cast<uint16_t>(data_[pos_]) |
+                 static_cast<uint16_t>(data_[pos_ + 1]) << 8;
+    pos_ += 2;
+    return v;
+}
+
+uint32_t
+ByteReader::u32()
+{
+    need(4);
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+}
+
+uint64_t
+ByteReader::u64()
+{
+    need(8);
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+}
+
+uint64_t
+ByteReader::varint()
+{
+    uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+        uint8_t b = u8();
+        if (shift == 63 && (b & 0x7e))
+            throw Error("ByteReader: varint overflows 64 bits");
+        v |= static_cast<uint64_t>(b & 0x7f) << shift;
+        if (!(b & 0x80))
+            return v;
+        shift += 7;
+        if (shift > 63)
+            throw Error("ByteReader: varint too long");
+    }
+}
+
+void
+ByteReader::bytes(uint8_t *out, size_t len)
+{
+    need(len);
+    std::memcpy(out, data_ + pos_, len);
+    pos_ += len;
+}
+
+std::vector<uint8_t>
+ByteReader::blob()
+{
+    uint64_t len = varint();
+    need(len);
+    std::vector<uint8_t> out(data_ + pos_, data_ + pos_ + len);
+    pos_ += len;
+    return out;
+}
+
+void
+ByteReader::skip(size_t len)
+{
+    need(len);
+    pos_ += len;
+}
+
+} // namespace fcc::util

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Little-endian byte-oriented serialization primitives.
+ *
+ * ByteWriter appends primitive values to a growable buffer; ByteReader
+ * consumes them back, throwing fcc::util::Error on truncation. All
+ * multi-byte integers are little-endian on the wire. Variable-length
+ * integers use LEB128-style base-128 encoding.
+ */
+
+#ifndef FCC_UTIL_BYTES_HPP
+#define FCC_UTIL_BYTES_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fcc::util {
+
+/** Growable little-endian binary output buffer. */
+class ByteWriter
+{
+  public:
+    ByteWriter() = default;
+
+    /** Append a single byte. */
+    void u8(uint8_t v) { buf_.push_back(v); }
+    /** Append a 16-bit little-endian integer. */
+    void u16(uint16_t v);
+    /** Append a 32-bit little-endian integer. */
+    void u32(uint32_t v);
+    /** Append a 64-bit little-endian integer. */
+    void u64(uint64_t v);
+    /** Append an unsigned LEB128 varint (1-10 bytes). */
+    void varint(uint64_t v);
+    /** Append raw bytes. */
+    void bytes(const uint8_t *data, size_t len);
+    /** Append raw bytes from a span. */
+    void bytes(std::span<const uint8_t> data);
+    /** Append a length-prefixed (varint) byte string. */
+    void blob(std::span<const uint8_t> data);
+
+    /** Number of bytes written so far. */
+    size_t size() const { return buf_.size(); }
+    /** View of the accumulated buffer. */
+    const std::vector<uint8_t> &data() const { return buf_; }
+    /** Move the accumulated buffer out; the writer becomes empty. */
+    std::vector<uint8_t> take() { return std::move(buf_); }
+
+  private:
+    std::vector<uint8_t> buf_;
+};
+
+/**
+ * Bounds-checked little-endian binary input cursor.
+ *
+ * Does not own the underlying storage; callers must keep the source
+ * buffer alive for the reader's lifetime.
+ */
+class ByteReader
+{
+  public:
+    /** Wrap @p data / @p len ; the memory must outlive the reader. */
+    ByteReader(const uint8_t *data, size_t len)
+        : data_(data), len_(len)
+    {}
+
+    explicit ByteReader(std::span<const uint8_t> data)
+        : ByteReader(data.data(), data.size())
+    {}
+
+    /** Read one byte. @throws Error on truncation. */
+    uint8_t u8();
+    /** Read a 16-bit little-endian integer. @throws Error */
+    uint16_t u16();
+    /** Read a 32-bit little-endian integer. @throws Error */
+    uint32_t u32();
+    /** Read a 64-bit little-endian integer. @throws Error */
+    uint64_t u64();
+    /** Read an unsigned LEB128 varint. @throws Error on overflow. */
+    uint64_t varint();
+    /** Read @p len raw bytes into @p out. @throws Error */
+    void bytes(uint8_t *out, size_t len);
+    /** Read a varint-length-prefixed byte string. @throws Error */
+    std::vector<uint8_t> blob();
+
+    /** Bytes not yet consumed. */
+    size_t remaining() const { return len_ - pos_; }
+    /** Current cursor position. */
+    size_t position() const { return pos_; }
+    /** True when the whole buffer has been consumed. */
+    bool exhausted() const { return pos_ == len_; }
+    /** Skip @p len bytes. @throws Error on truncation. */
+    void skip(size_t len);
+
+  private:
+    void need(size_t n) const;
+
+    const uint8_t *data_;
+    size_t len_;
+    size_t pos_ = 0;
+};
+
+} // namespace fcc::util
+
+#endif // FCC_UTIL_BYTES_HPP

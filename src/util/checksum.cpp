@@ -1,0 +1,71 @@
+#include "util/checksum.hpp"
+
+#include <array>
+
+namespace fcc::util {
+
+namespace {
+
+std::array<uint32_t, 256>
+makeCrcTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+const std::array<uint32_t, 256> crcTable = makeCrcTable();
+
+// Largest n such that 255n(n+1)/2 + (n+1)(65520) fits in 32 bits.
+constexpr size_t adlerNmax = 5552;
+constexpr uint32_t adlerBase = 65521;
+
+} // namespace
+
+void
+Crc32::update(std::span<const uint8_t> data)
+{
+    uint32_t c = state_;
+    for (uint8_t byte : data)
+        c = crcTable[(c ^ byte) & 0xff] ^ (c >> 8);
+    state_ = c;
+}
+
+uint32_t
+Crc32::of(std::span<const uint8_t> data)
+{
+    Crc32 crc;
+    crc.update(data);
+    return crc.value();
+}
+
+void
+Adler32::update(std::span<const uint8_t> data)
+{
+    size_t i = 0;
+    while (i < data.size()) {
+        size_t chunk = std::min(adlerNmax, data.size() - i);
+        for (size_t j = 0; j < chunk; ++j) {
+            a_ += data[i + j];
+            b_ += a_;
+        }
+        a_ %= adlerBase;
+        b_ %= adlerBase;
+        i += chunk;
+    }
+}
+
+uint32_t
+Adler32::of(std::span<const uint8_t> data)
+{
+    Adler32 sum;
+    sum.update(data);
+    return sum.value();
+}
+
+} // namespace fcc::util

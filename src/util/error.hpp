@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Error handling primitives for the FCC library.
+ *
+ * Recoverable problems caused by bad *input* (malformed trace files,
+ * corrupt compressed streams, invalid user parameters) throw
+ * fcc::util::Error. Violated internal invariants (library bugs) abort
+ * via FCC_ASSERT, mirroring the gem5 fatal()/panic() split.
+ */
+
+#ifndef FCC_UTIL_ERROR_HPP
+#define FCC_UTIL_ERROR_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace fcc::util {
+
+/**
+ * Exception thrown for all recoverable, input-caused failures.
+ *
+ * Every parser and codec in the library reports malformed or truncated
+ * input by throwing this type; no API silently truncates or returns
+ * partially-decoded data.
+ */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+/** Throw fcc::util::Error when @p cond is false. */
+inline void
+require(bool cond, const char *message)
+{
+    if (!cond)
+        throw Error(message);
+}
+
+/** Overload for dynamically-built messages. */
+inline void
+require(bool cond, const std::string &message)
+{
+    if (!cond)
+        throw Error(message);
+}
+
+} // namespace fcc::util
+
+/**
+ * Internal-invariant check. Unlike assert(3) this is active in all
+ * build types: a failure here is a library bug, never a user error.
+ */
+#define FCC_ASSERT(cond, msg)                                           \
+    do {                                                                \
+        if (!(cond)) {                                                  \
+            std::fprintf(stderr,                                        \
+                         "FCC_ASSERT failed at %s:%d: %s (%s)\n",       \
+                         __FILE__, __LINE__, #cond, msg);               \
+            std::abort();                                               \
+        }                                                               \
+    } while (0)
+
+#endif // FCC_UTIL_ERROR_HPP

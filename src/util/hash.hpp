@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Non-cryptographic hashing helpers used by flow tables and template
+ * stores.
+ */
+
+#ifndef FCC_UTIL_HASH_HPP
+#define FCC_UTIL_HASH_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace fcc::util {
+
+/** 64-bit FNV-1a over a byte range. */
+inline uint64_t
+fnv1a64(std::span<const uint8_t> data)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (uint8_t b : data) {
+        h ^= b;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** SplitMix64 finalizer; a strong 64-bit integer mixer. */
+inline uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Boost-style hash combiner. */
+inline uint64_t
+hashCombine(uint64_t seed, uint64_t v)
+{
+    return seed ^ (mix64(v) + 0x9e3779b97f4a7c15ull +
+                   (seed << 6) + (seed >> 2));
+}
+
+} // namespace fcc::util
+
+#endif // FCC_UTIL_HASH_HPP

@@ -1,0 +1,123 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace fcc::util {
+
+void
+Summary::add(double x)
+{
+    ++n_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+}
+
+double
+Summary::variance() const
+{
+    return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double
+Summary::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(std::vector<double> edges)
+    : edges_(std::move(edges))
+{
+    require(edges_.size() >= 2, "Histogram: need at least two edges");
+    require(std::is_sorted(edges_.begin(), edges_.end()) &&
+                std::adjacent_find(edges_.begin(), edges_.end()) ==
+                    edges_.end(),
+            "Histogram: edges must be strictly increasing");
+    counts_.assign(edges_.size() - 1, 0);
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < edges_.front()) {
+        ++underflow_;
+        return;
+    }
+    if (x >= edges_.back()) {
+        ++overflow_;
+        return;
+    }
+    auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
+    ++counts_[static_cast<size_t>(it - edges_.begin()) - 1];
+}
+
+double
+Histogram::fraction(size_t i) const
+{
+    require(i < counts_.size(), "Histogram: bucket out of range");
+    return total_ ? static_cast<double>(counts_[i]) /
+                        static_cast<double>(total_)
+                  : 0.0;
+}
+
+void
+Ecdf::ensureSorted() const
+{
+    if (dirty_) {
+        std::sort(sample_.begin(), sample_.end());
+        dirty_ = false;
+    }
+}
+
+double
+Ecdf::at(double x) const
+{
+    if (sample_.empty())
+        return 0.0;
+    ensureSorted();
+    auto it = std::upper_bound(sample_.begin(), sample_.end(), x);
+    return static_cast<double>(it - sample_.begin()) /
+           static_cast<double>(sample_.size());
+}
+
+double
+Ecdf::quantile(double q) const
+{
+    require(!sample_.empty(), "Ecdf: quantile of empty sample");
+    require(q >= 0.0 && q <= 1.0, "Ecdf: quantile out of [0,1]");
+    ensureSorted();
+    if (q == 0.0)
+        return sample_.front();
+    size_t idx = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(sample_.size()))) - 1;
+    idx = std::min(idx, sample_.size() - 1);
+    return sample_[idx];
+}
+
+double
+Ecdf::ksDistance(const Ecdf &other) const
+{
+    require(!sample_.empty() && !other.sample_.empty(),
+            "Ecdf: KS distance needs non-empty samples");
+    ensureSorted();
+    other.ensureSorted();
+    double d = 0.0;
+    for (double x : sample_)
+        d = std::max(d, std::abs(at(x) - other.at(x)));
+    for (double x : other.sample_)
+        d = std::max(d, std::abs(at(x) - other.at(x)));
+    return d;
+}
+
+} // namespace fcc::util

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Descriptive statistics: running summaries, fixed-bucket histograms
+ * and empirical CDFs. These back the figure-regeneration benches
+ * (cumulative-traffic curves of Figs. 2 and 3).
+ */
+
+#ifndef FCC_UTIL_STATS_HPP
+#define FCC_UTIL_STATS_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fcc::util {
+
+/** Streaming mean / variance / min / max (Welford's algorithm). */
+class Summary
+{
+  public:
+    /** Fold one observation into the summary. */
+    void add(double x);
+
+    size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** Unbiased sample variance (0 for n < 2). */
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/**
+ * Histogram with explicit bucket edges.
+ *
+ * Buckets are [edge[i], edge[i+1]); values below the first edge or at
+ * or above the last are counted in underflow/overflow.
+ */
+class Histogram
+{
+  public:
+    /** @param edges strictly increasing bucket boundaries (>= 2). */
+    explicit Histogram(std::vector<double> edges);
+
+    /** Count one observation. */
+    void add(double x);
+
+    size_t buckets() const { return counts_.size(); }
+    uint64_t countAt(size_t i) const { return counts_[i]; }
+    uint64_t underflow() const { return underflow_; }
+    uint64_t overflow() const { return overflow_; }
+    uint64_t total() const { return total_; }
+    double edge(size_t i) const { return edges_[i]; }
+
+    /** Fraction of all observations in bucket @p i. */
+    double fraction(size_t i) const;
+
+  private:
+    std::vector<double> edges_;
+    std::vector<uint64_t> counts_;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
+    uint64_t total_ = 0;
+};
+
+/**
+ * Empirical CDF over a collected sample; supports quantile queries
+ * and evaluation at arbitrary points.
+ */
+class Ecdf
+{
+  public:
+    /** Add one observation. */
+    void add(double x) { sample_.push_back(x); dirty_ = true; }
+
+    size_t count() const { return sample_.size(); }
+
+    /** P(X <= x) under the empirical distribution. */
+    double at(double x) const;
+
+    /**
+     * Empirical quantile for @p q in [0, 1] (inverse CDF,
+     * lower-value convention). Requires a non-empty sample.
+     */
+    double quantile(double q) const;
+
+    /**
+     * Two-sample Kolmogorov-Smirnov statistic between this sample
+     * and @p other; the closeness metric used to compare original
+     * and decompressed traces.
+     */
+    double ksDistance(const Ecdf &other) const;
+
+  private:
+    void ensureSorted() const;
+
+    mutable std::vector<double> sample_;
+    mutable bool dirty_ = false;
+};
+
+} // namespace fcc::util
+
+#endif // FCC_UTIL_STATS_HPP

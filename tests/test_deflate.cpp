@@ -1,0 +1,432 @@
+/**
+ * @file
+ * DEFLATE / zlib / gzip codec tests: round trips over adversarial
+ * inputs, cross-validation against system zlib in both directions,
+ * container integrity checks, and corrupt-stream rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "codec/deflate/deflate.hpp"
+#include "codec/deflate/huffman.hpp"
+#include "codec/deflate/lz77.hpp"
+#include "util/error.hpp"
+
+#if __has_include(<zlib.h>)
+#include <zlib.h>
+#define FCC_HAVE_ZLIB 1
+#endif
+
+namespace fd = fcc::codec::deflate;
+
+namespace {
+
+std::vector<uint8_t>
+bytesOf(const std::string &s)
+{
+    return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+/** Deterministic pseudo-random buffer. */
+std::vector<uint8_t>
+randomBytes(size_t n, uint32_t seed, int alphabet = 256)
+{
+    std::mt19937 gen(seed);
+    std::uniform_int_distribution<int> dist(0, alphabet - 1);
+    std::vector<uint8_t> out(n);
+    for (auto &b : out)
+        b = static_cast<uint8_t>(dist(gen));
+    return out;
+}
+
+/** Text-like compressible buffer. */
+std::vector<uint8_t>
+repetitiveBytes(size_t n)
+{
+    static const std::string phrase =
+        "the quick brown fox jumps over the lazy dog. ";
+    std::vector<uint8_t> out;
+    out.reserve(n);
+    while (out.size() < n)
+        out.push_back(
+            static_cast<uint8_t>(phrase[out.size() % phrase.size()]));
+    return out;
+}
+
+void
+expectRoundTrip(const std::vector<uint8_t> &data)
+{
+    auto compressed = fd::deflateCompress(data);
+    auto restored = fd::inflate(compressed);
+    ASSERT_EQ(restored.size(), data.size());
+    EXPECT_EQ(restored, data);
+}
+
+} // namespace
+
+// ---- LZ77 ------------------------------------------------------------
+
+TEST(Lz77, EmptyInputYieldsNoTokens)
+{
+    EXPECT_TRUE(fd::lz77Tokenize({}).empty());
+}
+
+TEST(Lz77, AllLiteralsForShortInput)
+{
+    auto data = bytesOf("ab");
+    auto tokens = fd::lz77Tokenize(data);
+    ASSERT_EQ(tokens.size(), 2u);
+    EXPECT_TRUE(tokens[0].isLiteral());
+    EXPECT_TRUE(tokens[1].isLiteral());
+}
+
+TEST(Lz77, FindsRepetition)
+{
+    auto data = bytesOf("abcabcabcabcabc");
+    auto tokens = fd::lz77Tokenize(data);
+    bool sawMatch = false;
+    for (const auto &tok : tokens)
+        sawMatch |= !tok.isLiteral();
+    EXPECT_TRUE(sawMatch);
+}
+
+TEST(Lz77, TokensReconstructInput)
+{
+    auto data = randomBytes(5000, 42, 4);  // small alphabet: matches
+    auto tokens = fd::lz77Tokenize(data);
+    std::vector<uint8_t> rebuilt;
+    for (const auto &tok : tokens) {
+        if (tok.isLiteral()) {
+            rebuilt.push_back(static_cast<uint8_t>(tok.length));
+        } else {
+            ASSERT_GE(tok.distance, 1);
+            ASSERT_LE(tok.distance, rebuilt.size());
+            ASSERT_GE(tok.length, fd::minMatch);
+            ASSERT_LE(tok.length, fd::maxMatch);
+            size_t from = rebuilt.size() - tok.distance;
+            for (size_t i = 0; i < tok.length; ++i)
+                rebuilt.push_back(rebuilt[from + i]);
+        }
+    }
+    EXPECT_EQ(rebuilt, data);
+}
+
+TEST(Lz77, RunOfOneByteUsesOverlappingMatch)
+{
+    std::vector<uint8_t> data(1000, 'x');
+    auto tokens = fd::lz77Tokenize(data);
+    // 1 literal plus a few long overlapping matches.
+    EXPECT_LT(tokens.size(), 10u);
+}
+
+// ---- Huffman ---------------------------------------------------------
+
+TEST(Huffman, SingleSymbolGetsOneBit)
+{
+    std::vector<uint64_t> freq(10, 0);
+    freq[3] = 100;
+    auto lens = fd::buildCodeLengths(freq, 15);
+    EXPECT_EQ(lens[3], 1);
+    for (size_t i = 0; i < lens.size(); ++i) {
+        if (i != 3) {
+            EXPECT_EQ(lens[i], 0) << i;
+        }
+    }
+}
+
+TEST(Huffman, KraftEqualityForCompleteCode)
+{
+    std::vector<uint64_t> freq = {50, 30, 10, 5, 3, 2, 1, 1};
+    auto lens = fd::buildCodeLengths(freq, 15);
+    double kraft = 0;
+    for (uint8_t len : lens)
+        if (len)
+            kraft += std::pow(2.0, -static_cast<double>(len));
+    EXPECT_DOUBLE_EQ(kraft, 1.0);
+}
+
+TEST(Huffman, RespectsMaxBits)
+{
+    // Fibonacci-ish frequencies force deep unconstrained trees.
+    std::vector<uint64_t> freq;
+    uint64_t a = 1, b = 1;
+    for (int i = 0; i < 30; ++i) {
+        freq.push_back(a);
+        uint64_t next = a + b;
+        a = b;
+        b = next;
+    }
+    auto lens = fd::buildCodeLengths(freq, 9);
+    for (uint8_t len : lens) {
+        EXPECT_GE(len, 1);
+        EXPECT_LE(len, 9);
+    }
+    double kraft = 0;
+    for (uint8_t len : lens)
+        kraft += std::pow(2.0, -static_cast<double>(len));
+    EXPECT_LE(kraft, 1.0 + 1e-12);
+}
+
+TEST(Huffman, OptimalityMatchesEntropyOrdering)
+{
+    // More frequent symbols never get longer codes.
+    std::vector<uint64_t> freq = {100, 50, 25, 12, 6, 3, 1};
+    auto lens = fd::buildCodeLengths(freq, 15);
+    for (size_t i = 1; i < freq.size(); ++i)
+        EXPECT_LE(lens[i - 1], lens[i]);
+}
+
+TEST(Huffman, CanonicalCodesAreGapFree)
+{
+    std::vector<uint8_t> lens = {3, 3, 3, 3, 3, 2, 4, 4};
+    auto codes = fd::canonicalCodes(lens);
+    // RFC 1951 example: verify prefix-freeness via decode table.
+    fd::HuffmanDecoder decoder(lens);
+    EXPECT_EQ(decoder.usedSymbols(), 8u);
+}
+
+TEST(Huffman, DecoderRejectsOversubscribed)
+{
+    std::vector<uint8_t> lens = {1, 1, 1};
+    EXPECT_THROW(fd::HuffmanDecoder d(lens), fcc::util::Error);
+}
+
+TEST(Huffman, DecoderRejectsIncompleteUnlessAllowed)
+{
+    std::vector<uint8_t> lens = {2, 2, 2};  // one slot missing
+    EXPECT_THROW(fd::HuffmanDecoder d(lens), fcc::util::Error);
+    EXPECT_NO_THROW(fd::HuffmanDecoder d(lens, true));
+}
+
+TEST(Huffman, RoundTripThroughBitstream)
+{
+    std::vector<uint64_t> freq = {40, 30, 20, 10, 5, 5, 3, 2, 1};
+    auto lens = fd::buildCodeLengths(freq, 15);
+    auto codes = fd::canonicalCodes(lens);
+    fd::HuffmanDecoder decoder(lens);
+
+    std::vector<int> message = {0, 1, 2, 8, 7, 3, 0, 0, 5, 4, 6, 2};
+    fcc::util::BitWriter w;
+    for (int sym : message)
+        w.putHuff(codes[sym], lens[sym]);
+    auto bits = w.take();
+    fcc::util::BitReader r(bits);
+    for (int sym : message)
+        EXPECT_EQ(decoder.decode(r), sym);
+}
+
+// ---- deflate round trips ----------------------------------------------
+
+TEST(Deflate, EmptyInput)
+{
+    expectRoundTrip({});
+}
+
+TEST(Deflate, OneByte)
+{
+    expectRoundTrip({0x42});
+}
+
+TEST(Deflate, ShortText)
+{
+    expectRoundTrip(bytesOf("hello, deflate"));
+}
+
+TEST(Deflate, AllByteValues)
+{
+    std::vector<uint8_t> data(256);
+    for (int i = 0; i < 256; ++i)
+        data[i] = static_cast<uint8_t>(i);
+    expectRoundTrip(data);
+}
+
+TEST(Deflate, LongRun)
+{
+    expectRoundTrip(std::vector<uint8_t>(100000, 0xaa));
+}
+
+TEST(Deflate, RepetitiveTextCompressesWell)
+{
+    auto data = repetitiveBytes(50000);
+    auto compressed = fd::deflateCompress(data);
+    EXPECT_LT(compressed.size(), data.size() / 10);
+    EXPECT_EQ(fd::inflate(compressed), data);
+}
+
+TEST(Deflate, IncompressibleRandomData)
+{
+    auto data = randomBytes(65536, 7);
+    auto compressed = fd::deflateCompress(data);
+    // Stored blocks keep the expansion tiny.
+    EXPECT_LT(compressed.size(), data.size() + 64);
+    EXPECT_EQ(fd::inflate(compressed), data);
+}
+
+TEST(Deflate, MultiBlockInput)
+{
+    auto data = randomBytes(1 << 20, 13, 16);
+    expectRoundTrip(data);
+}
+
+TEST(Deflate, MatchesAcrossBlockBoundary)
+{
+    // Repetition straddling the 32768-token block split.
+    auto head = randomBytes(300000, 5, 8);
+    std::vector<uint8_t> data = head;
+    data.insert(data.end(), head.begin(), head.begin() + 20000);
+    expectRoundTrip(data);
+}
+
+struct DeflateSweepParam
+{
+    size_t size;
+    int alphabet;
+};
+
+class DeflateSweep
+    : public ::testing::TestWithParam<DeflateSweepParam>
+{};
+
+TEST_P(DeflateSweep, RoundTrip)
+{
+    auto [size, alphabet] = GetParam();
+    auto data = randomBytes(size, static_cast<uint32_t>(size + alphabet),
+                            alphabet);
+    expectRoundTrip(data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndAlphabets, DeflateSweep,
+    ::testing::Values(DeflateSweepParam{1, 2},
+                      DeflateSweepParam{2, 2},
+                      DeflateSweepParam{3, 2},
+                      DeflateSweepParam{257, 2},
+                      DeflateSweepParam{1000, 2},
+                      DeflateSweepParam{1000, 3},
+                      DeflateSweepParam{4096, 5},
+                      DeflateSweepParam{32768, 7},
+                      DeflateSweepParam{32769, 7},
+                      DeflateSweepParam{65535, 11},
+                      DeflateSweepParam{65536, 17},
+                      DeflateSweepParam{65537, 31},
+                      DeflateSweepParam{200000, 64},
+                      DeflateSweepParam{200000, 250}));
+
+// ---- corrupt stream handling -------------------------------------------
+
+TEST(Deflate, RejectsTruncatedStream)
+{
+    auto compressed = fd::deflateCompress(repetitiveBytes(10000));
+    compressed.resize(compressed.size() / 2);
+    EXPECT_THROW(fd::inflate(compressed), fcc::util::Error);
+}
+
+TEST(Deflate, RejectsReservedBlockType)
+{
+    // BFINAL=1, BTYPE=3 (reserved).
+    std::vector<uint8_t> bad = {0x07};
+    EXPECT_THROW(fd::inflate(bad), fcc::util::Error);
+}
+
+TEST(Deflate, RejectsBadStoredLength)
+{
+    // Stored block whose NLEN is not ~LEN.
+    std::vector<uint8_t> bad = {0x01, 0x05, 0x00, 0x00, 0x00};
+    EXPECT_THROW(fd::inflate(bad), fcc::util::Error);
+}
+
+// ---- containers --------------------------------------------------------
+
+TEST(Zlib, RoundTrip)
+{
+    auto data = repetitiveBytes(20000);
+    EXPECT_EQ(fd::zlibDecompress(fd::zlibCompress(data)), data);
+}
+
+TEST(Zlib, DetectsCorruptChecksum)
+{
+    auto stream = fd::zlibCompress(bytesOf("payload"));
+    stream.back() ^= 0xff;
+    EXPECT_THROW(fd::zlibDecompress(stream), fcc::util::Error);
+}
+
+TEST(Gzip, RoundTrip)
+{
+    auto data = randomBytes(30000, 21, 40);
+    EXPECT_EQ(fd::gzipDecompress(fd::gzipCompress(data)), data);
+}
+
+TEST(Gzip, DetectsCorruptCrc)
+{
+    auto stream = fd::gzipCompress(bytesOf("payload"));
+    stream[stream.size() - 5] ^= 0xff;
+    EXPECT_THROW(fd::gzipDecompress(stream), fcc::util::Error);
+}
+
+TEST(Gzip, RejectsBadMagic)
+{
+    auto stream = fd::gzipCompress(bytesOf("payload"));
+    stream[0] = 0;
+    EXPECT_THROW(fd::gzipDecompress(stream), fcc::util::Error);
+}
+
+#ifdef FCC_HAVE_ZLIB
+// ---- cross-validation against system zlib ------------------------------
+
+TEST(ZlibInterop, SystemZlibInflatesOurStreams)
+{
+    auto data = repetitiveBytes(150000);
+    auto ours = fd::zlibCompress(data);
+
+    std::vector<uint8_t> out(data.size());
+    uLongf outLen = out.size();
+    int rc = ::uncompress(out.data(), &outLen, ours.data(),
+                          static_cast<uLong>(ours.size()));
+    ASSERT_EQ(rc, Z_OK);
+    out.resize(outLen);
+    EXPECT_EQ(out, data);
+}
+
+TEST(ZlibInterop, WeInflateSystemZlibStreams)
+{
+    auto data = randomBytes(150000, 99, 30);
+    uLongf bound = ::compressBound(static_cast<uLong>(data.size()));
+    std::vector<uint8_t> theirs(bound);
+    int rc = ::compress2(theirs.data(), &bound, data.data(),
+                         static_cast<uLong>(data.size()), 9);
+    ASSERT_EQ(rc, Z_OK);
+    theirs.resize(bound);
+    EXPECT_EQ(fd::zlibDecompress(theirs), data);
+}
+
+TEST(ZlibInterop, RandomBuffersBothDirections)
+{
+    for (uint32_t seed = 1; seed <= 6; ++seed) {
+        auto data = randomBytes(20000 + seed * 7777, seed,
+                                seed % 2 ? 5 : 200);
+
+        auto ours = fd::zlibCompress(data);
+        std::vector<uint8_t> out(data.size());
+        uLongf outLen = out.size();
+        ASSERT_EQ(::uncompress(out.data(), &outLen, ours.data(),
+                               static_cast<uLong>(ours.size())),
+                  Z_OK);
+        out.resize(outLen);
+        EXPECT_EQ(out, data) << "seed " << seed;
+
+        uLongf bound = ::compressBound(
+            static_cast<uLong>(data.size()));
+        std::vector<uint8_t> theirs(bound);
+        ASSERT_EQ(::compress2(theirs.data(), &bound, data.data(),
+                              static_cast<uLong>(data.size()), 6),
+                  Z_OK);
+        theirs.resize(bound);
+        EXPECT_EQ(fd::zlibDecompress(theirs), data)
+            << "seed " << seed;
+    }
+}
+#endif  // FCC_HAVE_ZLIB

@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Edge-case and property sweeps across modules: the Van Jacobson
+ * escape paths (large time deltas, sequence regressions, field
+ * churn), characterizer behaviour over a grid of legal weight
+ * vectors, cache-geometry invariants, and distribution/stat
+ * properties that must hold for any parameterization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "codec/vj/vj.hpp"
+#include "flow/characterize.hpp"
+#include "memsim/cache_model.hpp"
+#include "trace/trace.hpp"
+#include "trace/tsh.hpp"
+#include "util/distributions.hpp"
+#include "util/rng.hpp"
+
+using namespace fcc;
+namespace vj = fcc::codec::vj;
+
+namespace {
+
+trace::PacketRecord
+basePacket()
+{
+    trace::PacketRecord pkt;
+    pkt.srcIp = 0x0a000001;
+    pkt.dstIp = 0xc0a80001;
+    pkt.srcPort = 1234;
+    pkt.dstPort = 80;
+    pkt.tcpFlags = trace::tcp_flags::Ack;
+    pkt.payloadBytes = 100;
+    pkt.window = 8192;
+    return pkt;
+}
+
+void
+expectVjLossless(const trace::Trace &t)
+{
+    vj::VjTraceCompressor codec;
+    trace::Trace back = codec.decompress(codec.compress(t));
+    ASSERT_EQ(back.size(), t.size());
+    for (size_t i = 0; i < t.size(); ++i) {
+        EXPECT_EQ(back[i].timestampUs(), t[i].timestampUs()) << i;
+        EXPECT_EQ(back[i].seq, t[i].seq) << i;
+        EXPECT_EQ(back[i].ack, t[i].ack) << i;
+        EXPECT_EQ(back[i].window, t[i].window) << i;
+        EXPECT_EQ(back[i].ipId, t[i].ipId) << i;
+        EXPECT_EQ(back[i].payloadBytes, t[i].payloadBytes) << i;
+        EXPECT_EQ(back[i].tcpFlags, t[i].tcpFlags) << i;
+    }
+}
+
+} // namespace
+
+// ---- Van Jacobson escape paths --------------------------------------------
+
+TEST(VjEdges, HugeTimeDeltaTakesEscape)
+{
+    trace::Trace t;
+    auto pkt = basePacket();
+    pkt.timestampNs = 0;
+    t.add(pkt);
+    // 2 minutes later: far beyond the 16-bit microsecond field.
+    pkt.timestampNs = 120ull * 1000000000ull;
+    pkt.seq += pkt.payloadBytes;
+    ++pkt.ipId;
+    t.add(pkt);
+    expectVjLossless(t);
+}
+
+TEST(VjEdges, SequenceRegression)
+{
+    // Retransmission: sequence number goes backwards.
+    trace::Trace t;
+    auto pkt = basePacket();
+    pkt.timestampNs = 0;
+    pkt.seq = 5000;
+    t.add(pkt);
+    pkt.timestampNs = 1000000;
+    pkt.seq = 4000;  // regression
+    t.add(pkt);
+    expectVjLossless(t);
+}
+
+TEST(VjEdges, SequenceWraparound)
+{
+    trace::Trace t;
+    auto pkt = basePacket();
+    pkt.timestampNs = 0;
+    pkt.seq = 0xffffff80u;
+    pkt.payloadBytes = 1000;  // wraps past 2^32
+    t.add(pkt);
+    pkt.timestampNs = 1000000;
+    pkt.seq += 1000;  // wrapped value
+    ++pkt.ipId;
+    t.add(pkt);
+    expectVjLossless(t);
+}
+
+TEST(VjEdges, IpIdNonMonotonic)
+{
+    trace::Trace t;
+    auto pkt = basePacket();
+    for (uint16_t id : {100, 99, 65535, 0, 7}) {
+        pkt.ipId = id;
+        t.add(pkt);
+        pkt.timestampNs += 500000;
+        pkt.seq += pkt.payloadBytes;
+    }
+    expectVjLossless(t);
+}
+
+TEST(VjEdges, EveryFieldChurnsEveryPacket)
+{
+    util::Rng rng(5);
+    trace::Trace t;
+    auto pkt = basePacket();
+    uint64_t ts = 0;
+    for (int i = 0; i < 500; ++i) {
+        ts += rng.uniformInt(1, 100000000);
+        pkt.timestampNs = ts * 1000;
+        pkt.seq = static_cast<uint32_t>(rng.next());
+        pkt.ack = static_cast<uint32_t>(rng.next());
+        pkt.window = static_cast<uint16_t>(rng.next());
+        pkt.ipId = static_cast<uint16_t>(rng.next());
+        pkt.payloadBytes = static_cast<uint16_t>(
+            rng.uniformInt(0, 1460));
+        pkt.tcpFlags = static_cast<uint8_t>(rng.uniformInt(0, 63));
+        t.add(pkt);
+    }
+    expectVjLossless(t);
+}
+
+TEST(VjEdges, ManyInterleavedFlows)
+{
+    util::Rng rng(6);
+    trace::Trace t;
+    uint64_t ts = 0;
+    for (int i = 0; i < 2000; ++i) {
+        auto pkt = basePacket();
+        pkt.srcPort = static_cast<uint16_t>(
+            1000 + rng.uniformInt(0, 99));  // 100 flows
+        ts += rng.uniformInt(1, 1000);
+        pkt.timestampNs = ts * 1000;
+        pkt.seq = static_cast<uint32_t>(i) * 13;
+        t.add(pkt);
+    }
+    expectVjLossless(t);
+}
+
+TEST(VjEdges, NonTcpPacketsSurvive)
+{
+    trace::Trace t;
+    auto pkt = basePacket();
+    pkt.protocol = trace::ip_proto::Udp;
+    pkt.tcpFlags = 0;
+    for (int i = 0; i < 10; ++i) {
+        pkt.timestampNs = static_cast<uint64_t>(i) * 1000000;
+        pkt.ipId = static_cast<uint16_t>(i);
+        t.add(pkt);
+    }
+    expectVjLossless(t);
+}
+
+// ---- characterizer over a weight grid --------------------------------------
+
+class WeightGrid
+    : public ::testing::TestWithParam<flow::Weights>
+{};
+
+TEST_P(WeightGrid, EncodeDecodeBijection)
+{
+    flow::Characterizer chi(GetParam());
+    for (int f1 = 0; f1 <= 3; ++f1) {
+        for (int dep = 0; dep <= 1; ++dep) {
+            for (int f3 = 0; f3 <= 2; ++f3) {
+                flow::PacketClass cls;
+                cls.flag = static_cast<flow::FlagClass>(f1);
+                cls.dependent = dep == 1;
+                cls.size = static_cast<flow::SizeClass>(f3);
+                EXPECT_EQ(chi.decode(chi.encode(cls)), cls);
+            }
+        }
+    }
+}
+
+TEST_P(WeightGrid, DistinctClassesDistinctCodes)
+{
+    flow::Characterizer chi(GetParam());
+    std::set<uint16_t> codes;
+    for (int f1 = 0; f1 <= 3; ++f1)
+        for (int dep = 0; dep <= 1; ++dep)
+            for (int f3 = 0; f3 <= 2; ++f3) {
+                flow::PacketClass cls{
+                    static_cast<flow::FlagClass>(f1), dep == 1,
+                    static_cast<flow::SizeClass>(f3)};
+                codes.insert(chi.encode(cls));
+            }
+    EXPECT_EQ(codes.size(), 24u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LegalWeights, WeightGrid,
+    ::testing::Values(flow::Weights{7, 3, 1}, flow::Weights{16, 4, 1},
+                      flow::Weights{16, 8, 2},
+                      flow::Weights{32, 8, 2},
+                      flow::Weights{64, 16, 4},
+                      flow::Weights{81, 9, 3},
+                      flow::Weights{10, 3, 1}),
+    [](const auto &info) {
+        return "w" + std::to_string(info.param.w1) + "_" +
+               std::to_string(info.param.w2) + "_" +
+               std::to_string(info.param.w3);
+    });
+
+// ---- cache geometry sweep ---------------------------------------------------
+
+struct CacheGeometry
+{
+    uint32_t sizeKb;
+    uint32_t ways;
+};
+
+class CacheSweep : public ::testing::TestWithParam<CacheGeometry>
+{};
+
+TEST_P(CacheSweep, SequentialThenRepeatBehaviour)
+{
+    auto [sizeKb, ways] = GetParam();
+    memsim::CacheConfig cfg;
+    cfg.sizeBytes = sizeKb * 1024;
+    cfg.lineBytes = 32;
+    cfg.ways = ways;
+    memsim::CacheModel cache(cfg);
+
+    uint32_t lines = cfg.sizeBytes / cfg.lineBytes;
+    // First pass over exactly the cache capacity: all misses.
+    for (uint32_t i = 0; i < lines; ++i)
+        EXPECT_FALSE(cache.access(static_cast<uint64_t>(i) * 32));
+    // Second pass: everything fits, so all hits (true LRU keeps the
+    // working set resident regardless of associativity here because
+    // lines map uniformly).
+    for (uint32_t i = 0; i < lines; ++i)
+        EXPECT_TRUE(cache.access(static_cast<uint64_t>(i) * 32));
+    EXPECT_EQ(cache.misses(), lines);
+    EXPECT_EQ(cache.hits(), lines);
+}
+
+TEST_P(CacheSweep, OverCapacityStreamingNeverHits)
+{
+    auto [sizeKb, ways] = GetParam();
+    memsim::CacheConfig cfg;
+    cfg.sizeBytes = sizeKb * 1024;
+    cfg.lineBytes = 32;
+    cfg.ways = ways;
+    memsim::CacheModel cache(cfg);
+
+    // A cyclic stream of 2x capacity under LRU: zero hits forever.
+    uint32_t lines = 2 * cfg.sizeBytes / cfg.lineBytes;
+    for (int pass = 0; pass < 3; ++pass)
+        for (uint32_t i = 0; i < lines; ++i)
+            EXPECT_FALSE(cache.access(static_cast<uint64_t>(i) * 32))
+                << pass << ":" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheSweep,
+    ::testing::Values(CacheGeometry{4, 1}, CacheGeometry{8, 2},
+                      CacheGeometry{16, 2}, CacheGeometry{16, 4},
+                      CacheGeometry{32, 4}, CacheGeometry{64, 8},
+                      CacheGeometry{32, 1}),
+    [](const auto &info) {
+        return std::to_string(info.param.sizeKb) + "kb" +
+               std::to_string(info.param.ways) + "w";
+    });
+
+// ---- distribution properties ------------------------------------------------
+
+class ZipfSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(ZipfSweep, RankProbabilitiesDecrease)
+{
+    double s = GetParam();
+    util::Rng rng(11);
+    util::Zipf dist(100, s);
+    std::vector<int> counts(101, 0);
+    for (int i = 0; i < 200000; ++i)
+        ++counts[dist.sample(rng)];
+    // Aggregate into rank decades to suppress noise; each decade's
+    // mass must not increase for s > 0.
+    if (s > 0.0) {
+        int prev = 1 << 30;
+        for (int decade = 0; decade < 10; ++decade) {
+            int mass = 0;
+            for (int r = decade * 10 + 1; r <= decade * 10 + 10; ++r)
+                mass += counts[r];
+            EXPECT_LE(mass, prev + 1500) << "decade " << decade;
+            prev = mass;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfSweep,
+                         ::testing::Values(0.0, 0.5, 0.8, 1.0, 1.2,
+                                           2.0));

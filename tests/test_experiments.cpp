@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Integration tests over the experiment drivers: these assert the
+ * paper's qualitative claims end to end — Figure 1's size ordering,
+ * the §5 ratio table, and Figures 2/3's "original ≈ decompressed,
+ * random and fracexp diverge" similarity structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "experiments/experiments.hpp"
+#include "memsim/profile_report.hpp"
+#include "util/stats.hpp"
+
+namespace ex = fcc::experiments;
+namespace memsim = fcc::memsim;
+namespace trace = fcc::trace;
+
+namespace {
+
+trace::WebGenConfig
+smallWorkload()
+{
+    trace::WebGenConfig cfg;
+    cfg.seed = 1001;
+    cfg.durationSec = 12.0;
+    cfg.flowsPerSec = 80.0;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Figure1, SizesOrderedAtEverySlice)
+{
+    auto rows = ex::runFileSizeComparison(smallWorkload(),
+                                          {3, 6, 9, 12});
+    ASSERT_EQ(rows.size(), 4u);
+    for (const auto &row : rows) {
+        EXPECT_GT(row.packets, 0u);
+        EXPECT_LT(row.gzipBytes, row.originalTshBytes);
+        EXPECT_LT(row.vjBytes, row.gzipBytes);
+        EXPECT_LT(row.peuhkuriBytes, row.vjBytes);
+        EXPECT_LT(row.fccBytes, row.peuhkuriBytes);
+    }
+    // Sizes grow with elapsed time for every series.
+    for (size_t i = 1; i < rows.size(); ++i) {
+        EXPECT_GT(rows[i].originalTshBytes,
+                  rows[i - 1].originalTshBytes);
+        EXPECT_GT(rows[i].fccBytes, rows[i - 1].fccBytes);
+    }
+}
+
+TEST(Figure1, FccStaysNearThreePercent)
+{
+    auto rows = ex::runFileSizeComparison(smallWorkload(), {12});
+    double ratio = static_cast<double>(rows[0].fccBytes) /
+                   static_cast<double>(rows[0].originalTshBytes);
+    EXPECT_GT(ratio, 0.01);
+    EXPECT_LT(ratio, 0.06);
+}
+
+TEST(RatioTable, MeasuredTracksAnalytical)
+{
+    auto rows = ex::runRatioComparison(smallWorkload());
+    ASSERT_EQ(rows.size(), 4u);
+    for (const auto &row : rows) {
+        EXPECT_GT(row.measured, 0.0) << row.method;
+        EXPECT_LT(row.measured, 1.0) << row.method;
+        if (row.analytical > 0.0) {
+            // Model and measurement agree within a factor of ~2.5
+            // (the models ignore container/template overheads).
+            EXPECT_LT(row.measured / row.analytical, 2.5)
+                << row.method;
+            EXPECT_GT(row.measured / row.analytical, 0.4)
+                << row.method;
+        }
+    }
+}
+
+class MemoryValidation : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        ex::ValidationConfig cfg;
+        cfg.webCfg = smallWorkload();
+        results_ = new std::vector<ex::ValidationResult>(
+            ex::runMemoryValidation(cfg));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete results_;
+        results_ = nullptr;
+    }
+
+    static const std::vector<memsim::PacketSample> &
+    samplesOf(ex::ValidationTrace kind)
+    {
+        for (const auto &result : *results_)
+            if (result.trace == kind)
+                return result.samples;
+        throw std::logic_error("trace not found");
+    }
+
+    static fcc::util::Ecdf
+    accessEcdf(ex::ValidationTrace kind)
+    {
+        fcc::util::Ecdf ecdf;
+        for (const auto &sample : samplesOf(kind))
+            ecdf.add(sample.accesses);
+        return ecdf;
+    }
+
+    static std::vector<ex::ValidationResult> *results_;
+};
+
+std::vector<ex::ValidationResult> *MemoryValidation::results_ =
+    nullptr;
+
+TEST_F(MemoryValidation, AllFourTracesProfiled)
+{
+    ASSERT_EQ(results_->size(), 4u);
+    size_t n = samplesOf(ex::ValidationTrace::Original).size();
+    EXPECT_GT(n, 5000u);
+    for (const auto &result : *results_)
+        EXPECT_EQ(result.samples.size(), n)
+            << ex::validationTraceName(result.trace);
+}
+
+TEST_F(MemoryValidation, Figure2DecompressedClosestToOriginal)
+{
+    auto orig = accessEcdf(ex::ValidationTrace::Original);
+    auto decomp = accessEcdf(ex::ValidationTrace::Decompressed);
+    auto random = accessEcdf(ex::ValidationTrace::Random);
+    auto fracexp = accessEcdf(ex::ValidationTrace::FracExp);
+
+    double dDecomp = orig.ksDistance(decomp);
+    double dRandom = orig.ksDistance(random);
+    double dFracexp = orig.ksDistance(fracexp);
+
+    // The paper's core claim: the decompressed trace behaves like
+    // the original while the synthetic comparison traces do not.
+    EXPECT_LT(dDecomp, dRandom);
+    EXPECT_LT(dDecomp, dFracexp);
+    EXPECT_LT(dDecomp, 0.45);
+    EXPECT_GT(dRandom, 0.5);
+    EXPECT_GT(dFracexp, 0.5);
+}
+
+TEST_F(MemoryValidation, Figure2MeanAccessesMatch)
+{
+    double orig =
+        memsim::meanAccesses(samplesOf(ex::ValidationTrace::Original));
+    double decomp = memsim::meanAccesses(
+        samplesOf(ex::ValidationTrace::Decompressed));
+    double random =
+        memsim::meanAccesses(samplesOf(ex::ValidationTrace::Random));
+    EXPECT_NEAR(decomp, orig, orig * 0.2);
+    EXPECT_LT(random, orig * 0.6);
+}
+
+TEST_F(MemoryValidation, Figure3RandomDiverges)
+{
+    auto orig =
+        memsim::missRateBuckets(samplesOf(ex::ValidationTrace::Original));
+    auto decomp = memsim::missRateBuckets(
+        samplesOf(ex::ValidationTrace::Decompressed));
+    auto random =
+        memsim::missRateBuckets(samplesOf(ex::ValidationTrace::Random));
+
+    // Decompressed matches original far better than random does in
+    // the low-miss bucket (paper: random has almost no packets
+    // below 5 % while original/decompressed have the majority).
+    double gapDecomp = std::abs(orig.share[0] - decomp.share[0]);
+    double gapRandom = std::abs(orig.share[0] - random.share[0]);
+    EXPECT_LT(gapDecomp, gapRandom);
+    EXPECT_LT(random.share[0], 0.1);
+    EXPECT_GT(orig.share[0], 0.25);
+    EXPECT_GT(decomp.share[0], 0.25);
+    // Random's mass sits in the high-miss buckets.
+    EXPECT_GT(random.share[2] + random.share[3], 0.7);
+}
+
+TEST(ValidationNames, Labels)
+{
+    EXPECT_STREQ(ex::validationTraceName(
+                     ex::ValidationTrace::Original),
+                 "original");
+    EXPECT_STREQ(ex::validationTraceName(
+                     ex::ValidationTrace::FracExp),
+                 "fracexp");
+    EXPECT_STREQ(ex::kernelName(ex::Kernel::Rtr), "rtr");
+}
+
+TEST(ValidationKernels, NatAndRtrAlsoSeparateTraces)
+{
+    // The similarity structure holds for the other two kernels too.
+    for (ex::Kernel kernel : {ex::Kernel::Nat, ex::Kernel::Rtr}) {
+        ex::ValidationConfig cfg;
+        cfg.webCfg = smallWorkload();
+        cfg.webCfg.durationSec = 6.0;
+        cfg.kernel = kernel;
+        auto results = ex::runMemoryValidation(cfg);
+        ASSERT_EQ(results.size(), 4u);
+
+        double orig = memsim::meanAccesses(results[0].samples);
+        double decomp = memsim::meanAccesses(results[1].samples);
+        double random = memsim::meanAccesses(results[2].samples);
+        EXPECT_NEAR(decomp, orig, orig * 0.25)
+            << ex::kernelName(kernel);
+        EXPECT_LT(random, orig) << ex::kernelName(kernel);
+    }
+}

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Tests of the netbench substrate: LPM correctness of both tree
+ * structures (cross-checked against a linear-scan oracle), routing
+ * table generation, the three packet kernels, and instrumentation
+ * plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "memsim/memory_recorder.hpp"
+#include "netbench/apps.hpp"
+#include "netbench/patricia_trie.hpp"
+#include "netbench/radix_tree.hpp"
+#include "memsim/profile_report.hpp"
+#include "netbench/route_entry.hpp"
+#include "trace/web_gen.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+using namespace fcc;
+using namespace fcc::netbench;
+
+namespace {
+
+/** Reference longest-prefix match by linear scan. */
+std::optional<uint32_t>
+oracleLookup(const std::vector<RouteEntry> &table, uint32_t addr)
+{
+    const RouteEntry *best = nullptr;
+    for (const auto &entry : table) {
+        if (!entry.matches(addr))
+            continue;
+        if (!best || entry.prefixLen > best->prefixLen)
+            best = &entry;
+    }
+    if (!best)
+        return std::nullopt;
+    return best->nextHop;
+}
+
+RouteEntry
+route(const char *prefix, uint8_t len, uint32_t hop)
+{
+    return RouteEntry{trace::parseIp(prefix), len, hop};
+}
+
+} // namespace
+
+// ---- RouteEntry -----------------------------------------------------------
+
+TEST(RouteEntry, MatchSemantics)
+{
+    RouteEntry r = route("10.1.0.0", 16, 1);
+    EXPECT_TRUE(r.matches(trace::parseIp("10.1.2.3")));
+    EXPECT_FALSE(r.matches(trace::parseIp("10.2.2.3")));
+    RouteEntry def = route("0.0.0.0", 0, 9);
+    EXPECT_TRUE(def.matches(0));
+    EXPECT_TRUE(def.matches(0xffffffff));
+    RouteEntry host = route("1.2.3.4", 32, 2);
+    EXPECT_TRUE(host.matches(trace::parseIp("1.2.3.4")));
+    EXPECT_FALSE(host.matches(trace::parseIp("1.2.3.5")));
+}
+
+TEST(RoutingTableGen, DeterministicAndUnique)
+{
+    auto a = generateRoutingTable(5000, 42);
+    auto b = generateRoutingTable(5000, 42);
+    ASSERT_EQ(a.size(), 5000u);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].prefix, b[i].prefix);
+        EXPECT_EQ(a[i].prefixLen, b[i].prefixLen);
+    }
+    // Prefixes are aligned to their length and unique.
+    std::set<std::pair<uint32_t, uint8_t>> seen;
+    for (const auto &entry : a) {
+        uint32_t mask = entry.prefixLen >= 32
+            ? 0xffffffffu
+            : (entry.prefixLen == 0
+                   ? 0u
+                   : ~((1u << (32 - entry.prefixLen)) - 1));
+        EXPECT_EQ(entry.prefix & mask, entry.prefix);
+        EXPECT_TRUE(seen.insert({entry.prefix, entry.prefixLen})
+                        .second);
+    }
+}
+
+TEST(RoutingTableGen, MassAtSlash24)
+{
+    auto table = generateRoutingTable(20000, 7);
+    size_t at24 = 0;
+    for (const auto &entry : table)
+        at24 += entry.prefixLen == 24;
+    double share = static_cast<double>(at24) / table.size();
+    EXPECT_GT(share, 0.35);
+    EXPECT_LT(share, 0.60);
+}
+
+// ---- RadixTree vs PatriciaTrie correctness -------------------------------
+
+class LpmStructures : public ::testing::Test
+{
+  protected:
+    void
+    buildBoth(const std::vector<RouteEntry> &table)
+    {
+        radix.build(table);
+        patricia.build(table);
+        this->table = table;
+    }
+
+    void
+    checkAgainstOracle(uint32_t addr)
+    {
+        auto expect = oracleLookup(table, addr);
+        EXPECT_EQ(radix.lookup(addr), expect) << trace::formatIp(addr);
+        EXPECT_EQ(patricia.lookup(addr), expect)
+            << trace::formatIp(addr);
+    }
+
+    RadixTree radix;
+    PatriciaTrie patricia;
+    std::vector<RouteEntry> table;
+};
+
+TEST_F(LpmStructures, EmptyTreeFindsNothing)
+{
+    EXPECT_FALSE(radix.lookup(123).has_value());
+    EXPECT_FALSE(patricia.lookup(123).has_value());
+}
+
+TEST_F(LpmStructures, NestedPrefixesPickMostSpecific)
+{
+    buildBoth({
+        route("10.0.0.0", 8, 1),
+        route("10.1.0.0", 16, 2),
+        route("10.1.2.0", 24, 3),
+        route("10.1.2.3", 32, 4),
+    });
+    checkAgainstOracle(trace::parseIp("10.1.2.3"));   // /32
+    checkAgainstOracle(trace::parseIp("10.1.2.99"));  // /24
+    checkAgainstOracle(trace::parseIp("10.1.9.9"));   // /16
+    checkAgainstOracle(trace::parseIp("10.9.9.9"));   // /8
+    checkAgainstOracle(trace::parseIp("11.0.0.1"));   // none
+}
+
+TEST_F(LpmStructures, DefaultRouteCatchesAll)
+{
+    buildBoth({route("0.0.0.0", 0, 7), route("128.0.0.0", 1, 8)});
+    checkAgainstOracle(trace::parseIp("1.1.1.1"));
+    checkAgainstOracle(trace::parseIp("200.1.1.1"));
+}
+
+TEST_F(LpmStructures, DuplicateInsertReplaces)
+{
+    buildBoth({route("10.0.0.0", 8, 1)});
+    radix.insert(route("10.0.0.0", 8, 99));
+    patricia.insert(route("10.0.0.0", 8, 99));
+    EXPECT_EQ(radix.lookup(trace::parseIp("10.1.1.1")).value(), 99u);
+    EXPECT_EQ(patricia.lookup(trace::parseIp("10.1.1.1")).value(),
+              99u);
+}
+
+TEST_F(LpmStructures, SiblingSplitsInPatricia)
+{
+    // Prefixes sharing long runs force edge splits.
+    buildBoth({
+        route("192.168.0.0", 24, 1),
+        route("192.168.1.0", 24, 2),
+        route("192.168.0.128", 25, 3),
+        route("192.169.0.0", 16, 4),
+    });
+    checkAgainstOracle(trace::parseIp("192.168.0.5"));
+    checkAgainstOracle(trace::parseIp("192.168.0.200"));
+    checkAgainstOracle(trace::parseIp("192.168.1.77"));
+    checkAgainstOracle(trace::parseIp("192.169.5.5"));
+    checkAgainstOracle(trace::parseIp("192.170.0.1"));
+}
+
+TEST_F(LpmStructures, RandomizedAgainstOracle)
+{
+    auto table = generateRoutingTable(3000, 11);
+    buildBoth(table);
+    util::Rng rng(12);
+    for (int i = 0; i < 3000; ++i) {
+        // Half the probes target table prefixes (guaranteed hits).
+        uint32_t addr;
+        if (i % 2 == 0) {
+            const auto &entry = table[rng.uniformInt(
+                0, table.size() - 1)];
+            uint32_t hostMask = entry.prefixLen >= 32
+                ? 0u
+                : ((1u << (32 - entry.prefixLen)) - 1);
+            addr = entry.prefix |
+                   (static_cast<uint32_t>(rng.next()) & hostMask);
+        } else {
+            addr = static_cast<uint32_t>(rng.next());
+        }
+        checkAgainstOracle(addr);
+    }
+}
+
+TEST_F(LpmStructures, PatriciaIsSmallerThanRadix)
+{
+    auto table = generateRoutingTable(5000, 21);
+    buildBoth(table);
+    // Path compression must pay off by an order of magnitude.
+    EXPECT_LT(patricia.nodeCount() * 5, radix.nodeCount());
+    EXPECT_EQ(patricia.entryCount(), radix.entryCount());
+}
+
+// ---- instrumentation ------------------------------------------------------
+
+TEST(Instrumentation, LookupsRecordNodeVisits)
+{
+    memsim::MemoryRecorder recorder;
+    RadixTree tree(&recorder);
+    tree.insert(route("10.0.0.0", 8, 1));
+    recorder.beginPacket();
+    tree.lookup(trace::parseIp("10.1.1.1"));
+    recorder.endPacket();
+    ASSERT_EQ(recorder.samples().size(), 1u);
+    // Root..depth-8 node chain plus one entry access: 9 nodes + 1.
+    EXPECT_EQ(recorder.samples()[0].accesses, 10u);
+}
+
+TEST(Instrumentation, PatriciaVisitsFewerNodes)
+{
+    auto table = generateRoutingTable(5000, 31);
+    memsim::MemoryRecorder recRadix, recPatricia;
+    RadixTree radix(&recRadix);
+    PatriciaTrie patricia(&recPatricia);
+    radix.build(table);
+    patricia.build(table);
+
+    util::Rng rng(5);
+    recRadix.resetSamples();
+    recPatricia.resetSamples();
+    for (int i = 0; i < 2000; ++i) {
+        uint32_t addr = table[rng.uniformInt(0, table.size() - 1)]
+                            .prefix |
+                        (static_cast<uint32_t>(rng.next()) & 0xff);
+        recRadix.beginPacket();
+        radix.lookup(addr);
+        recRadix.endPacket();
+        recPatricia.beginPacket();
+        patricia.lookup(addr);
+        recPatricia.endPacket();
+    }
+    double radixMean = memsim::meanAccesses(recRadix.samples());
+    double patriciaMean =
+        memsim::meanAccesses(recPatricia.samples());
+    EXPECT_LT(patriciaMean, radixMean);
+    EXPECT_GT(patriciaMean, 1.0);
+}
+
+// ---- kernels ---------------------------------------------------------------
+
+namespace {
+
+trace::Trace
+kernelTrace()
+{
+    trace::WebGenConfig cfg;
+    cfg.seed = 55;
+    cfg.durationSec = 3.0;
+    cfg.flowsPerSec = 60;
+    trace::WebTrafficGenerator gen(cfg);
+    return gen.generate();
+}
+
+} // namespace
+
+TEST(Kernels, AllThreeProduceOneSamplePerPacket)
+{
+    auto t = kernelTrace();
+    std::vector<uint32_t> dsts;
+    for (const auto &pkt : t)
+        dsts.push_back(pkt.dstIp);
+    auto table = generateRoutingTable(4000, 3, dsts);
+
+    memsim::CacheConfig cacheCfg;
+    memsim::MemoryRecorder recorder(cacheCfg);
+
+    RouteApp routeApp(table, &recorder);
+    auto s1 = profileTrace(routeApp, t, recorder);
+    EXPECT_EQ(s1.size(), t.size());
+
+    NatApp natApp(table, &recorder);
+    auto s2 = profileTrace(natApp, t, recorder);
+    EXPECT_EQ(s2.size(), t.size());
+    EXPECT_GT(natApp.bindings(), 0u);
+
+    RtrApp rtrApp(table, &recorder);
+    auto s3 = profileTrace(rtrApp, t, recorder);
+    EXPECT_EQ(s3.size(), t.size());
+
+    // NAT does everything Route does plus table probes.
+    EXPECT_GT(memsim::meanAccesses(s2), memsim::meanAccesses(s1));
+    // RTR's compressed trie touches fewer nodes than Route's.
+    EXPECT_LT(memsim::meanAccesses(s3), memsim::meanAccesses(s1));
+}
+
+TEST(Kernels, NatReusesBindingsForSameFlow)
+{
+    auto table = generateRoutingTable(100, 9);
+    memsim::MemoryRecorder recorder;
+    NatApp nat(table, &recorder, 1 << 10);
+    trace::PacketRecord pkt;
+    pkt.srcIp = 1;
+    pkt.dstIp = 2;
+    pkt.srcPort = 1000;
+    pkt.dstPort = 80;
+    for (int i = 0; i < 10; ++i)
+        nat.process(pkt);
+    EXPECT_EQ(nat.bindings(), 1u);
+    pkt.srcPort = 1001;
+    nat.process(pkt);
+    EXPECT_EQ(nat.bindings(), 2u);
+}
+
+TEST(Kernels, NatRejectsBadSlotCount)
+{
+    auto table = generateRoutingTable(10, 1);
+    EXPECT_THROW(NatApp(table, nullptr, 100), util::Error);
+    EXPECT_THROW(NatApp(table, nullptr, 8), util::Error);
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Trace-operation tests: merge ordering/stability, filtering with
+ * composed predicates, and timestamp rebasing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/ops.hpp"
+#include "trace/web_gen.hpp"
+#include "util/error.hpp"
+
+using namespace fcc;
+using trace::PacketRecord;
+using trace::Trace;
+
+namespace {
+
+PacketRecord
+pktAt(uint64_t tUs, uint32_t dst = 0, uint16_t dstPort = 80)
+{
+    PacketRecord pkt;
+    pkt.timestampNs = tUs * 1000;
+    pkt.dstIp = dst;
+    pkt.dstPort = dstPort;
+    return pkt;
+}
+
+} // namespace
+
+TEST(Ops, MergeInterleavesByTime)
+{
+    Trace a, b;
+    a.add(pktAt(10));
+    a.add(pktAt(30));
+    b.add(pktAt(20));
+    b.add(pktAt(40));
+    Trace m = trace::merge(a, b);
+    ASSERT_EQ(m.size(), 4u);
+    EXPECT_TRUE(m.isTimeOrdered());
+    EXPECT_EQ(m[0].timestampUs(), 10u);
+    EXPECT_EQ(m[3].timestampUs(), 40u);
+}
+
+TEST(Ops, MergeIsStableOnTies)
+{
+    Trace a, b;
+    a.add(pktAt(10, /*dst=*/1));
+    b.add(pktAt(10, /*dst=*/2));
+    Trace m = trace::merge(a, b);
+    EXPECT_EQ(m[0].dstIp, 1u);
+    EXPECT_EQ(m[1].dstIp, 2u);
+}
+
+TEST(Ops, MergeEmptySides)
+{
+    Trace a;
+    a.add(pktAt(5));
+    EXPECT_EQ(trace::merge(a, Trace{}).size(), 1u);
+    EXPECT_EQ(trace::merge(Trace{}, a).size(), 1u);
+    EXPECT_EQ(trace::merge(Trace{}, Trace{}).size(), 0u);
+}
+
+TEST(Ops, MergeRejectsUnordered)
+{
+    Trace bad;
+    bad.add(pktAt(10));
+    bad.add(pktAt(5));
+    EXPECT_THROW(trace::merge(bad, Trace{}), util::Error);
+}
+
+TEST(Ops, MergeTwoWorkloads)
+{
+    trace::WebGenConfig cfg;
+    cfg.seed = 1;
+    cfg.durationSec = 2.0;
+    trace::WebTrafficGenerator genA(cfg);
+    cfg.seed = 2;
+    trace::WebTrafficGenerator genB(cfg);
+    Trace a = genA.generate();
+    Trace b = genB.generate();
+    Trace m = trace::merge(a, b);
+    EXPECT_EQ(m.size(), a.size() + b.size());
+    EXPECT_TRUE(m.isTimeOrdered());
+}
+
+TEST(Ops, FilterByPort)
+{
+    Trace t;
+    t.add(pktAt(1, 0, 80));
+    t.add(pktAt(2, 0, 443));
+    t.add(pktAt(3, 0, 80));
+    Trace web = trace::filter(t, trace::portIs(80));
+    EXPECT_EQ(web.size(), 2u);
+}
+
+TEST(Ops, FilterByPrefix)
+{
+    Trace t;
+    t.add(pktAt(1, trace::parseIp("10.1.2.3")));
+    t.add(pktAt(2, trace::parseIp("10.1.9.9")));
+    t.add(pktAt(3, trace::parseIp("10.2.0.1")));
+    auto inNet =
+        trace::dstInPrefix(trace::parseIp("10.1.0.0"), 16);
+    EXPECT_EQ(trace::filter(t, inNet).size(), 2u);
+    // /0 matches everything; /32 only the exact host.
+    EXPECT_EQ(trace::filter(t, trace::dstInPrefix(0, 0)).size(), 3u);
+    EXPECT_EQ(trace::filter(
+                  t, trace::dstInPrefix(
+                         trace::parseIp("10.2.0.1"), 32))
+                  .size(),
+              1u);
+}
+
+TEST(Ops, FilterByTimeWindow)
+{
+    Trace t;
+    for (int i = 0; i < 10; ++i)
+        t.add(pktAt(static_cast<uint64_t>(i) * 1000000));  // 1s apart
+    auto window = trace::timeWindow(t, 2.0, 5.0);
+    EXPECT_EQ(trace::filter(t, window).size(), 3u);
+}
+
+TEST(Ops, ComposedPredicates)
+{
+    Trace t;
+    t.add(pktAt(1, trace::parseIp("10.0.0.1"), 80));
+    t.add(pktAt(2, trace::parseIp("10.0.0.1"), 443));
+    t.add(pktAt(3, trace::parseIp("11.0.0.1"), 80));
+
+    auto inTen = trace::dstInPrefix(trace::parseIp("10.0.0.0"), 8);
+    EXPECT_EQ(trace::filter(
+                  t, trace::allOf(inTen, trace::portIs(80)))
+                  .size(),
+              1u);
+    EXPECT_EQ(trace::filter(
+                  t, trace::anyOf(inTen, trace::portIs(80)))
+                  .size(),
+              3u);
+    EXPECT_EQ(trace::filter(t, trace::notOf(inTen)).size(), 1u);
+}
+
+TEST(Ops, RebaseTime)
+{
+    Trace t;
+    t.add(pktAt(1000));
+    t.add(pktAt(1500));
+    Trace shifted = trace::rebaseTime(t, 0);
+    EXPECT_EQ(shifted[0].timestampNs, 0u);
+    EXPECT_EQ(shifted[1].timestampNs, 500000u);
+    EXPECT_EQ(trace::rebaseTime(Trace{}, 5).size(), 0u);
+}
+
+TEST(Ops, FilterRejectsEmptyPredicate)
+{
+    EXPECT_THROW(trace::filter(Trace{}, trace::PacketPredicate{}),
+                 util::Error);
+}

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Streaming (file-to-file) FCC interface tests: equivalence with the
+ * in-memory codec, the §4 incremental flush, and error paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "codec/fcc/fcc_codec.hpp"
+#include "codec/fcc/stream.hpp"
+#include "flow/flow_stats.hpp"
+#include "flow/flow_table.hpp"
+#include "trace/tsh.hpp"
+#include "trace/web_gen.hpp"
+#include "util/error.hpp"
+
+using namespace fcc;
+namespace fccc = fcc::codec::fcc;
+
+namespace {
+
+trace::Trace
+webTrace(uint64_t seed, double seconds)
+{
+    trace::WebGenConfig cfg;
+    cfg.seed = seed;
+    cfg.durationSec = seconds;
+    cfg.flowsPerSec = 80.0;
+    trace::WebTrafficGenerator gen(cfg);
+    return gen.generate();
+}
+
+std::string
+tempPath(const char *name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+void
+writeBytes(const std::string &path, const std::vector<uint8_t> &data)
+{
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char *>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+}
+
+/** Field-wise total order so traces compare as multisets. */
+bool
+packetLess(const trace::PacketRecord &a, const trace::PacketRecord &b)
+{
+    auto key = [](const trace::PacketRecord &p) {
+        return std::tuple(p.timestampNs, p.srcIp, p.dstIp, p.srcPort,
+                          p.dstPort, p.tcpFlags, p.payloadBytes,
+                          p.seq, p.ack, p.window, p.ipId);
+    };
+    return key(a) < key(b);
+}
+
+} // namespace
+
+TEST(Stream, CompressedFileDecodesLikeInMemory)
+{
+    trace::Trace original = webTrace(31, 6.0);
+    std::string tshIn = tempPath("stream_in.tsh");
+    std::string fccOut = tempPath("stream_out.fcc");
+    trace::writeTshFile(original, tshIn);
+
+    auto stats = fccc::compressTshFile(tshIn, fccOut);
+    EXPECT_EQ(stats.packets, original.size());
+    EXPECT_EQ(stats.inputBytes,
+              original.size() * trace::tshRecordBytes);
+    EXPECT_GT(stats.flows, 100u);
+    EXPECT_LT(stats.ratio(), 0.06);
+    EXPECT_GT(stats.ratio(), 0.01);
+
+    // The file decodes with the normal codec and preserves flow
+    // structure exactly.
+    std::ifstream in(fccOut, std::ios::binary);
+    std::vector<uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    fccc::FccTraceCompressor codec;
+    trace::Trace restored = codec.decompress(bytes);
+    EXPECT_EQ(restored.size(), original.size());
+
+    flow::FlowTable table;
+    auto origStats =
+        flow::computeFlowStats(table.assemble(original), original);
+    auto backStats =
+        flow::computeFlowStats(table.assemble(restored), restored);
+    EXPECT_EQ(backStats.flows, origStats.flows);
+    EXPECT_EQ(backStats.lengthCounts, origStats.lengthCounts);
+
+    std::remove(tshIn.c_str());
+    std::remove(fccOut.c_str());
+}
+
+TEST(Stream, StreamingRatioMatchesInMemory)
+{
+    trace::Trace original = webTrace(32, 6.0);
+    std::string tshIn = tempPath("ratio_in.tsh");
+    std::string fccOut = tempPath("ratio_out.fcc");
+    trace::writeTshFile(original, tshIn);
+
+    auto stats = fccc::compressTshFile(tshIn, fccOut);
+    fccc::FccTraceCompressor codec;
+    size_t inMemory = codec.compress(original).size();
+    // Template indices can differ (flows close in a different order)
+    // but the sizes must be nearly identical.
+    EXPECT_NEAR(static_cast<double>(stats.outputBytes),
+                static_cast<double>(inMemory),
+                static_cast<double>(inMemory) * 0.02);
+
+    std::remove(tshIn.c_str());
+    std::remove(fccOut.c_str());
+}
+
+TEST(Stream, DecompressMatchesBatchExactly)
+{
+    // Feeding a batch-compressed stream through the streaming
+    // decompressor must reproduce the batch reconstruction packet
+    // for packet (same seed, same record order).
+    trace::Trace original = webTrace(33, 5.0);
+    fccc::FccTraceCompressor codec;
+    auto bytes = codec.compress(original);
+    trace::Trace batch = codec.decompress(bytes);
+
+    std::string fccIn = tempPath("batch.fcc");
+    std::string tshOut = tempPath("streamed.tsh");
+    writeBytes(fccIn, bytes);
+    auto stats = fccc::decompressToTshFile(fccIn, tshOut);
+    EXPECT_EQ(stats.packets, batch.size());
+    EXPECT_EQ(stats.flows,
+              flow::FlowTable().assemble(original).size());
+
+    trace::Trace streamed = trace::readTshFile(tshOut);
+    ASSERT_EQ(streamed.size(), batch.size());
+
+    // Compare as multisets (equal timestamps may interleave
+    // differently between the heap flush and the batch sort).
+    std::vector<trace::PacketRecord> a = batch.packets();
+    std::vector<trace::PacketRecord> b = streamed.packets();
+    std::sort(a.begin(), a.end(), packetLess);
+    std::sort(b.begin(), b.end(), packetLess);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].timestampUs(), b[i].timestampUs()) << i;
+        EXPECT_EQ(a[i].srcIp, b[i].srcIp) << i;
+        EXPECT_EQ(a[i].dstIp, b[i].dstIp) << i;
+        EXPECT_EQ(a[i].tcpFlags, b[i].tcpFlags) << i;
+        EXPECT_EQ(a[i].payloadBytes, b[i].payloadBytes) << i;
+    }
+
+    // The streamed output is itself time-ordered.
+    EXPECT_TRUE(streamed.isTimeOrdered());
+
+    std::remove(fccIn.c_str());
+    std::remove(tshOut.c_str());
+}
+
+TEST(Stream, FullFileRoundTrip)
+{
+    trace::Trace original = webTrace(34, 4.0);
+    std::string tshIn = tempPath("rt_in.tsh");
+    std::string fccMid = tempPath("rt_mid.fcc");
+    std::string tshOut = tempPath("rt_out.tsh");
+    trace::writeTshFile(original, tshIn);
+
+    fccc::compressTshFile(tshIn, fccMid);
+    auto stats = fccc::decompressToTshFile(fccMid, tshOut);
+    EXPECT_EQ(stats.packets, original.size());
+
+    trace::Trace restored = trace::readTshFile(tshOut);
+    EXPECT_EQ(restored.size(), original.size());
+    EXPECT_TRUE(restored.isTimeOrdered());
+
+    std::remove(tshIn.c_str());
+    std::remove(fccMid.c_str());
+    std::remove(tshOut.c_str());
+}
+
+TEST(Stream, MissingInputFileThrows)
+{
+    EXPECT_THROW(fccc::compressTshFile(tempPath("nope.tsh"),
+                                       tempPath("x.fcc")),
+                 util::Error);
+    EXPECT_THROW(fccc::decompressToTshFile(tempPath("nope.fcc"),
+                                           tempPath("x.tsh")),
+                 util::Error);
+}
+
+TEST(Stream, PartialTshRecordRejected)
+{
+    std::string path = tempPath("partial.tsh");
+    std::vector<uint8_t> bad(trace::tshRecordBytes + 7, 0);
+    // Make the first record a valid IPv4 header so only the trailing
+    // partial record is at fault.
+    trace::Trace one;
+    trace::PacketRecord pkt;
+    one.add(pkt);
+    auto good = trace::writeTsh(one);
+    std::copy(good.begin(), good.end(), bad.begin());
+    writeBytes(path, bad);
+    EXPECT_THROW(fccc::compressTshFile(path, tempPath("x.fcc")),
+                 util::Error);
+    std::remove(path.c_str());
+}
+
+TEST(Stream, UnorderedInputRejected)
+{
+    trace::Trace tr;
+    trace::PacketRecord pkt;
+    pkt.timestampNs = 2000000;
+    tr.add(pkt);
+    pkt.timestampNs = 1000000;
+    tr.add(pkt);
+    std::string path = tempPath("unordered.tsh");
+    trace::writeTshFile(tr, path);
+    EXPECT_THROW(fccc::compressTshFile(path, tempPath("x.fcc")),
+                 util::Error);
+    std::remove(path.c_str());
+}

@@ -1,0 +1,435 @@
+/**
+ * @file
+ * Tests of the trace substrate: packet model, TSH and pcap formats,
+ * trace container operations, the synthetic Web workload generator
+ * (including the paper's §3 aggregates) and the comparison-trace
+ * transforms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "flow/flow_stats.hpp"
+#include "flow/flow_table.hpp"
+#include "trace/packet.hpp"
+#include "trace/pcap.hpp"
+#include "trace/transforms.hpp"
+#include "trace/trace.hpp"
+#include "trace/tsh.hpp"
+#include "trace/web_gen.hpp"
+#include "util/error.hpp"
+
+using namespace fcc;
+using namespace fcc::trace;
+
+namespace {
+
+PacketRecord
+samplePacket(uint64_t tUs = 1234567)
+{
+    PacketRecord pkt;
+    pkt.timestampNs = tUs * 1000;
+    pkt.srcIp = parseIp("192.168.1.10");
+    pkt.dstIp = parseIp("10.0.0.1");
+    pkt.srcPort = 49152;
+    pkt.dstPort = 80;
+    pkt.tcpFlags = tcp_flags::Syn;
+    pkt.payloadBytes = 0;
+    pkt.seq = 1000;
+    pkt.ack = 0;
+    pkt.window = 65535;
+    pkt.ipId = 42;
+    return pkt;
+}
+
+Trace
+smallWebTrace(uint64_t seed = 11, double seconds = 5.0)
+{
+    WebGenConfig cfg;
+    cfg.seed = seed;
+    cfg.durationSec = seconds;
+    cfg.flowsPerSec = 60;
+    WebTrafficGenerator gen(cfg);
+    return gen.generate();
+}
+
+} // namespace
+
+// ---- packet model -------------------------------------------------------
+
+TEST(Packet, IpFormatting)
+{
+    EXPECT_EQ(formatIp(0x01020304), "1.2.3.4");
+    EXPECT_EQ(formatIp(0xffffffff), "255.255.255.255");
+    EXPECT_EQ(parseIp("1.2.3.4"), 0x01020304u);
+    EXPECT_EQ(parseIp(formatIp(0xc0a80101)), 0xc0a80101u);
+}
+
+TEST(Packet, IpParseRejectsGarbage)
+{
+    EXPECT_THROW(parseIp("1.2.3"), util::Error);
+    EXPECT_THROW(parseIp("1.2.3.4.5"), util::Error);
+    EXPECT_THROW(parseIp("256.1.1.1"), util::Error);
+    EXPECT_THROW(parseIp("hello"), util::Error);
+}
+
+TEST(Packet, FlagFormatting)
+{
+    EXPECT_EQ(formatTcpFlags(tcp_flags::Syn | tcp_flags::Ack),
+              "SYN|ACK");
+    EXPECT_EQ(formatTcpFlags(0), "-");
+}
+
+TEST(Packet, DerivedFields)
+{
+    PacketRecord pkt = samplePacket();
+    pkt.payloadBytes = 100;
+    EXPECT_EQ(pkt.ipTotalLength(), 140);
+    EXPECT_EQ(pkt.timestampUs(), 1234567u);
+    EXPECT_TRUE(pkt.hasSyn());
+    EXPECT_FALSE(pkt.hasFin());
+}
+
+// ---- trace container -----------------------------------------------------
+
+TEST(TraceContainer, SortAndOrderCheck)
+{
+    Trace t;
+    PacketRecord a = samplePacket(300), b = samplePacket(100),
+                 c = samplePacket(200);
+    t.add(a);
+    t.add(b);
+    t.add(c);
+    EXPECT_FALSE(t.isTimeOrdered());
+    t.sortByTime();
+    EXPECT_TRUE(t.isTimeOrdered());
+    EXPECT_EQ(t[0].timestampUs(), 100u);
+    EXPECT_EQ(t[2].timestampUs(), 300u);
+}
+
+TEST(TraceContainer, DurationAndBytes)
+{
+    Trace t;
+    PacketRecord a = samplePacket(0);
+    a.payloadBytes = 10;
+    PacketRecord b = samplePacket(2500000);
+    b.payloadBytes = 0;
+    t.add(a);
+    t.add(b);
+    EXPECT_NEAR(t.durationSec(), 2.5, 1e-9);
+    EXPECT_EQ(t.totalWireBytes(), 50u + 40u);
+    EXPECT_EQ(t.totalPayloadBytes(), 10u);
+}
+
+TEST(TraceContainer, SliceSeconds)
+{
+    Trace t;
+    for (int i = 0; i < 100; ++i)
+        t.add(samplePacket(static_cast<uint64_t>(i) * 1000000));
+    Trace slice = t.sliceSeconds(10.0, 20.0);
+    EXPECT_EQ(slice.size(), 20u);
+    EXPECT_EQ(slice[0].timestampUs(), 10000000u);
+}
+
+// ---- TSH format -----------------------------------------------------------
+
+TEST(Tsh, RecordSizeIs44)
+{
+    Trace t;
+    t.add(samplePacket());
+    EXPECT_EQ(writeTsh(t).size(), 44u);
+    EXPECT_EQ(tshRecordBytes, 44u);
+}
+
+TEST(Tsh, RoundTripPreservesEverything)
+{
+    Trace t = smallWebTrace();
+    auto bytes = writeTsh(t);
+    Trace back = readTsh(bytes);
+    ASSERT_EQ(back.size(), t.size());
+    for (size_t i = 0; i < t.size(); ++i) {
+        EXPECT_EQ(back[i].timestampUs(), t[i].timestampUs());
+        EXPECT_EQ(back[i].srcIp, t[i].srcIp);
+        EXPECT_EQ(back[i].dstIp, t[i].dstIp);
+        EXPECT_EQ(back[i].srcPort, t[i].srcPort);
+        EXPECT_EQ(back[i].dstPort, t[i].dstPort);
+        EXPECT_EQ(back[i].tcpFlags, t[i].tcpFlags);
+        EXPECT_EQ(back[i].payloadBytes, t[i].payloadBytes);
+        EXPECT_EQ(back[i].seq, t[i].seq);
+        EXPECT_EQ(back[i].ack, t[i].ack);
+        EXPECT_EQ(back[i].window, t[i].window);
+        EXPECT_EQ(back[i].ipId, t[i].ipId);
+    }
+}
+
+TEST(Tsh, ValidIpChecksum)
+{
+    Trace t;
+    t.add(samplePacket());
+    auto bytes = writeTsh(t);
+    // Verifying the checksum over the IP header must give 0.
+    uint32_t sum = 0;
+    for (int i = 8; i < 28; i += 2)
+        sum += static_cast<uint32_t>(bytes[i]) << 8 | bytes[i + 1];
+    while (sum >> 16)
+        sum = (sum & 0xffff) + (sum >> 16);
+    EXPECT_EQ(sum, 0xffffu);
+}
+
+TEST(Tsh, RejectsPartialRecord)
+{
+    std::vector<uint8_t> bad(43, 0);
+    EXPECT_THROW(readTsh(bad), util::Error);
+}
+
+TEST(Tsh, RejectsNonIpv4)
+{
+    Trace t;
+    t.add(samplePacket());
+    auto bytes = writeTsh(t);
+    bytes[8] = 0x65;  // version 6
+    EXPECT_THROW(readTsh(bytes), util::Error);
+}
+
+TEST(Tsh, FileRoundTrip)
+{
+    Trace t = smallWebTrace(3, 2.0);
+    std::string path = ::testing::TempDir() + "/fcc_test.tsh";
+    writeTshFile(t, path);
+    Trace back = readTshFile(path);
+    EXPECT_EQ(back.size(), t.size());
+    std::remove(path.c_str());
+}
+
+// ---- pcap format -----------------------------------------------------------
+
+TEST(Pcap, RoundTripPreservesHeaders)
+{
+    Trace t = smallWebTrace(17, 3.0);
+    auto bytes = writePcap(t);
+    Trace back = readPcap(bytes);
+    ASSERT_EQ(back.size(), t.size());
+    for (size_t i = 0; i < t.size(); ++i) {
+        EXPECT_EQ(back[i].timestampUs(), t[i].timestampUs());
+        EXPECT_EQ(back[i].srcIp, t[i].srcIp);
+        EXPECT_EQ(back[i].dstIp, t[i].dstIp);
+        EXPECT_EQ(back[i].srcPort, t[i].srcPort);
+        EXPECT_EQ(back[i].dstPort, t[i].dstPort);
+        EXPECT_EQ(back[i].tcpFlags, t[i].tcpFlags);
+        EXPECT_EQ(back[i].payloadBytes, t[i].payloadBytes);
+        EXPECT_EQ(back[i].seq, t[i].seq);
+    }
+}
+
+TEST(Pcap, RejectsBadMagic)
+{
+    std::vector<uint8_t> bad(24, 0);
+    EXPECT_THROW(readPcap(bad), util::Error);
+}
+
+TEST(Pcap, RejectsTruncatedBody)
+{
+    Trace t;
+    t.add(samplePacket());
+    auto bytes = writePcap(t);
+    bytes.resize(bytes.size() - 10);
+    EXPECT_THROW(readPcap(bytes), util::Error);
+}
+
+TEST(Pcap, FileRoundTrip)
+{
+    Trace t = smallWebTrace(5, 2.0);
+    std::string path = ::testing::TempDir() + "/fcc_test.pcap";
+    writePcapFile(t, path);
+    Trace back = readPcapFile(path);
+    EXPECT_EQ(back.size(), t.size());
+    std::remove(path.c_str());
+}
+
+// ---- web generator ----------------------------------------------------
+
+TEST(WebGen, DeterministicBySeed)
+{
+    Trace a = smallWebTrace(42, 3.0);
+    Trace b = smallWebTrace(42, 3.0);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].timestampNs, b[i].timestampNs);
+        EXPECT_EQ(a[i].srcIp, b[i].srcIp);
+        EXPECT_EQ(a[i].seq, b[i].seq);
+    }
+    Trace c = smallWebTrace(43, 3.0);
+    EXPECT_NE(a.size(), c.size());
+}
+
+TEST(WebGen, OutputIsTimeOrdered)
+{
+    EXPECT_TRUE(smallWebTrace(1).isTimeOrdered());
+}
+
+TEST(WebGen, FlowInfoMatchesTrace)
+{
+    WebGenConfig cfg;
+    cfg.seed = 9;
+    cfg.durationSec = 4.0;
+    cfg.flowsPerSec = 50;
+    WebTrafficGenerator gen(cfg);
+    Trace t = gen.generate();
+    uint64_t total = 0;
+    for (const auto &info : gen.flowInfos())
+        total += info.packets;
+    EXPECT_EQ(total, t.size());
+}
+
+TEST(WebGen, ConnectionsAreWellFormedTcp)
+{
+    Trace t = smallWebTrace(2, 4.0);
+    flow::FlowTable table;
+    auto flows = table.assemble(t);
+    size_t synStarts = 0;
+    for (const auto &f : flows) {
+        const auto &first = t[f.packetIndex.front()];
+        if (first.hasSyn() && !first.hasAck())
+            ++synStarts;
+        // Server port is always 80 in the web workload.
+        EXPECT_EQ(f.serverPort, 80);
+        EXPECT_NE(f.clientPort, 80);
+    }
+    // Every flow the generator makes starts with a client SYN.
+    EXPECT_EQ(synStarts, flows.size());
+}
+
+TEST(WebGen, PaperAggregatesHold)
+{
+    // §3: 98 % of flows < 51 packets; short flows ~75 % of packets
+    // and ~80 % of bytes. Generator tolerances are deliberately wide
+    // (sampling noise at this trace size).
+    WebGenConfig cfg;
+    cfg.seed = 1234;
+    cfg.durationSec = 40.0;
+    cfg.flowsPerSec = 120;
+    WebTrafficGenerator gen(cfg);
+    Trace t = gen.generate();
+    flow::FlowTable table;
+    auto flows = table.assemble(t);
+    auto stats = flow::computeFlowStats(flows, t);
+
+    EXPECT_NEAR(stats.shortFlowShare(), 0.98, 0.01);
+    EXPECT_NEAR(stats.shortPacketShare(), 0.75, 0.06);
+    EXPECT_NEAR(stats.shortByteShare(), 0.80, 0.08);
+}
+
+TEST(WebGen, SequenceNumbersProgress)
+{
+    Trace t = smallWebTrace(21, 3.0);
+    flow::FlowTable table;
+    auto flows = table.assemble(t);
+    for (const auto &f : flows) {
+        uint32_t prevSeq = 0;
+        bool first = true;
+        for (size_t i = 0; i < f.size(); ++i) {
+            if (!f.fromClient[i])
+                continue;
+            const auto &pkt = t[f.packetIndex[i]];
+            if (!first) {
+                EXPECT_GE(pkt.seq - prevSeq, 0u);
+            }
+            prevSeq = pkt.seq;
+            first = false;
+        }
+    }
+}
+
+TEST(WebGen, RejectsBadConfig)
+{
+    WebGenConfig cfg;
+    cfg.durationSec = 0;
+    EXPECT_THROW(WebTrafficGenerator{cfg}, util::Error);
+    cfg = WebGenConfig{};
+    cfg.longLenMax = 50;
+    EXPECT_THROW(WebTrafficGenerator{cfg}, util::Error);
+}
+
+// ---- transforms -------------------------------------------------------
+
+TEST(Transforms, RandomizeAddressesPreservesTiming)
+{
+    Trace t = smallWebTrace(6, 2.0);
+    Trace r = trace::randomizeAddresses(t, 99);
+    ASSERT_EQ(r.size(), t.size());
+    size_t changed = 0;
+    for (size_t i = 0; i < t.size(); ++i) {
+        EXPECT_EQ(r[i].timestampNs, t[i].timestampNs);
+        EXPECT_EQ(r[i].payloadBytes, t[i].payloadBytes);
+        EXPECT_EQ(r[i].srcIp, t[i].srcIp);
+        changed += r[i].dstIp != t[i].dstIp;
+    }
+    EXPECT_GT(changed, t.size() * 9 / 10);
+}
+
+TEST(Transforms, RandomAddressesAreDiverse)
+{
+    Trace t = smallWebTrace(6, 2.0);
+    Trace r = trace::randomizeAddresses(t, 99);
+    std::set<uint32_t> unique;
+    for (const auto &pkt : r)
+        unique.insert(pkt.dstIp);
+    // Uniform addresses: nearly every packet gets its own.
+    EXPECT_GT(unique.size(), r.size() * 9 / 10);
+}
+
+TEST(Transforms, FracExpHasExponentialTimes)
+{
+    FracExpConfig cfg;
+    cfg.seed = 3;
+    cfg.packetCount = 20000;
+    cfg.meanIptUs = 100.0;
+    Trace t = generateFracExp(cfg);
+    ASSERT_EQ(t.size(), cfg.packetCount);
+    EXPECT_TRUE(t.isTimeOrdered());
+    double meanUs = t.durationSec() * 1e6 /
+                    static_cast<double>(t.size() - 1);
+    EXPECT_NEAR(meanUs, 100.0, 5.0);
+}
+
+TEST(Transforms, FracExpShowsTemporalLocality)
+{
+    FracExpConfig cfg;
+    cfg.seed = 4;
+    cfg.packetCount = 30000;
+    Trace t = generateFracExp(cfg);
+    // Reuse probability 0.72 means far fewer unique destinations
+    // than packets.
+    std::set<uint32_t> unique;
+    for (const auto &pkt : t)
+        unique.insert(pkt.dstIp);
+    EXPECT_LT(unique.size(), t.size() / 2);
+    EXPECT_GT(unique.size(), t.size() / 20);
+}
+
+TEST(Transforms, FracExpAddressBitsAreBiased)
+{
+    FracExpConfig cfg;
+    cfg.seed = 5;
+    cfg.packetCount = 20000;
+    Trace t = generateFracExp(cfg);
+    // The multiplicative cascade biases every bit towards 1.
+    size_t ones = 0;
+    for (const auto &pkt : t)
+        ones += __builtin_popcount(pkt.dstIp);
+    double fraction =
+        static_cast<double>(ones) / (32.0 * t.size());
+    EXPECT_GT(fraction, 0.6);
+}
+
+TEST(Transforms, FracExpRejectsBadConfig)
+{
+    FracExpConfig cfg;
+    cfg.packetCount = 0;
+    EXPECT_THROW(generateFracExp(cfg), util::Error);
+    cfg = FracExpConfig{};
+    cfg.reuseProbability = 1.0;
+    EXPECT_THROW(generateFracExp(cfg), util::Error);
+}
