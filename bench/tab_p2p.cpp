@@ -27,7 +27,7 @@ main()
     trace::WebTrafficGenerator gen(p2pCfg);
     auto tr = gen.generate();
 
-    std::printf("# Future work: P2P traffic (paper SS7)\n");
+    std::printf("# Future work: P2P traffic (paper §7)\n");
     std::printf("# %zu packets, %.1f s, symmetric exchanges on "
                 "ephemeral ports\n\n",
                 tr.size(), tr.durationSec());

@@ -59,7 +59,7 @@ main()
     };
 
     std::printf("# Semantic properties of the four traces "
-                "(paper SS1 definitions)\n\n");
+                "(paper §1 definitions)\n\n");
     std::printf("%-13s %9s %8s %8s %8s %8s %10s %9s\n", "trace",
                 "addrs", "/8", "/16", "/24", "bitH", "reuse.p50",
                 "WS(1k)");
@@ -98,7 +98,7 @@ main()
                     cmp.bitEntropyGap, cmp.flagBigramTv);
     }
 
-    std::printf("\n# reading: the paper's SS4 reconstruction keeps "
+    std::printf("\n# reading: the paper's §4 reconstruction keeps "
                 "the server-side address\n"
                 "# structure and flag sequencing but collapses both "
                 "directions onto the\n"

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Crypto-PAn-style prefix-preserving anonymization: each output
+ * bit XORs the input bit with a keyed PRF of the preceding prefix,
+ * giving a bijection that preserves shared-prefix lengths exactly.
+ */
+
 #include "analysis/anonymize.hpp"
 
 #include "util/hash.hpp"

@@ -1,3 +1,11 @@
+/**
+ * @file
+ * Semantic-property metrics: exact LRU reuse-distance CDF via a
+ * Fenwick tree, windowed working-set sizes, per-bit address
+ * entropy / distinct-prefix counts, and packet-field accuracy
+ * between an original and a reconstructed trace.
+ */
+
 #include "analysis/semantic.hpp"
 
 #include <cmath>

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Codec registry (makeAllCompressors) and the measure() harness
+ * that sizes a codec's output against the 44-byte-per-packet TSH
+ * baseline.
+ */
+
 #include "codec/compressor.hpp"
 
 #include "codec/deflate/deflate.hpp"

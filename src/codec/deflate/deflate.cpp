@@ -1,3 +1,11 @@
+/**
+ * @file
+ * DEFLATE encoder/decoder: per-block choice among stored, fixed-
+ * and dynamic-Huffman encodings (including the RFC 1951 code-
+ * length-code machinery), plus the zlib and gzip containers with
+ * Adler-32 / CRC-32 trailers.
+ */
+
 #include "codec/deflate/deflate.hpp"
 
 #include <algorithm>

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Package-merge (coin collector) construction of length-limited
+ * optimal code lengths, canonical code assignment, and the
+ * count-based canonical decoder used by the inflater.
+ */
+
 #include "codec/deflate/huffman.hpp"
 
 #include <algorithm>

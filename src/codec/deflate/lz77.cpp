@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Hash-chain LZ77 matcher: 3-byte hash heads, chain walking with a
+ * depth budget, and zlib-style one-step lazy matching over the
+ * 32 KiB window.
+ */
+
 #include "codec/deflate/lz77.hpp"
 
 #include <algorithm>

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Wire format of the four §3 datasets (short/long templates,
+ * addresses, time-seq): varint-heavy serialization with a per-
+ * dataset SizeBreakdown, behind one magic-tagged container.
+ */
+
 #include "codec/fcc/datasets.hpp"
 
 #include <algorithm>

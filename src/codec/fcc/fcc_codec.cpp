@@ -1,3 +1,12 @@
+/**
+ * @file
+ * The flow-clustering compressor (§3) and decompressor (§4):
+ * assemble flows, match short-flow SF vectors against the
+ * template store, store long flows verbatim, then regenerate
+ * packets from templates + time-seq records on decompression.
+ * Optionally DEFLATEs the serialized datasets.
+ */
+
 #include "codec/fcc/fcc_codec.hpp"
 
 #include <unordered_map>

@@ -1,3 +1,11 @@
+/**
+ * @file
+ * Streaming (file-to-file) FCC interface: incremental TSH reading
+ * with bounded open-flow state on compression; on decompression
+ * the §4 time-ordered reconstruction buffer, flushed whenever its
+ * head predates the next time-seq record.
+ */
+
 #include "codec/fcc/stream.hpp"
 
 #include <algorithm>

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * The analytical ratio models of §5: per-flow-length equations 5
+ * and 7 and their aggregation over a flow-length distribution
+ * (equations 6 and 8).
+ */
+
 #include "codec/models.hpp"
 
 #include "util/error.hpp"

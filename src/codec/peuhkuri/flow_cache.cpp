@@ -1,3 +1,9 @@
+/**
+ * @file
+ * O(1) LRU slot cache: open-addressed key map plus an intrusive
+ * doubly-linked recency list over the fixed slot array.
+ */
+
 #include "codec/peuhkuri/flow_cache.hpp"
 
 #include "util/error.hpp"

@@ -1,3 +1,11 @@
+/**
+ * @file
+ * Peuhkuri codec: flows enter a 16-bit LRU cache with a one-time
+ * 5-tuple announcement; packets then carry slot, flags, varint
+ * time delta and length. Evicted-and-returning flows are
+ * re-announced.
+ */
+
 #include "codec/peuhkuri/peuhkuri.hpp"
 
 #include "codec/peuhkuri/flow_cache.hpp"

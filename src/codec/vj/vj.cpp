@@ -1,3 +1,10 @@
+/**
+ * @file
+ * RFC 1144 delta encoder/decoder over directional TCP streams:
+ * change-mask + 3-byte CID + 2-byte time delta per packet, full
+ * headers on new or desynchronized connections.
+ */
+
 #include "codec/vj/vj.hpp"
 
 #include <unordered_map>

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * End-to-end experiment drivers: build the synthetic workload,
+ * run every codec, the analytical models and the memory-profiled
+ * kernels, and return the rows behind Figs. 1-3 and the §5 table.
+ */
+
 #include "experiments/experiments.hpp"
 
 #include <memory>

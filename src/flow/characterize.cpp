@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Packet characterization: flag/ack-dependence/size classing, the
+ * mixed-radix weight legality check (Weights::decodable) and the
+ * S-value encode/decode of paper §2.
+ */
+
 #include "flow/characterize.hpp"
 
 #include "util/error.hpp"

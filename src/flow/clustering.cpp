@@ -1,3 +1,10 @@
+/**
+ * @file
+ * k-medoids (PAM-style) clustering with L1 distance over SF
+ * vectors plus silhouette scoring; the offline cross-check of the
+ * online leader clustering in TemplateStore.
+ */
+
 #include "flow/clustering.hpp"
 
 #include <algorithm>

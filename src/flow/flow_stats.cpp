@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Flow-population aggregates (share of short flows / packets /
+ * bytes) and the flow-length histogram behind the §3 table.
+ */
+
 #include "flow/flow_stats.hpp"
 
 namespace fcc::flow {

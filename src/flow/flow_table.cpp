@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Bidirectional flow assembly: connections keyed by canonical
+ * 5-tuple, client side fixed by the first SYN, flows closed on
+ * FIN pairs, RST or idle timeout.
+ */
+
 #include "flow/flow_table.hpp"
 
 #include <algorithm>

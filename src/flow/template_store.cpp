@@ -1,3 +1,11 @@
+/**
+ * @file
+ * Leader-style online cluster store: find() returns the nearest
+ * template within the similarity threshold (eq. 4), insert()
+ * starts a new cluster; buckets are keyed by vector length since
+ * eq. 3 only compares equal-length flows.
+ */
+
 #include "flow/template_store.hpp"
 
 #include "util/error.hpp"

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Set-associative LRU cache simulator: geometry validation, tag/
+ * set decomposition and per-access hit/miss accounting.
+ */
+
 #include "memsim/cache_model.hpp"
 
 #include <bit>

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Aggregation of per-packet MemoryRecorder samples into the
+ * figure-ready series: access-count CDFs (Fig. 2) and miss-rate
+ * bucket shares (Fig. 3).
+ */
+
 #include "memsim/profile_report.hpp"
 
 #include <algorithm>

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * The three trace-consumer kernels of the §6 validation: Route
+ * (radix LPM), NAT (hash flow lookup with Patricia fallback) and
+ * RTR (per-packet Patricia lookup with periodic rebuild).
+ */
+
 #include "netbench/apps.hpp"
 
 #include <bit>

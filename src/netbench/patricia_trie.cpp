@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Path-compressed binary (Patricia) trie for longest-prefix match;
+ * skipped bits are re-verified against the stored prefix and every
+ * node touch is reported to the MemoryRecorder.
+ */
+
 #include "netbench/patricia_trie.hpp"
 
 #include "netbench/radix_tree.hpp"

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * One-bit-per-level binary radix tree for longest-prefix match,
+ * the paper's Radix Tree Routing kernel; node visits feed the
+ * MemoryRecorder for the Fig. 2/3 profiles.
+ */
+
 #include "netbench/radix_tree.hpp"
 
 #include "util/error.hpp"

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Synthetic routing-table generation with a BGP-like prefix-length
+ * mix, optionally seeded from trace addresses so lookups hit
+ * covering prefixes.
+ */
+
 #include "netbench/route_entry.hpp"
 
 #include <unordered_set>

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Whole-trace operations: time-ordered merge of two traces, packet
+ * filtering by predicate, and the aggregate byte/duration queries
+ * used by the experiment drivers.
+ */
+
 #include "trace/ops.hpp"
 
 #include "util/error.hpp"

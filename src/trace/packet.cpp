@@ -1,3 +1,9 @@
+/**
+ * @file
+ * PacketRecord helpers: dotted-quad IPv4 formatting/parsing and
+ * human-readable one-line packet rendering.
+ */
+
 #include "trace/packet.hpp"
 
 #include <cstdio>

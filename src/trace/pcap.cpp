@@ -1,3 +1,10 @@
+/**
+ * @file
+ * pcap savefile I/O: accepts both byte orders, microsecond and
+ * nanosecond magics, and RAW or Ethernet link types; always writes
+ * microsecond LINKTYPE_RAW files of bare IPv4+TCP headers.
+ */
+
 #include "trace/pcap.hpp"
 
 #include <cstdio>

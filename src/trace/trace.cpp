@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Trace container: stable time sort, order checking, duration and
+ * time-window slicing over the packet vector.
+ */
+
 #include "trace/trace.hpp"
 
 #include <algorithm>

@@ -1,3 +1,11 @@
+/**
+ * @file
+ * The §6.1 comparison traces: randomizeAddresses() redraws every
+ * destination uniformly; makeFracexp() replays a multiplicative
+ * (multifractal) address process through an LRU stack locality
+ * model with exponential inter-arrival times.
+ */
+
 #include "trace/transforms.hpp"
 
 #include <deque>

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * TSH record (de)serialization: 44-byte big-endian records built
+ * and parsed field by field, plus file-level read/write wrappers
+ * that validate record alignment.
+ */
+
 #include "trace/tsh.hpp"
 
 #include <cstdio>

@@ -1,3 +1,11 @@
+/**
+ * @file
+ * Synthetic Web/TCP workload generator implementation: per-
+ * connection SYN handshake, request, response-segment and FIN
+ * packets with bounded-Pareto flow lengths and heavy-tailed object
+ * sizes, interleaved by per-connection clocks into one trace.
+ */
+
 #include "trace/web_gen.hpp"
 
 #include <algorithm>

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * LSB-first bit packing (BitWriter/BitReader). putHuff() reverses
+ * code bits so the MSB-first Huffman codes of RFC 1951 land in
+ * stream order; the reader throws on reads past the final byte.
+ */
+
 #include "util/bitstream.hpp"
 
 #include "util/error.hpp"

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Little-endian ByteWriter/ByteReader plus LEB128-style varints.
+ * All bounds violations on the read side surface as util::Error,
+ * never as out-of-range memory access.
+ */
+
 #include "util/bytes.hpp"
 
 #include <cstring>

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * Table-driven CRC-32 (gzip polynomial, one 256-entry table built
+ * at startup) and Adler-32 with the standard deferred-modulo batch
+ * size (NMAX = 5552).
+ */
+
 #include "util/checksum.hpp"
 
 #include <array>

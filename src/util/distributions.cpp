@@ -1,3 +1,11 @@
+/**
+ * @file
+ * Samplers for the workload-generator distributions: exponential
+ * and bounded-Pareto via inverse transform, lognormal via
+ * Box-Muller, Zipf and empirical Discrete via CDF inversion.
+ * Parameter validation throws util::Error at construction.
+ */
+
 #include "util/distributions.hpp"
 
 #include <algorithm>

@@ -1,3 +1,10 @@
+/**
+ * @file
+ * xoshiro256** generator core: SplitMix64 seed expansion, next(),
+ * jump(), and the convenience helpers (uniform doubles, integer
+ * ranges, Bernoulli chance()).
+ */
+
 #include "util/rng.hpp"
 
 #include "util/error.hpp"

@@ -1,3 +1,9 @@
+/**
+ * @file
+ * Welford running Summary, fixed-width Histogram and empirical CDF
+ * (sorted-sample quantiles / evaluation by binary search).
+ */
+
 #include "util/stats.hpp"
 
 #include <algorithm>

@@ -211,9 +211,15 @@ INSTANTIATE_TEST_SUITE_P(
                       flow::Weights{81, 9, 3},
                       flow::Weights{10, 3, 1}),
     [](const auto &info) {
-        return "w" + std::to_string(info.param.w1) + "_" +
-               std::to_string(info.param.w2) + "_" +
-               std::to_string(info.param.w3);
+        // Built via append (not operator+) to dodge GCC 12's spurious
+        // -Wrestrict on "literal" + std::string (GCC PR 105329).
+        std::string name = "w";
+        name += std::to_string(info.param.w1);
+        name += '_';
+        name += std::to_string(info.param.w2);
+        name += '_';
+        name += std::to_string(info.param.w3);
+        return name;
     });
 
 // ---- cache geometry sweep ---------------------------------------------------
