@@ -10,6 +10,8 @@
 
 #include <cstdio>
 
+#include "bench_common.hpp"
+
 #include "codec/fcc/fcc_codec.hpp"
 #include "trace/tsh.hpp"
 #include "trace/web_gen.hpp"
@@ -23,6 +25,7 @@ main()
     cfg.seed = 2005;
     cfg.durationSec = 30.0;
     cfg.flowsPerSec = 100.0;
+    cfg = fcc::bench::applySmoke(cfg);
     trace::WebTrafficGenerator gen(cfg);
     auto tr = gen.generate();
     uint64_t tshBytes = tr.size() * trace::tshRecordBytes;

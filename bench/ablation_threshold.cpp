@@ -12,6 +12,8 @@
 
 #include <cstdio>
 
+#include "bench_common.hpp"
+
 #include <map>
 
 #include "codec/fcc/fcc_codec.hpp"
@@ -68,6 +70,7 @@ main()
     cfg.seed = 2005;
     cfg.durationSec = 30.0;
     cfg.flowsPerSec = 100.0;
+    cfg = fcc::bench::applySmoke(cfg);
     trace::WebTrafficGenerator gen(cfg);
     auto tr = gen.generate();
     uint64_t tshBytes = tr.size() * trace::tshRecordBytes;

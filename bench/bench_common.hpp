@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared helpers for the self-contained bench binaries.
+ *
+ * Smoke mode (FCC_BENCH_SMOKE=1 in the environment) shrinks every
+ * workload so each binary finishes in a couple of seconds — CI runs
+ * the whole bench/ directory this way on every PR so the binaries
+ * cannot silently rot. Numbers produced under smoke mode are for
+ * liveness only, not for quoting.
+ */
+
+#ifndef FCC_BENCH_BENCH_COMMON_HPP
+#define FCC_BENCH_BENCH_COMMON_HPP
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "trace/web_gen.hpp"
+
+namespace fcc::bench {
+
+/** True when the FCC_BENCH_SMOKE environment toggle is set. */
+inline bool
+smokeMode()
+{
+    const char *env = std::getenv("FCC_BENCH_SMOKE");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+/**
+ * Shrink a workload for smoke mode; returns the (possibly adjusted)
+ * config so call sites stay one-liners. No-op outside smoke mode.
+ */
+inline trace::WebGenConfig
+applySmoke(trace::WebGenConfig cfg)
+{
+    if (smokeMode()) {
+        cfg.durationSec = std::min(cfg.durationSec, 3.0);
+        cfg.flowsPerSec = std::min(cfg.flowsPerSec, 60.0);
+    }
+    return cfg;
+}
+
+/** Repetition count for timing loops: 1 in smoke mode, else @p n. */
+inline int
+smokeReps(int n)
+{
+    return smokeMode() ? 1 : n;
+}
+
+} // namespace fcc::bench
+
+#endif // FCC_BENCH_BENCH_COMMON_HPP

@@ -8,6 +8,8 @@
 
 #include <cstdio>
 
+#include "bench_common.hpp"
+
 #include "experiments/experiments.hpp"
 
 int
@@ -17,10 +19,11 @@ main()
     cfg.seed = 2005;
     cfg.durationSec = 100.0;
     cfg.flowsPerSec = 60.0;
+    cfg = fcc::bench::applySmoke(cfg);
 
     std::vector<double> slices;
-    for (double t = 10.0; t <= 100.0; t += 10.0)
-        slices.push_back(t);
+    for (int k = 1; k <= 10; ++k)
+        slices.push_back(cfg.durationSec * k / 10.0);
 
     auto rows = fcc::experiments::runFileSizeComparison(cfg, slices);
 

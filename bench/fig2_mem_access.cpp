@@ -9,6 +9,8 @@
 
 #include <cstdio>
 
+#include "bench_common.hpp"
+
 #include "experiments/experiments.hpp"
 #include "memsim/profile_report.hpp"
 #include "util/stats.hpp"
@@ -23,6 +25,7 @@ main()
     cfg.webCfg.seed = 2005;
     cfg.webCfg.durationSec = 30.0;
     cfg.webCfg.flowsPerSec = 100.0;
+    cfg.webCfg = fcc::bench::applySmoke(cfg.webCfg);
     cfg.kernel = ex::Kernel::Route;
 
     auto results = ex::runMemoryValidation(cfg);

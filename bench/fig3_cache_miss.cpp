@@ -7,6 +7,8 @@
 
 #include <cstdio>
 
+#include "bench_common.hpp"
+
 #include "experiments/experiments.hpp"
 #include "memsim/profile_report.hpp"
 
@@ -20,6 +22,7 @@ main()
     cfg.webCfg.seed = 2005;
     cfg.webCfg.durationSec = 30.0;
     cfg.webCfg.flowsPerSec = 100.0;
+    cfg.webCfg = fcc::bench::applySmoke(cfg.webCfg);
     cfg.kernel = ex::Kernel::Route;
     // Geometry chosen so the original trace sits near the paper's
     // operating point (majority of packets below 5 % miss rate).

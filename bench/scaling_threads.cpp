@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Thread-scaling study of the sharded compression pipeline: wall
+ * time, throughput (MB/s of TSH input, packets/s) and speedup of
+ * FCC compression and decompression at 1/2/4/8 threads on the
+ * synthetic web trace, plus a byte-identity check between every
+ * thread count (the pipeline's determinism contract).
+ *
+ * Run: ./build/bench/scaling_threads [--smoke]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "codec/fcc/fcc_codec.hpp"
+#include "trace/tsh.hpp"
+#include "trace/web_gen.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace fcc;
+namespace fccc = fcc::codec::fcc;
+
+namespace {
+
+double
+secondsOf(const std::function<void()> &fn, int reps)
+{
+    double best = 1e100;
+    for (int r = 0; r < reps; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        fn();
+        auto t1 = std::chrono::steady_clock::now();
+        best = std::min(
+            best, std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = bench::smokeMode();
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+
+    trace::WebGenConfig cfg;
+    cfg.seed = 2005;
+    cfg.durationSec = smoke ? 3.0 : 90.0;
+    cfg.flowsPerSec = smoke ? 60.0 : 250.0;
+    trace::WebTrafficGenerator gen(cfg);
+    trace::Trace trace = gen.generate();
+
+    double tshMb = static_cast<double>(trace.size() *
+                                       trace::tshRecordBytes) /
+                   1e6;
+    unsigned hw = util::ThreadPool::hardwareThreads();
+    std::printf("# thread scaling of the sharded FCC pipeline\n");
+    std::printf("# workload: synthetic web trace, seed=%llu, "
+                "%zu packets, %.1f MB as TSH%s\n",
+                static_cast<unsigned long long>(cfg.seed),
+                trace.size(), tshMb, smoke ? " (smoke mode)" : "");
+    std::printf("# hardware threads: %u%s\n\n", hw,
+                hw < 4 ? " — speedups are bounded by the machine, "
+                         "not the pipeline"
+                       : "");
+
+    const int reps = smoke ? 1 : 3;
+    const uint32_t threadCounts[] = {1, 2, 4, 8};
+
+    std::vector<uint8_t> reference;
+    double baseCompress = 0.0;
+    std::printf("## compression\n");
+    std::printf("%8s %10s %10s %12s %9s %10s\n", "threads", "time_s",
+                "MB/s", "packets/s", "speedup", "identical");
+    for (uint32_t t : threadCounts) {
+        fccc::FccConfig fcfg;
+        fcfg.threads = t;
+        fccc::FccTraceCompressor codec(fcfg);
+        std::vector<uint8_t> bytes;
+        double sec = secondsOf([&] { bytes = codec.compress(trace); },
+                               reps);
+        if (t == 1) {
+            reference = bytes;
+            baseCompress = sec;
+        }
+        std::printf("%8u %10.3f %10.1f %12.0f %8.2fx %10s\n", t, sec,
+                    tshMb / sec,
+                    static_cast<double>(trace.size()) / sec,
+                    baseCompress / sec,
+                    bytes == reference ? "yes" : "NO!");
+    }
+
+    double baseExpand = 0.0;
+    std::printf("\n## decompression\n");
+    std::printf("%8s %10s %10s %12s %9s\n", "threads", "time_s",
+                "MB/s", "packets/s", "speedup");
+    for (uint32_t t : threadCounts) {
+        fccc::FccConfig fcfg;
+        fcfg.threads = t;
+        fccc::FccTraceCompressor codec(fcfg);
+        trace::Trace restored;
+        double sec = secondsOf(
+            [&] { restored = codec.decompress(reference); }, reps);
+        if (t == 1)
+            baseExpand = sec;
+        std::printf("%8u %10.3f %10.1f %12.0f %8.2fx\n", t, sec,
+                    tshMb / sec,
+                    static_cast<double>(restored.size()) / sec,
+                    baseExpand / sec);
+    }
+
+    std::printf("\n# identical=yes on every row is the determinism "
+                "contract: thread count\n# changes wall time only, "
+                "never the compressed bytes.\n");
+    return 0;
+}

@@ -9,6 +9,8 @@
 
 #include <cstdio>
 
+#include "bench_common.hpp"
+
 #include <map>
 
 #include "flow/characterize.hpp"
@@ -26,6 +28,7 @@ main()
     cfg.seed = 2005;
     cfg.durationSec = 40.0;
     cfg.flowsPerSec = 100.0;
+    cfg = fcc::bench::applySmoke(cfg);
     trace::WebTrafficGenerator gen(cfg);
     auto tr = gen.generate();
 

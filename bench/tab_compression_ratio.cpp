@@ -7,6 +7,8 @@
 
 #include <cstdio>
 
+#include "bench_common.hpp"
+
 #include "codec/fcc/fcc_codec.hpp"
 #include "experiments/experiments.hpp"
 
@@ -17,6 +19,7 @@ main()
     cfg.seed = 2005;
     cfg.durationSec = 40.0;
     cfg.flowsPerSec = 100.0;
+    cfg = fcc::bench::applySmoke(cfg);
 
     auto rows = fcc::experiments::runRatioComparison(cfg);
 

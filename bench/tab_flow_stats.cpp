@@ -9,6 +9,8 @@
 
 #include <cstdio>
 
+#include "bench_common.hpp"
+
 #include "flow/flow_stats.hpp"
 #include "flow/flow_table.hpp"
 #include "trace/web_gen.hpp"
@@ -22,6 +24,7 @@ main()
     cfg.seed = 2005;
     cfg.durationSec = 60.0;
     cfg.flowsPerSec = 100.0;
+    cfg = fcc::bench::applySmoke(cfg);
     trace::WebTrafficGenerator gen(cfg);
     auto tr = gen.generate();
 

@@ -8,6 +8,8 @@
 
 #include <cstdio>
 
+#include "bench_common.hpp"
+
 #include "experiments/experiments.hpp"
 #include "memsim/profile_report.hpp"
 #include "util/stats.hpp"
@@ -29,6 +31,7 @@ main()
         cfg.webCfg.seed = 2005;
         cfg.webCfg.durationSec = 15.0;
         cfg.webCfg.flowsPerSec = 100.0;
+        cfg.webCfg = fcc::bench::applySmoke(cfg.webCfg);
         cfg.kernel = kernel;
         auto results = ex::runMemoryValidation(cfg);
 

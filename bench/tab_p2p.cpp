@@ -7,7 +7,10 @@
  * traffic.
  */
 
+#include <algorithm>
 #include <cstdio>
+
+#include "bench_common.hpp"
 
 #include "codec/compressor.hpp"
 #include "codec/fcc/fcc_codec.hpp"
@@ -23,7 +26,8 @@ namespace ex = fcc::experiments;
 int
 main()
 {
-    auto p2pCfg = trace::p2pConfig(2005, 25.0, 100.0);
+    auto p2pCfg =
+        fcc::bench::applySmoke(trace::p2pConfig(2005, 25.0, 100.0));
     trace::WebTrafficGenerator gen(p2pCfg);
     auto tr = gen.generate();
 
@@ -52,7 +56,7 @@ main()
     // Memory validation with the P2P workload as the original.
     ex::ValidationConfig vcfg;
     vcfg.webCfg = p2pCfg;
-    vcfg.webCfg.durationSec = 15.0;
+    vcfg.webCfg.durationSec = std::min(p2pCfg.durationSec, 15.0);
     auto results = ex::runMemoryValidation(vcfg);
     fcc::util::Ecdf orig;
     for (const auto &sample : results[0].samples)

@@ -10,6 +10,8 @@
 
 #include <cstdio>
 
+#include "bench_common.hpp"
+
 #include "analysis/semantic.hpp"
 #include "codec/fcc/fcc_codec.hpp"
 #include "trace/transforms.hpp"
@@ -24,6 +26,7 @@ main()
     cfg.seed = 2005;
     cfg.durationSec = 20.0;
     cfg.flowsPerSec = 100.0;
+    cfg = fcc::bench::applySmoke(cfg);
     trace::WebTrafficGenerator gen(cfg);
     trace::Trace original = gen.generate();
 

@@ -4,18 +4,22 @@
  * study as a command-line tool.
  *
  * Usage:
- *   ./build/examples/compare_compressors                (synthetic)
+ *   ./build/examples/compare_compressors [--threads N]  (synthetic)
  *   ./build/examples/compare_compressors capture.pcap   (pcap file)
  *   ./build/examples/compare_compressors trace.tsh      (TSH file)
  *
- * The input format is chosen by file extension (.pcap / .tsh).
+ * The input format is chosen by file extension (.pcap / .tsh);
+ * --threads sets the FCC pipeline's worker count (0 = all cores,
+ * the default — the compressed bytes are identical either way).
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "codec/compressor.hpp"
+#include "codec/fcc/fcc_codec.hpp"
 #include "trace/pcap.hpp"
 #include "trace/tsh.hpp"
 #include "trace/web_gen.hpp"
@@ -26,9 +30,9 @@ using namespace fcc;
 namespace {
 
 trace::Trace
-loadTrace(int argc, char **argv)
+loadTrace(const char *file)
 {
-    if (argc <= 1) {
+    if (file == nullptr) {
         std::printf("no input file given; using a synthetic web "
                     "trace (60 s)\n");
         trace::WebGenConfig cfg;
@@ -38,7 +42,7 @@ loadTrace(int argc, char **argv)
         trace::WebTrafficGenerator gen(cfg);
         return gen.generate();
     }
-    std::string path = argv[1];
+    std::string path = file;
     if (path.size() > 5 &&
         path.compare(path.size() - 5, 5, ".pcap") == 0)
         return trace::readPcapFile(path);
@@ -53,9 +57,31 @@ loadTrace(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
+    codec::fcc::FccConfig fccCfg;
+    int arg = 1;
+    while (arg < argc && std::strncmp(argv[arg], "--", 2) == 0) {
+        if (std::strcmp(argv[arg], "--threads") == 0 &&
+            arg + 1 < argc) {
+            int threads = std::atoi(argv[arg + 1]);
+            if (threads < 0) {
+                std::fprintf(stderr,
+                             "error: --threads must be >= 0\n");
+                return 2;
+            }
+            fccCfg.threads = static_cast<uint32_t>(threads);
+            arg += 2;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--threads N] [trace.pcap|"
+                         "trace.tsh]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
     trace::Trace input;
     try {
-        input = loadTrace(argc, argv);
+        input = loadTrace(arg < argc ? argv[arg] : nullptr);
     } catch (const util::Error &error) {
         std::fprintf(stderr, "error: %s\n", error.what());
         return 1;
@@ -71,7 +97,7 @@ main(int argc, char **argv)
 
     std::printf("%-10s %14s %9s %9s %s\n", "method", "bytes",
                 "ratio", "lossless", "notes");
-    for (const auto &codec : codec::makeAllCodecs()) {
+    for (const auto &codec : codec::makeAllCodecs(fccCfg)) {
         auto report = codec::measure(*codec, input);
         const char *note = "";
         if (report.codec == "gzip")

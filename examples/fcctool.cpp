@@ -11,6 +11,7 @@
  * Options (before the subcommand):
  *   --threshold <pct>   similarity threshold (default 2.0, eq. 4)
  *   --cutoff <n>        short/long split (default 50)
+ *   --threads <n>       pipeline workers (0 = all cores, default)
  */
 
 #include <cstdio>
@@ -37,7 +38,8 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--threshold PCT] [--cutoff N] <command> ...\n"
+        "usage: %s [--threshold PCT] [--cutoff N] [--threads N] "
+        "<command> ...\n"
         "  compress   <in.tsh>  <out.fcc>\n"
         "  decompress <in.fcc>  <out.tsh>\n"
         "  info       <in.fcc|in.tsh|in.pcap>\n"
@@ -106,6 +108,11 @@ infoFcc(const std::string &path)
         std::istreambuf_iterator<char>());
     auto d = codec::fcc::deserialize(bytes);
     std::printf("FCC compressed trace (%zu bytes)\n", bytes.size());
+    if (d.chunkSizes.empty())
+        std::printf("container:        FCC1 (single stream)\n");
+    else
+        std::printf("container:        FCC2 (%zu chunks)\n",
+                    d.chunkSizes.size());
     std::printf("weights:          {%u, %u, %u}\n", d.weights.w1,
                 d.weights.w2, d.weights.w3);
     std::printf("flows (time-seq): %zu\n", d.timeSeq.size());
@@ -137,6 +144,16 @@ main(int argc, char **argv)
                    arg + 1 < argc) {
             cfg.shortLimit = static_cast<uint32_t>(
                 std::atoi(argv[arg + 1]));
+            arg += 2;
+        } else if (std::strcmp(argv[arg], "--threads") == 0 &&
+                   arg + 1 < argc) {
+            int threads = std::atoi(argv[arg + 1]);
+            if (threads < 0) {
+                std::fprintf(stderr,
+                             "error: --threads must be >= 0\n");
+                return 2;
+            }
+            cfg.threads = static_cast<uint32_t>(threads);
             arg += 2;
         } else {
             return usage(argv[0]);

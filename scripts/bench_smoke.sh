@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Bench smoke: run every benchmark binary once in a quick mode so the
+# bench/ tree cannot silently rot. Self-contained binaries honour
+# FCC_BENCH_SMOKE=1 (tiny workloads); Google-Benchmark binaries get a
+# minimal --benchmark_min_time (suffixed form first, bare double as a
+# fallback for older library versions).
+# Usage: scripts/bench_smoke.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+BENCH_DIR="$BUILD_DIR/bench"
+
+[ -d "$BENCH_DIR" ] || {
+    echo "no $BENCH_DIR; build with FCC_BUILD_BENCH=ON first" >&2
+    exit 1
+}
+
+export FCC_BENCH_SMOKE=1
+status=0
+for bin in "$BENCH_DIR"/*; do
+    [ -x "$bin" ] || continue
+    name="$(basename "$bin")"
+    case "$name" in
+        micro_codecs|micro_deflate|micro_lookup)
+            echo "== $name (google-benchmark) =="
+            "$bin" --benchmark_min_time=0.01s >/dev/null 2>&1 ||
+                "$bin" --benchmark_min_time=0.01 >/dev/null ||
+                { echo "FAIL: $name"; status=1; }
+            ;;
+        *)
+            echo "== $name =="
+            "$bin" >/dev/null || { echo "FAIL: $name"; status=1; }
+            ;;
+    esac
+done
+[ "$status" -eq 0 ] && echo "bench smoke: all binaries ran"
+exit "$status"

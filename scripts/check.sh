@@ -1,11 +1,28 @@
 #!/usr/bin/env bash
 # Tier-1 verify: configure, build everything, run the full test suite.
-# Usage: scripts/check.sh [build-dir]
+# Usage: scripts/check.sh [build-dir] [preset]
+#   scripts/check.sh                     default Release build
+#   scripts/check.sh build-asan asan     ASan+UBSan suite
+#   scripts/check.sh build-tsan tsan     ThreadSanitizer suite
+# Presets come from CMakePresets.json; the build-dir argument
+# overrides the preset's binaryDir.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
+PRESET="${2:-}"
 
-cmake -B "$BUILD_DIR" -S .
+# Preset "environment" blocks only apply to the configure step, not
+# to ctest below — export the sanitizer runtime options here so UBSan
+# findings actually fail the run (harmless for plain builds).
+export ASAN_OPTIONS="${ASAN_OPTIONS:-strict_string_checks=1:detect_stack_use_after_return=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+
+if [ -n "$PRESET" ]; then
+    cmake -B "$BUILD_DIR" -S . --preset "$PRESET"
+else
+    cmake -B "$BUILD_DIR" -S .
+fi
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

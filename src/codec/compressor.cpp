@@ -28,12 +28,19 @@ measure(const TraceCompressor &codec, const trace::Trace &trace)
 std::vector<std::unique_ptr<TraceCompressor>>
 makeAllCodecs()
 {
+    return makeAllCodecs(fcc::FccConfig{});
+}
+
+std::vector<std::unique_ptr<TraceCompressor>>
+makeAllCodecs(const fcc::FccConfig &fccConfig)
+{
     std::vector<std::unique_ptr<TraceCompressor>> codecs;
     codecs.push_back(std::make_unique<deflate::GzipTraceCompressor>());
     codecs.push_back(std::make_unique<vj::VjTraceCompressor>());
     codecs.push_back(
         std::make_unique<peuhkuri::PeuhkuriTraceCompressor>());
-    codecs.push_back(std::make_unique<fcc::FccTraceCompressor>());
+    codecs.push_back(
+        std::make_unique<fcc::FccTraceCompressor>(fccConfig));
     return codecs;
 }
 

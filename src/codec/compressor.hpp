@@ -23,6 +23,10 @@
 
 namespace fcc::codec {
 
+namespace fcc {
+struct FccConfig;
+}
+
 /** Abstract packet-trace compressor. */
 class TraceCompressor
 {
@@ -78,6 +82,10 @@ CompressionReport measure(const TraceCompressor &codec,
  * presents them (gzip, vj, peuhkuri, fcc).
  */
 std::vector<std::unique_ptr<TraceCompressor>> makeAllCodecs();
+
+/** Same registry with the proposed codec under a custom config. */
+std::vector<std::unique_ptr<TraceCompressor>>
+makeAllCodecs(const fcc::FccConfig &fccConfig);
 
 } // namespace fcc::codec
 

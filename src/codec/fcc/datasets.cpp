@@ -3,6 +3,13 @@
  * Wire format of the four §3 datasets (short/long templates,
  * addresses, time-seq): varint-heavy serialization with a per-
  * dataset SizeBreakdown, behind one magic-tagged container.
+ *
+ * Two containers share the template/address encodings:
+ *  - FCC1 (legacy): one delta-encoded time-seq stream;
+ *  - FCC2 (chunked): the time-seq dataset framed into
+ *    independently decodable chunks (record count + byte length
+ *    prefix, per-chunk timestamp delta restart) so a reader can
+ *    expand chunks on multiple threads.
  */
 
 #include "codec/fcc/datasets.hpp"
@@ -16,11 +23,13 @@ namespace fcc::codec::fcc {
 
 namespace {
 
-constexpr uint32_t magic = 0x31434346u;  // "FCC1"
+constexpr uint32_t magicV1 = 0x31434346u;  // "FCC1"
+constexpr uint32_t magicV2 = 0x32434346u;  // "FCC2"
 
+/** Header plus the three shared datasets (everything but time-seq). */
 void
-serializeInto(const Datasets &d, util::ByteWriter &w,
-              SizeBreakdown &sizes)
+writeShared(const Datasets &d, uint32_t magic, util::ByteWriter &w,
+            SizeBreakdown &sizes)
 {
     // Header: magic + the weight configuration the S values use.
     w.u32(magic);
@@ -65,49 +74,43 @@ serializeInto(const Datasets &d, util::ByteWriter &w,
     for (uint32_t addr : d.addresses)
         w.u32(addr);
     sizes.addressBytes = w.size() - mark;
+}
+
+/** One time-seq record, timestamp delta-encoded against @p prevUs. */
+void
+writeRecord(util::ByteWriter &w, const TimeSeqRecord &rec,
+            uint64_t &prevUs)
+{
+    util::require(rec.firstTimestampUs >= prevUs,
+                  "fcc: time-seq records not sorted");
+    w.u8(rec.isLong ? 1 : 0);
+    w.varint(rec.firstTimestampUs - prevUs);
+    w.varint(rec.templateIndex);
+    if (!rec.isLong)
+        w.varint(rec.rttUs);
+    w.varint(rec.addressIndex);
+    prevUs = rec.firstTimestampUs;
+}
+
+void
+serializeInto(const Datasets &d, util::ByteWriter &w,
+              SizeBreakdown &sizes)
+{
+    writeShared(d, magicV1, w, sizes);
 
     // time-seq: sorted by timestamp, so timestamps delta-encode.
-    mark = w.size();
+    size_t mark = w.size();
     w.varint(d.timeSeq.size());
     uint64_t prevUs = 0;
-    for (const auto &rec : d.timeSeq) {
-        util::require(rec.firstTimestampUs >= prevUs,
-                      "fcc: time-seq records not sorted");
-        w.u8(rec.isLong ? 1 : 0);
-        w.varint(rec.firstTimestampUs - prevUs);
-        w.varint(rec.templateIndex);
-        if (!rec.isLong)
-            w.varint(rec.rttUs);
-        w.varint(rec.addressIndex);
-        prevUs = rec.firstTimestampUs;
-    }
+    for (const auto &rec : d.timeSeq)
+        writeRecord(w, rec, prevUs);
     sizes.timeSeqBytes = w.size() - mark;
 }
 
-} // namespace
-
-std::vector<uint8_t>
-serialize(const Datasets &datasets)
-{
-    SizeBreakdown sizes;
-    return serialize(datasets, sizes);
-}
-
-std::vector<uint8_t>
-serialize(const Datasets &datasets, SizeBreakdown &breakdown)
-{
-    util::ByteWriter w;
-    breakdown = SizeBreakdown{};
-    serializeInto(datasets, w, breakdown);
-    return w.take();
-}
-
+/** Shared header/template/address parse; returns the reader cursor. */
 Datasets
-deserialize(std::span<const uint8_t> data)
+readShared(util::ByteReader &r)
 {
-    util::ByteReader r(data);
-    util::require(r.remaining() >= 10 && r.u32() == magic,
-                  "fcc: bad magic");
     Datasets d;
     d.weights.w1 = r.u16();
     d.weights.w2 = r.u16();
@@ -155,30 +158,127 @@ deserialize(std::span<const uint8_t> data)
         std::min<uint64_t>(addrCount, r.remaining()));
     for (uint64_t i = 0; i < addrCount; ++i)
         d.addresses.push_back(r.u32());
+    return d;
+}
 
-    uint64_t flowCount = r.varint();
-    d.timeSeq.reserve(
-        std::min<uint64_t>(flowCount, r.remaining()));
-    uint64_t prevUs = 0;
-    for (uint64_t i = 0; i < flowCount; ++i) {
-        TimeSeqRecord rec;
-        uint8_t id = r.u8();
-        util::require(id <= 1, "fcc: bad dataset identifier");
-        rec.isLong = id == 1;
-        prevUs += r.varint();
-        rec.firstTimestampUs = prevUs;
-        rec.templateIndex = static_cast<uint32_t>(r.varint());
-        if (!rec.isLong)
-            rec.rttUs = static_cast<uint32_t>(r.varint());
-        rec.addressIndex = static_cast<uint32_t>(r.varint());
+/** One record; validates indices against the shared datasets. */
+TimeSeqRecord
+readRecord(util::ByteReader &r, const Datasets &d, uint64_t &prevUs)
+{
+    TimeSeqRecord rec;
+    uint8_t id = r.u8();
+    util::require(id <= 1, "fcc: bad dataset identifier");
+    rec.isLong = id == 1;
+    prevUs += r.varint();
+    rec.firstTimestampUs = prevUs;
+    rec.templateIndex = static_cast<uint32_t>(r.varint());
+    if (!rec.isLong)
+        rec.rttUs = static_cast<uint32_t>(r.varint());
+    rec.addressIndex = static_cast<uint32_t>(r.varint());
 
-        size_t limit = rec.isLong ? d.longTemplates.size()
-                                  : d.shortTemplates.size();
-        util::require(rec.templateIndex < limit,
-                      "fcc: template index out of range");
-        util::require(rec.addressIndex < d.addresses.size(),
-                      "fcc: address index out of range");
-        d.timeSeq.push_back(rec);
+    size_t limit = rec.isLong ? d.longTemplates.size()
+                              : d.shortTemplates.size();
+    util::require(rec.templateIndex < limit,
+                  "fcc: template index out of range");
+    util::require(rec.addressIndex < d.addresses.size(),
+                  "fcc: address index out of range");
+    return rec;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+serialize(const Datasets &datasets)
+{
+    SizeBreakdown sizes;
+    return serialize(datasets, sizes);
+}
+
+std::vector<uint8_t>
+serialize(const Datasets &datasets, SizeBreakdown &breakdown)
+{
+    util::ByteWriter w;
+    breakdown = SizeBreakdown{};
+    serializeInto(datasets, w, breakdown);
+    return w.take();
+}
+
+std::vector<uint8_t>
+serializeChunked(const Datasets &datasets, uint32_t recordsPerChunk,
+                 SizeBreakdown &breakdown)
+{
+    if (recordsPerChunk == 0)
+        return serialize(datasets, breakdown);
+
+    util::ByteWriter w;
+    breakdown = SizeBreakdown{};
+    writeShared(datasets, magicV2, w, breakdown);
+
+    size_t mark = w.size();
+    size_t records = datasets.timeSeq.size();
+    size_t chunks = (records + recordsPerChunk - 1) / recordsPerChunk;
+    w.varint(chunks);
+    for (size_t c = 0; c < chunks; ++c) {
+        size_t begin = c * recordsPerChunk;
+        size_t end = std::min(records,
+                              begin + size_t{recordsPerChunk});
+        // Each chunk restarts the timestamp delta so it decodes
+        // without its predecessors.
+        util::ByteWriter chunk;
+        uint64_t prevUs = 0;
+        for (size_t i = begin; i < end; ++i)
+            writeRecord(chunk, datasets.timeSeq[i], prevUs);
+        w.varint(end - begin);
+        w.varint(chunk.size());
+        w.bytes(chunk.data());
+    }
+    breakdown.timeSeqBytes = w.size() - mark;
+    return w.take();
+}
+
+Datasets
+deserialize(std::span<const uint8_t> data)
+{
+    util::ByteReader r(data);
+    util::require(r.remaining() >= 10, "fcc: truncated header");
+    uint32_t magic = r.u32();
+    util::require(magic == magicV1 || magic == magicV2,
+                  "fcc: bad magic");
+    Datasets d = readShared(r);
+
+    if (magic == magicV1) {
+        uint64_t flowCount = r.varint();
+        d.timeSeq.reserve(
+            std::min<uint64_t>(flowCount, r.remaining()));
+        uint64_t prevUs = 0;
+        for (uint64_t i = 0; i < flowCount; ++i)
+            d.timeSeq.push_back(readRecord(r, d, prevUs));
+    } else {
+        uint64_t chunkCount = r.varint();
+        d.chunkSizes.reserve(
+            std::min<uint64_t>(chunkCount, r.remaining()));
+        uint64_t lastUs = 0;
+        for (uint64_t c = 0; c < chunkCount; ++c) {
+            uint64_t recordCount = r.varint();
+            uint64_t byteLength = r.varint();
+            util::require(byteLength <= r.remaining(),
+                          "fcc: chunk longer than stream");
+            size_t start = r.position();
+            uint64_t prevUs = 0;
+            for (uint64_t i = 0; i < recordCount; ++i) {
+                TimeSeqRecord rec = readRecord(r, d, prevUs);
+                // Chunks delta-restart but the dataset stays
+                // globally time-sorted.
+                util::require(rec.firstTimestampUs >= lastUs,
+                              "fcc: chunks not time-sorted");
+                lastUs = rec.firstTimestampUs;
+                d.timeSeq.push_back(rec);
+            }
+            util::require(r.position() - start == byteLength,
+                          "fcc: chunk length mismatch");
+            d.chunkSizes.push_back(
+                static_cast<uint32_t>(recordCount));
+        }
     }
     util::require(r.exhausted(), "fcc: trailing bytes");
     return d;

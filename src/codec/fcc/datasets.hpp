@@ -50,6 +50,16 @@ struct Datasets
     std::vector<LongTemplate> longTemplates;
     std::vector<uint32_t> addresses;
     std::vector<TimeSeqRecord> timeSeq;  ///< sorted by timestamp
+
+    /**
+     * Chunk layout of the FCC2 container: element c is the number of
+     * consecutive timeSeq records in chunk c (summing to
+     * timeSeq.size()). Empty for the legacy FCC1 container. Chunks
+     * decode and expand independently — each restarts the timestamp
+     * delta and owns one RNG stream — which is what lets
+     * decompression run multi-threaded yet byte-deterministic.
+     */
+    std::vector<uint32_t> chunkSizes;
 };
 
 /** Serialized size of each dataset, for the §5 accounting. */
@@ -69,7 +79,7 @@ struct SizeBreakdown
     }
 };
 
-/** Serialize to the FCC1 wire format. */
+/** Serialize to the legacy (single-stream) FCC1 wire format. */
 std::vector<uint8_t> serialize(const Datasets &datasets);
 
 /** Serialize and report per-dataset sizes through @p breakdown. */
@@ -77,7 +87,20 @@ std::vector<uint8_t> serialize(const Datasets &datasets,
                                SizeBreakdown &breakdown);
 
 /**
- * Parse the FCC1 wire format.
+ * Serialize to the chunked FCC2 wire format: the template and
+ * address datasets are shared, the time-seq dataset is framed into
+ * chunks of @p recordsPerChunk records (the last may be shorter),
+ * each prefixed with its record count and byte length so a reader
+ * can expand chunks in parallel. @p recordsPerChunk == 0 falls back
+ * to FCC1.
+ */
+std::vector<uint8_t> serializeChunked(const Datasets &datasets,
+                                      uint32_t recordsPerChunk,
+                                      SizeBreakdown &breakdown);
+
+/**
+ * Parse the FCC1 or FCC2 wire format (auto-detected by magic);
+ * FCC2 fills Datasets::chunkSizes.
  * @throws fcc::util::Error on malformed input.
  */
 Datasets deserialize(std::span<const uint8_t> data);

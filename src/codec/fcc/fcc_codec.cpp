@@ -5,20 +5,50 @@
  * template store, store long flows verbatim, then regenerate
  * packets from templates + time-seq records on decompression.
  * Optionally DEFLATEs the serialized datasets.
+ *
+ * Compression runs as a sharded pipeline: connections are
+ * partitioned by 5-tuple hash into flowTable.shards shards, each
+ * shard assembles/characterizes/clusters independently (and
+ * concurrently on cfg.threads workers), then a deterministic merge
+ * reclusters the per-shard template centres in shard order, remaps
+ * template indices and emits the time-seq dataset in canonical flow
+ * order. Because the shard count and merge order are fixed by the
+ * config — never by the thread count — compressed output is
+ * byte-identical at any thread count.
  */
 
 #include "codec/fcc/fcc_codec.hpp"
 
+#include <algorithm>
+#include <memory>
+#include <tuple>
 #include <unordered_map>
 
 #include "codec/deflate/deflate.hpp"
 #include "flow/template_store.hpp"
 #include "util/error.hpp"
+#include "util/hash.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fcc::codec::fcc {
 
 namespace {
+
+/** cfg.threads semantics: 0 = whatever the hardware offers. */
+unsigned
+resolveThreads(uint32_t requested)
+{
+    return requested != 0 ? requested
+                          : util::ThreadPool::hardwareThreads();
+}
+
+/** Chunk c of a container decompresses from its own RNG stream. */
+uint64_t
+chunkRngSeed(uint64_t decompressSeed, size_t chunk)
+{
+    return util::hashCombine(decompressSeed, chunk);
+}
 
 /**
  * RTT estimate of a short flow: the gap at the first direction
@@ -64,6 +94,12 @@ FccTraceCompressor::FccTraceCompressor(const FccConfig &cfg)
                   "fcc: weights produce S values above one byte");
     util::require(cfg_.shortLimit >= 1,
                   "fcc: short/long split must be >= 1 packet");
+    util::require(cfg_.flowTable.shards >= 1,
+                  "fcc: shard count must be >= 1");
+    // 0 means auto; anything explicit must be sane (catches signed
+    // garbage like --threads -1 wrapped through uint32_t).
+    util::require(cfg_.threads <= 1024,
+                  "fcc: thread count out of range (max 1024)");
 }
 
 Datasets
@@ -74,60 +110,149 @@ FccTraceCompressor::buildDatasets(const trace::Trace &trace,
                   "fcc: input trace must be time-ordered");
     stats = FccCompressStats{};
 
+    unsigned threads = resolveThreads(cfg_.threads);
+    std::unique_ptr<util::ThreadPool> pool;
+    if (threads > 1)
+        pool = std::make_unique<util::ThreadPool>(threads);
+
     flow::FlowTable table(cfg_.flowTable);
-    auto flows = table.assemble(trace);
+    auto shardFlows = table.assembleSharded(trace, pool.get());
+    size_t shards = shardFlows.size();
 
-    flow::Characterizer chi(cfg_.weights);
-    flow::TemplateStore store(cfg_.rule);
+    // Per-flow output of a shard, slim enough to merge cheaply.
+    struct ShardFlow
+    {
+        uint64_t firstNs = 0;
+        uint64_t firstUs = 0;
+        flow::FlowKey key;
+        uint32_t serverIp = 0;
+        uint32_t localTemplate = 0;  ///< shard-local index
+        uint32_t rttUs = 0;
+        bool isLong = false;
+    };
+    struct ShardOut
+    {
+        std::vector<ShardFlow> flows;
+        std::vector<flow::SfVector> shortTemplates;
+        std::vector<LongTemplate> longTemplates;
+    };
+    std::vector<ShardOut> shardOut(shards);
 
+    // Characterize + cluster each shard independently; results land
+    // in the shard's own slot, so the outcome does not depend on
+    // scheduling.
+    auto processShard = [&](size_t s) {
+        flow::Characterizer chi(cfg_.weights);
+        flow::TemplateStore store(cfg_.rule);
+        ShardOut &out = shardOut[s];
+        out.flows.reserve(shardFlows[s].size());
+        for (const auto &flow : shardFlows[s]) {
+            flow::SfVector sf = chi.characterize(flow, trace);
+            ShardFlow o;
+            o.firstNs = flow.firstTimestampNs;
+            o.firstUs =
+                trace[flow.packetIndex.front()].timestampUs();
+            o.key = flow.key;
+            o.serverIp = flow.serverIp;
+            if (flow.size() <= cfg_.shortLimit) {
+                o.localTemplate = store.findOrInsert(sf).index;
+                o.rttUs = estimateRttUs(flow, trace);
+            } else {
+                o.isLong = true;
+                LongTemplate tmpl;
+                tmpl.sValues = sf.values;
+                tmpl.iptUs.resize(flow.size());
+                tmpl.iptUs[0] = 0;
+                for (size_t i = 1; i < flow.size(); ++i)
+                    tmpl.iptUs[i] =
+                        trace[flow.packetIndex[i]].timestampUs() -
+                        trace[flow.packetIndex[i - 1]].timestampUs();
+                o.localTemplate = static_cast<uint32_t>(
+                    out.longTemplates.size());
+                out.longTemplates.push_back(std::move(tmpl));
+            }
+            out.flows.push_back(o);
+        }
+        out.shortTemplates = store.all();
+    };
+    if (pool)
+        pool->parallelFor(shards, processShard);
+    else
+        for (size_t s = 0; s < shards; ++s)
+            processShard(s);
+
+    // ---- Deterministic merge (sequential, cheap) ----
     Datasets d;
     d.weights = cfg_.weights;
+
+    // Recluster the shard cluster centres into one global store in
+    // shard order; remap[s][t] is shard s's template t globally.
+    flow::TemplateStore global(cfg_.rule);
+    std::vector<std::vector<uint32_t>> remap(shards);
+    for (size_t s = 0; s < shards; ++s) {
+        remap[s].reserve(shardOut[s].shortTemplates.size());
+        for (const auto &tmpl : shardOut[s].shortTemplates)
+            remap[s].push_back(global.findOrInsert(tmpl).index);
+    }
+
+    // Canonical global flow order (the same key assembleIndices
+    // sorted each shard by — the shared helper keeps the two from
+    // drifting apart). Each shard's list is already sorted, so a
+    // k-way merge over the shard heads recovers the global order
+    // without a full sort; the linear scan over the (small, fixed)
+    // shard count per emitted flow is cheaper than a heap here.
+    auto canonicalKey = [](const ShardFlow &f) {
+        return flow::canonicalFlowOrderKey(f.firstNs, f.key);
+    };
+    size_t totalFlows = 0;
+    for (const auto &out : shardOut)
+        totalFlows += out.flows.size();
+    std::vector<size_t> cursor(shards, 0);
+
     std::unordered_map<uint32_t, uint32_t> addrIndex;
-
-    for (const auto &flow : flows) {
-        flow::SfVector sf = chi.characterize(flow, trace);
-
+    addrIndex.reserve(1024);
+    d.timeSeq.reserve(totalFlows);
+    for (size_t emitted = 0; emitted < totalFlows; ++emitted) {
+        size_t s = shards;  // shard holding the smallest head
+        for (size_t cand = 0; cand < shards; ++cand) {
+            if (cursor[cand] >= shardOut[cand].flows.size())
+                continue;
+            if (s == shards ||
+                canonicalKey(shardOut[cand].flows[cursor[cand]]) <
+                    canonicalKey(shardOut[s].flows[cursor[s]]))
+                s = cand;
+        }
+        ShardFlow &o = shardOut[s].flows[cursor[s]++];
         TimeSeqRecord rec;
-        rec.firstTimestampUs =
-            trace[flow.packetIndex.front()].timestampUs();
+        rec.firstTimestampUs = o.firstUs;
 
         auto [it, isNewAddr] = addrIndex.try_emplace(
-            flow.serverIp,
-            static_cast<uint32_t>(d.addresses.size()));
+            o.serverIp, static_cast<uint32_t>(d.addresses.size()));
         if (isNewAddr)
-            d.addresses.push_back(flow.serverIp);
+            d.addresses.push_back(o.serverIp);
         rec.addressIndex = it->second;
 
         ++stats.flows;
-        if (flow.size() <= cfg_.shortLimit) {
+        if (!o.isLong) {
             ++stats.shortFlows;
-            flow::TemplateMatch match = store.findOrInsert(sf);
-            if (match.isNew)
-                ++stats.shortTemplatesCreated;
-            else
-                ++stats.shortTemplateHits;
             rec.isLong = false;
-            rec.templateIndex = match.index;
-            rec.rttUs = estimateRttUs(flow, trace);
+            rec.templateIndex = remap[s][o.localTemplate];
+            rec.rttUs = o.rttUs;
         } else {
             ++stats.longFlows;
-            LongTemplate tmpl;
-            tmpl.sValues = sf.values;
-            tmpl.iptUs.resize(flow.size());
-            tmpl.iptUs[0] = 0;
-            for (size_t i = 1; i < flow.size(); ++i)
-                tmpl.iptUs[i] =
-                    trace[flow.packetIndex[i]].timestampUs() -
-                    trace[flow.packetIndex[i - 1]].timestampUs();
             rec.isLong = true;
             rec.templateIndex =
                 static_cast<uint32_t>(d.longTemplates.size());
-            d.longTemplates.push_back(std::move(tmpl));
+            d.longTemplates.push_back(
+                std::move(shardOut[s].longTemplates[o.localTemplate]));
         }
         d.timeSeq.push_back(rec);
     }
 
-    d.shortTemplates = store.all();
+    stats.shortTemplatesCreated = global.size();
+    stats.shortTemplateHits =
+        stats.shortFlows - stats.shortTemplatesCreated;
+    d.shortTemplates = global.all();
     return d;
 }
 
@@ -136,7 +261,7 @@ FccTraceCompressor::compressWithStats(const trace::Trace &trace,
                                       FccCompressStats &stats) const
 {
     Datasets d = buildDatasets(trace, stats);
-    auto bytes = serialize(d, stats.sizes);
+    auto bytes = serializeChunked(d, cfg_.chunkRecords, stats.sizes);
     if (cfg_.deflateDatasets)
         bytes = deflate::zlibCompress(bytes);
     return bytes;
@@ -152,10 +277,35 @@ FccTraceCompressor::compress(const trace::Trace &trace) const
 trace::Trace
 FccTraceCompressor::expand(const Datasets &d) const
 {
-    util::Rng rng(cfg_.decompressSeed);
     std::vector<trace::PacketRecord> packets;
-    for (const auto &rec : d.timeSeq)
-        expandFlow(d, rec, rng, packets);
+    if (d.chunkSizes.empty()) {
+        // Legacy FCC1: one sequential RNG stream over all records.
+        util::Rng rng(cfg_.decompressSeed);
+        for (const auto &rec : d.timeSeq)
+            expandFlow(d, rec, rng, packets);
+    } else {
+        size_t chunks = d.chunkSizes.size();
+        std::vector<std::vector<trace::PacketRecord>> perChunk(
+            chunks);
+        auto expandOne = [&](size_t c) {
+            expandChunk(d, c, perChunk[c]);
+        };
+        unsigned threads = resolveThreads(cfg_.threads);
+        if (threads > 1 && chunks > 1) {
+            util::ThreadPool pool(threads);
+            pool.parallelFor(chunks, expandOne);
+        } else {
+            for (size_t c = 0; c < chunks; ++c)
+                expandOne(c);
+        }
+
+        size_t total = 0;
+        for (const auto &chunk : perChunk)
+            total += chunk.size();
+        packets.reserve(total);
+        for (auto &chunk : perChunk)
+            packets.insert(packets.end(), chunk.begin(), chunk.end());
+    }
     trace::Trace out(std::move(packets));
     out.sortByTime();
     return out;
@@ -286,6 +436,28 @@ FccTraceCompressor::expandFlow(const Datasets &d,
             out.push_back(pkt);
         }
     }
+}
+
+void
+FccTraceCompressor::expandChunk(
+    const Datasets &d, size_t chunk,
+    std::vector<trace::PacketRecord> &out) const
+{
+    util::require(chunk < d.chunkSizes.size(),
+                  "fcc: chunk index out of range");
+    size_t begin = 0;
+    for (size_t c = 0; c < chunk; ++c)
+        begin += d.chunkSizes[c];
+    size_t end = begin + d.chunkSizes[chunk];
+    util::require(end <= d.timeSeq.size(),
+                  "fcc: chunk sizes disagree with time-seq");
+
+    // One RNG stream per chunk, seeded from (decompressSeed, chunk
+    // index): chunks expand in any order — or in parallel — and
+    // still produce the same packets.
+    util::Rng rng(chunkRngSeed(cfg_.decompressSeed, chunk));
+    for (size_t i = begin; i < end; ++i)
+        expandFlow(d, d.timeSeq[i], rng, out);
 }
 
 trace::Trace

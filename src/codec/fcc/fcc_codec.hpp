@@ -47,6 +47,23 @@ struct FccConfig
     flow::FlowTableConfig flowTable;
 
     /**
+     * Worker threads of the sharded pipeline; 0 means
+     * hardware_concurrency, 1 runs everything on the calling thread.
+     * Output is byte-identical for every value: the shard count
+     * (flowTable.shards) and the chunk size (chunkRecords) fix the
+     * work decomposition, threads only decide how much of it runs
+     * concurrently.
+     */
+    uint32_t threads = 0;
+
+    /**
+     * Time-seq records per FCC2 chunk. Chunks are the unit of
+     * parallel decompression (each owns an RNG stream); 0 writes the
+     * legacy single-stream FCC1 container instead.
+     */
+    uint32_t chunkRecords = 4096;
+
+    /**
      * Address assignment on decompression. The paper (§4) writes the
      * stored destination address and the random source on *every*
      * packet of a flow; with directionAwareAddresses the recovered
@@ -116,7 +133,13 @@ class FccTraceCompressor : public TraceCompressor
     buildDatasets(const trace::Trace &trace,
                   FccCompressStats &stats) const;
 
-    /** Expand in-memory datasets into a reconstructed trace. */
+    /**
+     * Expand in-memory datasets into a reconstructed trace. FCC2
+     * chunked datasets expand one chunk per task on cfg.threads
+     * workers, each chunk drawing from its own RNG stream seeded
+     * from (decompressSeed, chunk index); FCC1 datasets replay the
+     * legacy single sequential stream.
+     */
     trace::Trace expand(const Datasets &datasets) const;
 
     /**
@@ -130,6 +153,16 @@ class FccTraceCompressor : public TraceCompressor
     expandFlow(const Datasets &datasets, const TimeSeqRecord &record,
                util::Rng &rng,
                std::vector<trace::PacketRecord> &out) const;
+
+    /**
+     * Expand every record of FCC2 chunk @p chunk (index into
+     * Datasets::chunkSizes) into @p out, drawing from the chunk's
+     * own RNG stream. Chunks may be expanded in any order or
+     * concurrently; expand() and the streaming decompressor share
+     * this so both reconstruct identical packets.
+     */
+    void expandChunk(const Datasets &datasets, size_t chunk,
+                     std::vector<trace::PacketRecord> &out) const;
 
     const FccConfig &config() const { return cfg_; }
 

@@ -17,6 +17,7 @@
 #include "flow/template_store.hpp"
 #include "trace/tsh.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fcc::codec::fcc {
 
@@ -236,7 +237,8 @@ compressTshFile(const std::string &tshPath, const std::string &fccPath,
     }
 
     Datasets datasets = builder.finish();
-    auto bytes = serialize(datasets);
+    SizeBreakdown sizes;
+    auto bytes = serializeChunked(datasets, cfg.chunkRecords, sizes);
 
     FilePtr out = openFile(fccPath, "wb",
                            "fcc stream: cannot open FCC output");
@@ -263,7 +265,6 @@ decompressToTshFile(const std::string &fccPath,
     Datasets datasets = deserialize(bytes);
 
     FccTraceCompressor codec(cfg);
-    util::Rng rng(cfg.decompressSeed);
     FilePtr out = openFile(tshPath, "wb",
                            "fcc stream: cannot open TSH output");
 
@@ -272,8 +273,10 @@ decompressToTshFile(const std::string &fccPath,
     stats.flows = datasets.timeSeq.size();
 
     // Paper §4: reconstructed packets wait in a time-ordered buffer;
-    // everything older than the next time-seq record's timestamp is
-    // flushed to the output file.
+    // everything older than the next not-yet-expanded record's
+    // timestamp is flushed to the output file, so peak memory stays
+    // near the concurrently active flows (plus, for FCC2, one batch
+    // of chunks).
     auto later = [](const trace::PacketRecord &a,
                     const trace::PacketRecord &b) {
         return a.timestampNs > b.timestampNs;
@@ -300,6 +303,54 @@ decompressToTshFile(const std::string &fccPath,
         stats.packets += batch.size();
     };
 
+    if (!datasets.chunkSizes.empty()) {
+        // FCC2: expand a batch of chunks concurrently (per-chunk RNG
+        // streams), then flush everything older than the next
+        // unexpanded chunk's first record — records are globally
+        // time-sorted across chunks, so no later chunk can produce
+        // an older packet.
+        size_t chunks = datasets.chunkSizes.size();
+        std::vector<size_t> offset(chunks + 1, 0);
+        for (size_t c = 0; c < chunks; ++c)
+            offset[c + 1] = offset[c] + datasets.chunkSizes[c];
+        util::require(offset[chunks] == datasets.timeSeq.size(),
+                      "fcc: chunk sizes disagree with time-seq");
+
+        unsigned threads = cfg.threads != 0
+            ? cfg.threads
+            : util::ThreadPool::hardwareThreads();
+        std::unique_ptr<util::ThreadPool> pool;
+        if (threads > 1 && chunks > 1)
+            pool = std::make_unique<util::ThreadPool>(threads);
+        size_t batchChunks =
+            std::max<size_t>(1, size_t{threads} * 2);
+
+        std::vector<std::vector<trace::PacketRecord>> perChunk;
+        for (size_t base = 0; base < chunks; base += batchChunks) {
+            size_t end = std::min(chunks, base + batchChunks);
+            perChunk.assign(end - base, {});
+            auto expandOne = [&](size_t i) {
+                codec.expandChunk(datasets, base + i, perChunk[i]);
+            };
+            if (pool)
+                pool->parallelFor(end - base, expandOne);
+            else
+                for (size_t i = 0; i < end - base; ++i)
+                    expandOne(i);
+            for (const auto &chunkPackets : perChunk)
+                for (const auto &pkt : chunkPackets)
+                    pendingQ.push(pkt);
+            uint64_t limitNs = end < chunks
+                ? datasets.timeSeq[offset[end]].firstTimestampUs *
+                      1000
+                : ~0ull;
+            flushOlderThan(limitNs);
+        }
+        return stats;
+    }
+
+    // Legacy FCC1: single sequential RNG stream over all records.
+    util::Rng rng(cfg.decompressSeed);
     std::vector<trace::PacketRecord> flowPackets;
     for (const auto &rec : datasets.timeSeq) {
         flushOlderThan(rec.firstTimestampUs * 1000);

@@ -6,12 +6,14 @@
  * worth of state at a time — memory is bounded by open flows plus
  * the template/time-seq datasets, not by the packet count).
  *
- * Decompression implements the paper's §4 algorithm literally: a
- * time-ordered buffer ("linked list" in the paper) of reconstructed
- * packets is flushed to the output file whenever packets are older
- * than the next time-seq record's timestamp, so output is produced
- * as the compressed stream is scanned rather than after a global
- * sort.
+ * Decompression of a legacy FCC1 file implements the paper's §4
+ * algorithm literally: a time-ordered buffer ("linked list" in the
+ * paper) of reconstructed packets is flushed to the output file
+ * whenever packets are older than the next time-seq record's
+ * timestamp, so output is produced as the compressed stream is
+ * scanned rather than after a global sort. A chunked FCC2 file
+ * instead expands its chunks concurrently (FccConfig::threads
+ * workers, one RNG stream per chunk) and writes the merged result.
  */
 
 #ifndef FCC_CODEC_FCC_STREAM_HPP

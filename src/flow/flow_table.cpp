@@ -2,15 +2,21 @@
  * @file
  * Bidirectional flow assembly: connections keyed by canonical
  * 5-tuple, client side fixed by the first SYN, flows closed on
- * FIN pairs, RST or idle timeout.
+ * FIN pairs, RST or idle timeout. The sharded entry points
+ * partition packets by 5-tuple hash so shards assemble
+ * independently (and concurrently) with identical semantics.
  */
 
 #include "flow/flow_table.hpp"
 
 #include <algorithm>
+#include <numeric>
+#include <tuple>
+
 #include <unordered_map>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fcc::flow {
 
@@ -26,19 +32,32 @@ struct OpenFlow
     bool clientKnown = false;
 };
 
+uint32_t
+shardOf(const FlowKey &key, uint32_t shards)
+{
+    return static_cast<uint32_t>(key.hash() % shards);
+}
+
 } // namespace
+
+bool
+canonicalFlowLess(const AssembledFlow &a, const AssembledFlow &b)
+{
+    return canonicalFlowOrderKey(a.firstTimestampNs, a.key) <
+           canonicalFlowOrderKey(b.firstTimestampNs, b.key);
+}
 
 FlowTable::FlowTable(const FlowTableConfig &cfg)
     : cfg_(cfg)
 {
+    util::require(cfg_.shards >= 1,
+                  "FlowTable: shard count must be >= 1");
 }
 
 std::vector<AssembledFlow>
-FlowTable::assemble(const trace::Trace &trace) const
+FlowTable::assembleIndices(const trace::Trace &trace,
+                           std::span<const uint32_t> indices) const
 {
-    util::require(trace.isTimeOrdered(),
-                  "FlowTable: input trace must be time-ordered");
-
     std::unordered_map<FlowKey, OpenFlow> open;
     std::vector<AssembledFlow> done;
 
@@ -46,7 +65,7 @@ FlowTable::assemble(const trace::Trace &trace) const
         done.push_back(std::move(state.flow));
     };
 
-    for (uint32_t i = 0; i < trace.size(); ++i) {
+    for (uint32_t i : indices) {
         const auto &pkt = trace[i];
         FlowKey key = FlowKey::fromPacket(pkt);
 
@@ -122,11 +141,85 @@ FlowTable::assemble(const trace::Trace &trace) const
         });
     }
 
-    std::sort(done.begin(), done.end(),
-              [](const AssembledFlow &a, const AssembledFlow &b) {
-                  return a.firstTimestampNs < b.firstTimestampNs;
-              });
+    std::sort(done.begin(), done.end(), canonicalFlowLess);
     return done;
+}
+
+std::vector<AssembledFlow>
+FlowTable::assemble(const trace::Trace &trace) const
+{
+    util::require(trace.isTimeOrdered(),
+                  "FlowTable: input trace must be time-ordered");
+    std::vector<uint32_t> all(trace.size());
+    std::iota(all.begin(), all.end(), 0u);
+    return assembleIndices(trace, all);
+}
+
+std::vector<std::vector<uint32_t>>
+FlowTable::partition(const trace::Trace &trace,
+                     util::ThreadPool *pool) const
+{
+    uint32_t shards = cfg_.shards;
+    std::vector<std::vector<uint32_t>> out(shards);
+    if (trace.empty())
+        return out;
+
+    // Fixed chunk size: the per-chunk buckets concatenate in chunk
+    // order, so the result is independent of both chunking and
+    // thread count.
+    constexpr size_t chunkPackets = 1 << 15;
+    size_t chunks = (trace.size() + chunkPackets - 1) / chunkPackets;
+
+    if (pool == nullptr || pool->size() <= 1 || chunks == 1) {
+        for (uint32_t i = 0; i < trace.size(); ++i)
+            out[shardOf(FlowKey::fromPacket(trace[i]), shards)]
+                .push_back(i);
+        return out;
+    }
+
+    std::vector<std::vector<std::vector<uint32_t>>> buckets(chunks);
+    pool->parallelFor(chunks, [&](size_t c) {
+        auto &mine = buckets[c];
+        mine.resize(shards);
+        uint32_t begin = static_cast<uint32_t>(c * chunkPackets);
+        uint32_t end = static_cast<uint32_t>(
+            std::min(trace.size(), (c + 1) * chunkPackets));
+        for (uint32_t i = begin; i < end; ++i)
+            mine[shardOf(FlowKey::fromPacket(trace[i]), shards)]
+                .push_back(i);
+    });
+
+    pool->parallelFor(shards, [&](size_t s) {
+        size_t total = 0;
+        for (const auto &chunk : buckets)
+            total += chunk[s].size();
+        out[s].reserve(total);
+        for (const auto &chunk : buckets)
+            out[s].insert(out[s].end(), chunk[s].begin(),
+                          chunk[s].end());
+    });
+    return out;
+}
+
+std::vector<std::vector<AssembledFlow>>
+FlowTable::assembleSharded(const trace::Trace &trace,
+                           util::ThreadPool *pool) const
+{
+    util::require(trace.isTimeOrdered(),
+                  "FlowTable: input trace must be time-ordered");
+    auto shardIndices = partition(trace, pool);
+
+    std::vector<std::vector<AssembledFlow>> out(shardIndices.size());
+    auto assembleOne = [&](size_t s) {
+        out[s] = assembleIndices(trace, shardIndices[s]);
+    };
+    if (pool == nullptr || pool->size() <= 1) {
+        for (size_t s = 0; s < shardIndices.size(); ++s)
+            assembleOne(s);
+    } else {
+        pool->parallelFor(shardIndices.size(), assembleOne);
+    }
+    return out;
 }
 
 } // namespace fcc::flow

@@ -14,10 +14,16 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
+#include <tuple>
 #include <vector>
 
 #include "flow/flow_key.hpp"
 #include "trace/trace.hpp"
+
+namespace fcc::util {
+class ThreadPool;
+}
 
 namespace fcc::flow {
 
@@ -48,7 +54,32 @@ struct FlowTableConfig
     uint64_t idleTimeoutNs = 60ull * 1000000000ull;
     /** Drop single-packet groups (the paper's flows start at 2). */
     bool dropSinglePacketFlows = false;
+    /**
+     * Shard count of the sharded pipeline. Connections are
+     * partitioned by 5-tuple hash, so every packet of a connection
+     * lands in one shard and shards assemble independently. The
+     * count is part of the output contract — it must NOT be derived
+     * from the thread count, or compressed output would change with
+     * the machine (see FccConfig::threads).
+     */
+    uint32_t shards = 16;
 };
+
+/**
+ * Sort key of the deterministic flow order: first-packet timestamp,
+ * ties broken by the canonical 5-tuple. Every code path that orders
+ * flows (per-shard sort, cross-shard merge) must use this one key or
+ * merged output would depend on the decomposition.
+ */
+inline auto
+canonicalFlowOrderKey(uint64_t firstTimestampNs, const FlowKey &key)
+{
+    return std::tuple(firstTimestampNs, key.ipA, key.ipB, key.portA,
+                      key.portB, key.protocol);
+}
+
+/** canonicalFlowOrderKey comparison on assembled flows. */
+bool canonicalFlowLess(const AssembledFlow &a, const AssembledFlow &b);
 
 /**
  * Assembles connections out of a packet trace.
@@ -68,6 +99,36 @@ class FlowTable
      * @throws fcc::util::Error if @p trace is not time-ordered.
      */
     std::vector<AssembledFlow> assemble(const trace::Trace &trace) const;
+
+    /**
+     * Partition packet indices by 5-tuple hash into cfg.shards
+     * time-ordered lists. The result depends only on the trace and
+     * the shard count, never on @p pool (which merely parallelizes
+     * the scan); pass nullptr to run on the calling thread.
+     */
+    std::vector<std::vector<uint32_t>>
+    partition(const trace::Trace &trace, util::ThreadPool *pool) const;
+
+    /**
+     * Assemble the connections of one shard: @p indices must be a
+     * time-ordered packet-index list that is closed under flow
+     * membership (all packets of a 5-tuple or none — partition()
+     * guarantees this). Flows are returned in canonicalFlowLess
+     * order with dropSinglePacketFlows applied.
+     */
+    std::vector<AssembledFlow>
+    assembleIndices(const trace::Trace &trace,
+                    std::span<const uint32_t> indices) const;
+
+    /**
+     * partition() + per-shard assembleIndices(), shards run
+     * concurrently on @p pool (nullptr = sequential). Element s holds
+     * shard s's flows; the concatenation sorted by canonicalFlowLess
+     * equals assemble() up to tie order.
+     */
+    std::vector<std::vector<AssembledFlow>>
+    assembleSharded(const trace::Trace &trace,
+                    util::ThreadPool *pool) const;
 
   private:
     FlowTableConfig cfg_;

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Parallel pipeline tests: thread-count determinism of compression
+ * and decompression, FCC2 chunked container round trips, FCC1
+ * backward compatibility, sharded flow assembly equivalence, and
+ * thread pool basics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <tuple>
+
+#include "codec/fcc/datasets.hpp"
+#include "codec/fcc/fcc_codec.hpp"
+#include "codec/fcc/stream.hpp"
+#include "flow/flow_stats.hpp"
+#include "flow/flow_table.hpp"
+#include "trace/tsh.hpp"
+#include "trace/web_gen.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace fcc;
+namespace fccc = fcc::codec::fcc;
+
+namespace {
+
+trace::Trace
+webTrace(uint64_t seed, double seconds, double flowsPerSec = 80.0)
+{
+    trace::WebGenConfig cfg;
+    cfg.seed = seed;
+    cfg.durationSec = seconds;
+    cfg.flowsPerSec = flowsPerSec;
+    trace::WebTrafficGenerator gen(cfg);
+    return gen.generate();
+}
+
+std::vector<uint8_t>
+compressWithThreads(const trace::Trace &tr, uint32_t threads)
+{
+    fccc::FccConfig cfg;
+    cfg.threads = threads;
+    fccc::FccTraceCompressor codec(cfg);
+    return codec.compress(tr);
+}
+
+} // namespace
+
+TEST(ThreadPool, ParallelForCoversEveryIndex)
+{
+    util::ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(257);
+    pool.parallelFor(hits.size(),
+                     [&](size_t i) { hits[i].fetch_add(1); });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, WaitRethrowsTaskException)
+{
+    util::ThreadPool pool(2);
+    for (int i = 0; i < 8; ++i)
+        pool.submit([i] {
+            if (i == 5)
+                throw util::Error("boom");
+        });
+    EXPECT_THROW(pool.wait(), util::Error);
+    // The pool stays usable after an error.
+    std::atomic<int> ran{0};
+    pool.submit([&] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, ManySmallTasksBalance)
+{
+    util::ThreadPool pool(8);
+    std::atomic<uint64_t> sum{0};
+    pool.parallelFor(1000, [&](size_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 1000ull * 999 / 2);
+}
+
+TEST(Sharding, ShardedAssemblyMatchesSequential)
+{
+    trace::Trace tr = webTrace(41, 8.0);
+    flow::FlowTable table;
+    auto sequential = table.assemble(tr);
+
+    util::ThreadPool pool(4);
+    auto sharded = table.assembleSharded(tr, &pool);
+
+    std::vector<flow::AssembledFlow> merged;
+    for (auto &shard : sharded)
+        for (auto &f : shard)
+            merged.push_back(std::move(f));
+    std::sort(merged.begin(), merged.end(), flow::canonicalFlowLess);
+
+    ASSERT_EQ(merged.size(), sequential.size());
+    for (size_t i = 0; i < merged.size(); ++i) {
+        EXPECT_EQ(merged[i].key, sequential[i].key);
+        EXPECT_EQ(merged[i].packetIndex, sequential[i].packetIndex);
+        EXPECT_EQ(merged[i].fromClient, sequential[i].fromClient);
+        EXPECT_EQ(merged[i].clientIp, sequential[i].clientIp);
+        EXPECT_EQ(merged[i].serverIp, sequential[i].serverIp);
+    }
+}
+
+TEST(Sharding, PartitionIsThreadCountInvariant)
+{
+    trace::Trace tr = webTrace(42, 6.0);
+    flow::FlowTable table;
+    auto solo = table.partition(tr, nullptr);
+    util::ThreadPool pool(8);
+    auto pooled = table.partition(tr, &pool);
+    ASSERT_EQ(solo.size(), pooled.size());
+    for (size_t s = 0; s < solo.size(); ++s)
+        EXPECT_EQ(solo[s], pooled[s]) << "shard " << s;
+
+    // Every packet lands in exactly one shard.
+    size_t total = 0;
+    for (const auto &shard : solo)
+        total += shard.size();
+    EXPECT_EQ(total, tr.size());
+}
+
+TEST(Parallel, CompressedBytesIdenticalAcrossThreadCounts)
+{
+    trace::Trace tr = webTrace(2005, 12.0, 120.0);
+    auto one = compressWithThreads(tr, 1);
+    auto two = compressWithThreads(tr, 2);
+    auto eight = compressWithThreads(tr, 8);
+    EXPECT_EQ(one, two);
+    EXPECT_EQ(one, eight);
+}
+
+TEST(Parallel, DecompressionIdenticalAcrossThreadCounts)
+{
+    trace::Trace tr = webTrace(7, 10.0);
+    // Small chunks so the trace spans many of them.
+    fccc::FccConfig small;
+    small.chunkRecords = 64;
+    auto bytes = fccc::FccTraceCompressor(small).compress(tr);
+
+    auto restoreWith = [&](uint32_t threads) {
+        fccc::FccConfig cfg;
+        cfg.chunkRecords = 64;
+        cfg.threads = threads;
+        return fccc::FccTraceCompressor(cfg).decompress(bytes);
+    };
+    trace::Trace a = restoreWith(1);
+    trace::Trace b = restoreWith(8);
+    ASSERT_EQ(a.size(), b.size());
+    // Byte-identical reconstruction, not just statistically alike.
+    EXPECT_EQ(trace::writeTsh(a), trace::writeTsh(b));
+}
+
+TEST(Parallel, ChunkedContainerRoundTrips)
+{
+    trace::Trace tr = webTrace(11, 8.0);
+    fccc::FccTraceCompressor codec;
+    fccc::FccCompressStats stats;
+    auto bytes = codec.compressWithStats(tr, stats);
+    EXPECT_GT(stats.flows, 100u);
+
+    // The container is FCC2 and decodes with chunk boundaries.
+    auto d = fccc::deserialize(bytes);
+    EXPECT_FALSE(d.chunkSizes.empty());
+    uint64_t records = 0;
+    for (uint32_t c : d.chunkSizes)
+        records += c;
+    EXPECT_EQ(records, d.timeSeq.size());
+
+    trace::Trace restored = codec.decompress(bytes);
+    EXPECT_EQ(restored.size(), tr.size());
+    flow::FlowTable table;
+    auto origStats =
+        flow::computeFlowStats(table.assemble(tr), tr);
+    auto backStats =
+        flow::computeFlowStats(table.assemble(restored), restored);
+    EXPECT_EQ(backStats.flows, origStats.flows);
+    EXPECT_EQ(backStats.lengthCounts, origStats.lengthCounts);
+}
+
+TEST(Parallel, ChunkSizeDoesNotChangeRecordContent)
+{
+    trace::Trace tr = webTrace(13, 6.0);
+    fccc::FccConfig big;
+    big.chunkRecords = 100000;
+    fccc::FccConfig tiny;
+    tiny.chunkRecords = 16;
+    auto dBig = fccc::deserialize(
+        fccc::FccTraceCompressor(big).compress(tr));
+    auto dTiny = fccc::deserialize(
+        fccc::FccTraceCompressor(tiny).compress(tr));
+    ASSERT_EQ(dBig.timeSeq.size(), dTiny.timeSeq.size());
+    for (size_t i = 0; i < dBig.timeSeq.size(); ++i) {
+        EXPECT_EQ(dBig.timeSeq[i].firstTimestampUs,
+                  dTiny.timeSeq[i].firstTimestampUs);
+        EXPECT_EQ(dBig.timeSeq[i].templateIndex,
+                  dTiny.timeSeq[i].templateIndex);
+        EXPECT_EQ(dBig.timeSeq[i].addressIndex,
+                  dTiny.timeSeq[i].addressIndex);
+    }
+    EXPECT_GT(dTiny.chunkSizes.size(), dBig.chunkSizes.size());
+}
+
+TEST(Parallel, LegacyV1ContainerStillDecompresses)
+{
+    trace::Trace tr = webTrace(17, 6.0);
+    fccc::FccTraceCompressor codec;
+    fccc::FccCompressStats stats;
+    auto datasets = codec.buildDatasets(tr, stats);
+
+    // Force the legacy writer; the decoder must auto-detect it and
+    // take the sequential single-RNG path.
+    auto v1 = fccc::serialize(datasets);
+    auto decoded = fccc::deserialize(v1);
+    EXPECT_TRUE(decoded.chunkSizes.empty());
+
+    trace::Trace restored = codec.decompress(v1);
+    EXPECT_EQ(restored.size(), tr.size());
+
+    // A config with chunkRecords == 0 writes FCC1 end to end.
+    fccc::FccConfig v1cfg;
+    v1cfg.chunkRecords = 0;
+    auto bytes = fccc::FccTraceCompressor(v1cfg).compress(tr);
+    EXPECT_EQ(bytes, v1);
+}
+
+TEST(Parallel, StreamingChunkedDecompressMatchesInMemory)
+{
+    // Many tiny chunks force several expand batches through the
+    // bounded-memory flush; the file output must be the in-memory
+    // reconstruction as a multiset, and time-ordered.
+    trace::Trace tr = webTrace(23, 10.0);
+    fccc::FccConfig cfg;
+    cfg.chunkRecords = 32;
+    cfg.threads = 3;
+    fccc::FccTraceCompressor codec(cfg);
+    auto bytes = codec.compress(tr);
+    ASSERT_GT(fccc::deserialize(bytes).chunkSizes.size(), 6u);
+    trace::Trace inMemory = codec.decompress(bytes);
+
+    std::string fccIn = ::testing::TempDir() + "/chunked.fcc";
+    std::string tshOut = ::testing::TempDir() + "/chunked.tsh";
+    {
+        std::ofstream f(fccIn, std::ios::binary);
+        f.write(reinterpret_cast<const char *>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+    }
+    auto stats = fccc::decompressToTshFile(fccIn, tshOut, cfg);
+    EXPECT_EQ(stats.packets, inMemory.size());
+
+    trace::Trace streamed = trace::readTshFile(tshOut);
+    EXPECT_TRUE(streamed.isTimeOrdered());
+    ASSERT_EQ(streamed.size(), inMemory.size());
+
+    auto sortedTsh = [](trace::Trace t) {
+        auto v = t.packets();
+        std::sort(v.begin(), v.end(),
+                  [](const trace::PacketRecord &a,
+                     const trace::PacketRecord &b) {
+                      auto key = [](const trace::PacketRecord &p) {
+                          return std::tuple(p.timestampNs, p.srcIp,
+                                            p.dstIp, p.srcPort,
+                                            p.dstPort, p.seq, p.ack,
+                                            p.ipId);
+                      };
+                      return key(a) < key(b);
+                  });
+        return trace::writeTsh(trace::Trace(std::move(v)));
+    };
+    EXPECT_EQ(sortedTsh(inMemory), sortedTsh(streamed));
+
+    std::remove(fccIn.c_str());
+    std::remove(tshOut.c_str());
+}
+
+TEST(Parallel, HybridDeflateContainerRoundTrips)
+{
+    trace::Trace tr = webTrace(19, 5.0);
+    fccc::FccConfig cfg;
+    cfg.deflateDatasets = true;
+    fccc::FccTraceCompressor codec(cfg);
+    auto bytes = codec.compress(tr);
+    trace::Trace restored = codec.decompress(bytes);
+    EXPECT_EQ(restored.size(), tr.size());
+}
