@@ -13,7 +13,11 @@
 #define FCC_BENCH_BENCH_COMMON_HPP
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "trace/web_gen.hpp"
 
@@ -47,6 +51,41 @@ smokeReps(int n)
 {
     return smokeMode() ? 1 : n;
 }
+
+/**
+ * Flat name -> value metric collection, written as a one-level JSON
+ * object. The CI perf-regression gate (scripts/perf_check.py) merges
+ * these files and compares them against bench/perf_baseline.json.
+ */
+class JsonMetrics
+{
+  public:
+    void
+    add(const std::string &name, double value)
+    {
+        metrics_.emplace_back(name, value);
+    }
+
+    /** Write the collected metrics; returns false on I/O failure. */
+    bool
+    writeTo(const std::string &path) const
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (f == nullptr)
+            return false;
+        std::fprintf(f, "{\n");
+        for (size_t i = 0; i < metrics_.size(); ++i)
+            std::fprintf(f, "  \"%s\": %.6g%s\n",
+                         metrics_[i].first.c_str(),
+                         metrics_[i].second,
+                         i + 1 < metrics_.size() ? "," : "");
+        std::fprintf(f, "}\n");
+        return std::fclose(f) == 0;
+    }
+
+  private:
+    std::vector<std::pair<std::string, double>> metrics_;
+};
 
 } // namespace fcc::bench
 

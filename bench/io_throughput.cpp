@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Source/sink throughput of the streaming trace I/O subsystem:
+ * MB/s and packets/s for writing and reading each supported capture
+ * format (TSH, pcap, pcapng, gzip'd TSH and pcapng), plus the mmap
+ * vs buffered-stdio read comparison for the flat formats.
+ *
+ * Run: ./build/bench/io_throughput [--smoke] [--json out.json]
+ *
+ * Read throughput is measured over *container* bytes consumed (for
+ * the gzip formats that is the decompressed stream, the honest unit
+ * of parser work). The JSON output feeds the CI perf-regression
+ * gate; see scripts/perf_check.py.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "codec/deflate/deflate.hpp"
+#include "trace/pcap.hpp"
+#include "trace/pcapng.hpp"
+#include "trace/source.hpp"
+#include "trace/tsh.hpp"
+#include "trace/web_gen.hpp"
+#include "util/io.hpp"
+
+using namespace fcc;
+
+namespace {
+
+double
+secondsOf(const std::function<void()> &fn, int reps)
+{
+    double best = 1e100;
+    for (int r = 0; r < reps; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        fn();
+        auto t1 = std::chrono::steady_clock::now();
+        best = std::min(
+            best, std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+}
+
+struct ReadResult
+{
+    uint64_t packets = 0;
+    uint64_t containerBytes = 0;
+};
+
+/** Drain a source built by @p open, counting packets and bytes. */
+ReadResult
+drain(const std::function<std::unique_ptr<trace::TraceSource>()> &open)
+{
+    auto src = open();
+    ReadResult result;
+    std::vector<trace::PacketRecord> batch(4096);
+    size_t n;
+    while ((n = src->read(batch)) > 0)
+        result.packets += n;
+    result.containerBytes = src->bytesConsumed();
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = bench::smokeMode();
+    std::string jsonPath;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            jsonPath = argv[++i];
+    }
+
+    trace::WebGenConfig cfg;
+    cfg.seed = 2005;
+    cfg.durationSec = smoke ? 3.0 : 60.0;
+    cfg.flowsPerSec = smoke ? 60.0 : 200.0;
+    trace::WebTrafficGenerator gen(cfg);
+    trace::Trace trace = gen.generate();
+    const double packets = static_cast<double>(trace.size());
+
+    std::printf("# streaming trace I/O throughput\n");
+    std::printf("# workload: synthetic web trace, %zu packets%s\n\n",
+                trace.size(), smoke ? " (smoke mode)" : "");
+    std::printf("%-12s %12s %12s %14s\n", "format", "write_MB/s",
+                "read_MB/s", "read_pkts/s");
+
+    const int reps = smoke ? 1 : 3;
+    bench::JsonMetrics metrics;
+
+    struct Format
+    {
+        const char *name;
+        bool gzip;
+    };
+    const Format formats[] = {
+        {"tsh", false},     {"pcap", false},     {"pcapng", false},
+        {"tsh.gz", true},   {"pcapng.gz", true},
+    };
+
+    for (const auto &fmt : formats) {
+        std::string base(fmt.name);
+        std::string inner = fmt.gzip
+            ? base.substr(0, base.size() - 3)
+            : base;
+        std::string path = "io_throughput_tmp." + base;
+
+        // --- write ---
+        double writeSec = 0.0;
+        if (!fmt.gzip) {
+            trace::TraceFormatSpec spec =
+                trace::parseTraceFormatSpec(inner);
+            writeSec = secondsOf(
+                [&] {
+                    auto sink = trace::openTraceSink(path, spec);
+                    trace::writeAllPackets(*sink, trace);
+                },
+                reps);
+        } else {
+            // gzip output is produced one-shot (the encoder is not
+            // streaming); timed anyway for the table.
+            writeSec = secondsOf(
+                [&] {
+                    std::vector<uint8_t> raw;
+                    if (inner == "tsh")
+                        raw = trace::writeTsh(trace);
+                    else
+                        raw = trace::writePcapng(trace);
+                    auto gz = codec::deflate::gzipCompress(raw);
+                    util::FileByteSink out(path);
+                    out.write(gz);
+                    out.close();
+                },
+                reps);
+        }
+
+        // --- read (auto-detected, mmap-preferred path) ---
+        ReadResult rd;
+        double readSec = secondsOf(
+            [&] { rd = drain([&] {
+                      return trace::openTraceSource(path);
+                  }); },
+            reps);
+
+        double containerMb =
+            static_cast<double>(rd.containerBytes) / 1e6;
+        double writeMb = containerMb;  // same container either way
+        std::printf("%-12s %12.1f %12.1f %14.0f\n", fmt.name,
+                    writeMb / writeSec, containerMb / readSec,
+                    packets / readSec);
+        std::string key(fmt.name);
+        for (auto &c : key)
+            if (c == '.')
+                c = '_';
+        metrics.add("io_" + key + "_write_mbps", writeMb / writeSec);
+        metrics.add("io_" + key + "_read_mbps",
+                    containerMb / readSec);
+        std::remove(path.c_str());
+    }
+
+    // --- mmap vs stdio on the flat TSH container ---
+    {
+        std::string path = "io_throughput_tmp.stdio.tsh";
+        auto sink = trace::openTraceSink(path);
+        trace::writeAllPackets(*sink, trace);
+        for (bool mmapped : {true, false}) {
+            ReadResult rd;
+            double sec = secondsOf(
+                [&] {
+                    rd = drain([&] {
+                        return std::make_unique<trace::TshSource>(
+                            util::openByteSource(path, mmapped));
+                    });
+                },
+                reps);
+            double mb = static_cast<double>(rd.containerBytes) / 1e6;
+            std::printf("%-12s %12s %12.1f %14.0f\n",
+                        mmapped ? "tsh (mmap)" : "tsh (stdio)", "-",
+                        mb / sec, packets / sec);
+            metrics.add(mmapped ? "io_tsh_read_mmap_mbps"
+                                : "io_tsh_read_stdio_mbps",
+                        mb / sec);
+        }
+        std::remove(path.c_str());
+    }
+
+    if (!jsonPath.empty()) {
+        if (!metrics.writeTo(jsonPath)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         jsonPath.c_str());
+            return 1;
+        }
+        std::printf("\n# metrics written to %s\n", jsonPath.c_str());
+    }
+    return 0;
+}

@@ -6,13 +6,17 @@
  * synthetic web trace, plus a byte-identity check between every
  * thread count (the pipeline's determinism contract).
  *
- * Run: ./build/bench/scaling_threads [--smoke]
+ * Run: ./build/bench/scaling_threads [--smoke] [--json out.json]
+ *
+ * The JSON output feeds the CI perf-regression gate; see
+ * scripts/perf_check.py.
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -46,9 +50,14 @@ int
 main(int argc, char **argv)
 {
     bool smoke = bench::smokeMode();
-    for (int i = 1; i < argc; ++i)
+    std::string jsonPath;
+    for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
+        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            jsonPath = argv[++i];
+    }
+    bench::JsonMetrics metrics;
 
     trace::WebGenConfig cfg;
     cfg.seed = 2005;
@@ -95,6 +104,8 @@ main(int argc, char **argv)
                     static_cast<double>(trace.size()) / sec,
                     baseCompress / sec,
                     bytes == reference ? "yes" : "NO!");
+        metrics.add("fcc_compress_mbps_t" + std::to_string(t),
+                    tshMb / sec);
     }
 
     double baseExpand = 0.0;
@@ -114,10 +125,21 @@ main(int argc, char **argv)
                     tshMb / sec,
                     static_cast<double>(restored.size()) / sec,
                     baseExpand / sec);
+        metrics.add("fcc_decompress_mbps_t" + std::to_string(t),
+                    tshMb / sec);
     }
 
     std::printf("\n# identical=yes on every row is the determinism "
                 "contract: thread count\n# changes wall time only, "
                 "never the compressed bytes.\n");
+
+    if (!jsonPath.empty()) {
+        if (!metrics.writeTo(jsonPath)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         jsonPath.c_str());
+            return 1;
+        }
+        std::printf("# metrics written to %s\n", jsonPath.c_str());
+    }
     return 0;
 }

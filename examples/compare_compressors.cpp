@@ -5,10 +5,10 @@
  *
  * Usage:
  *   ./build/examples/compare_compressors [--threads N]  (synthetic)
- *   ./build/examples/compare_compressors capture.pcap   (pcap file)
- *   ./build/examples/compare_compressors trace.tsh      (TSH file)
+ *   ./build/examples/compare_compressors capture.file   (any format)
  *
- * The input format is chosen by file extension (.pcap / .tsh);
+ * The input format (TSH, pcap, pcapng, each optionally gzip'd) is
+ * auto-detected from magic bytes via the trace I/O subsystem;
  * --threads sets the FCC pipeline's worker count (0 = all cores,
  * the default — the compressed bytes are identical either way).
  */
@@ -20,7 +20,7 @@
 
 #include "codec/compressor.hpp"
 #include "codec/fcc/fcc_codec.hpp"
-#include "trace/pcap.hpp"
+#include "trace/source.hpp"
 #include "trace/tsh.hpp"
 #include "trace/web_gen.hpp"
 #include "util/error.hpp"
@@ -42,14 +42,12 @@ loadTrace(const char *file)
         trace::WebTrafficGenerator gen(cfg);
         return gen.generate();
     }
-    std::string path = file;
-    if (path.size() > 5 &&
-        path.compare(path.size() - 5, 5, ".pcap") == 0)
-        return trace::readPcapFile(path);
-    if (path.size() > 4 &&
-        path.compare(path.size() - 4, 4, ".tsh") == 0)
-        return trace::readTshFile(path);
-    throw util::Error("unknown trace extension (want .pcap or .tsh)");
+    trace::DetectedFormat detected;
+    auto src = trace::openTraceSource(file, {}, &detected);
+    std::printf("input format: %s (auto-detected)\n",
+                trace::traceFormatName(detected.format,
+                                       detected.gzip).c_str());
+    return trace::readAllPackets(*src);
 }
 
 } // namespace

@@ -3,15 +3,23 @@
  * fcctool — command-line front end to the library, the tool a
  * downstream user would actually run.
  *
- *   fcctool compress   <in.tsh> <out.fcc>    streaming compression
- *   fcctool decompress <in.fcc> <out.tsh>    streaming decompression
- *   fcctool info       <in.{fcc,tsh,pcap}>   describe a file
- *   fcctool convert    <in.{tsh,pcap}> <out.{tsh,pcap}>
+ *   fcctool compress   <in>      <out.fcc>   streaming compression
+ *   fcctool decompress <in.fcc>  <out>       streaming decompression
+ *   fcctool info       <file>                describe a file
+ *   fcctool convert    <in> <out>            any-to-any format copy
+ *
+ * Inputs may be TSH, pcap or pcapng, each optionally gzip'd; the
+ * format is auto-detected from magic bytes (TSH by heuristic).
+ * Everything streams through the trace I/O subsystem, so memory
+ * stays bounded whatever the file size.
  *
  * Options (before the subcommand):
- *   --threshold <pct>   similarity threshold (default 2.0, eq. 4)
- *   --cutoff <n>        short/long split (default 50)
- *   --threads <n>       pipeline workers (0 = all cores, default)
+ *   --threshold <pct>    similarity threshold (default 2.0, eq. 4)
+ *   --cutoff <n>         short/long split (default 50)
+ *   --threads <n>        pipeline workers (0 = all cores, default)
+ *   --in-format <fmt>    auto|tsh|pcap|pcapng[.gz]  (default auto)
+ *   --out-format <fmt>   auto|tsh|pcap|pcapng       (default auto:
+ *                        decompress/convert pick by extension)
  */
 
 #include <cstdio>
@@ -25,8 +33,7 @@
 #include "codec/fcc/stream.hpp"
 #include "flow/flow_stats.hpp"
 #include "flow/flow_table.hpp"
-#include "trace/pcap.hpp"
-#include "trace/tsh.hpp"
+#include "trace/source.hpp"
 #include "util/error.hpp"
 
 using namespace fcc;
@@ -38,12 +45,14 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--threshold PCT] [--cutoff N] [--threads N] "
+        "usage: %s [--threshold PCT] [--cutoff N] [--threads N]\n"
+        "          [--in-format auto|tsh|pcap|pcapng[.gz]]\n"
+        "          [--out-format auto|tsh|pcap|pcapng] "
         "<command> ...\n"
-        "  compress   <in.tsh>  <out.fcc>\n"
-        "  decompress <in.fcc>  <out.tsh>\n"
-        "  info       <in.fcc|in.tsh|in.pcap>\n"
-        "  convert    <in.tsh|in.pcap> <out.tsh|out.pcap>\n",
+        "  compress   <in>      <out.fcc>   (in: any trace format)\n"
+        "  decompress <in.fcc>  <out>\n"
+        "  info       <file>\n"
+        "  convert    <in> <out>            (any format to any)\n",
         argv0);
     return 2;
 }
@@ -56,36 +65,31 @@ hasSuffix(const std::string &text, const char *suffix)
            text.compare(text.size() - s.size(), s.size(), s) == 0;
 }
 
-trace::Trace
-loadAnyTrace(const std::string &path)
+/** True when @p path starts with an FCC container magic. */
+bool
+isFccFile(const std::string &path)
 {
-    if (hasSuffix(path, ".pcap"))
-        return trace::readPcapFile(path);
-    if (hasSuffix(path, ".tsh"))
-        return trace::readTshFile(path);
-    throw util::Error("expected a .tsh or .pcap file: " + path);
+    std::ifstream in(path, std::ios::binary);
+    char head[4] = {};
+    in.read(head, sizeof(head));
+    return in.gcount() == 4 && head[0] == 'F' && head[1] == 'C' &&
+           head[2] == 'C' && (head[3] == '1' || head[3] == '2');
 }
 
 void
-saveAnyTrace(const trace::Trace &tr, const std::string &path)
+infoTrace(const std::string &path,
+          const trace::TraceFormatSpec &inFormat)
 {
-    if (hasSuffix(path, ".pcap")) {
-        trace::writePcapFile(tr, path);
-        return;
-    }
-    if (hasSuffix(path, ".tsh")) {
-        trace::writeTshFile(tr, path);
-        return;
-    }
-    throw util::Error("expected a .tsh or .pcap output: " + path);
-}
+    trace::DetectedFormat detected;
+    auto src = trace::openTraceSource(path, inFormat, &detected);
+    trace::Trace tr = trace::readAllPackets(*src);
 
-void
-infoTrace(const trace::Trace &tr)
-{
     flow::FlowTable table;
     auto flows = table.assemble(tr);
     auto stats = flow::computeFlowStats(flows, tr);
+    std::printf("format:          %s\n",
+                trace::traceFormatName(detected.format,
+                                       detected.gzip).c_str());
     std::printf("packets:         %zu\n", tr.size());
     std::printf("duration:        %.3f s\n", tr.durationSec());
     std::printf("wire bytes:      %llu\n",
@@ -134,30 +138,45 @@ int
 main(int argc, char **argv)
 {
     codec::fcc::FccConfig cfg;
+    trace::TraceFormatSpec inFormat, outFormat;
     int arg = 1;
-    while (arg < argc && std::strncmp(argv[arg], "--", 2) == 0) {
-        if (std::strcmp(argv[arg], "--threshold") == 0 &&
-            arg + 1 < argc) {
-            cfg.rule.percent = std::atof(argv[arg + 1]);
-            arg += 2;
-        } else if (std::strcmp(argv[arg], "--cutoff") == 0 &&
-                   arg + 1 < argc) {
-            cfg.shortLimit = static_cast<uint32_t>(
-                std::atoi(argv[arg + 1]));
-            arg += 2;
-        } else if (std::strcmp(argv[arg], "--threads") == 0 &&
-                   arg + 1 < argc) {
-            int threads = std::atoi(argv[arg + 1]);
-            if (threads < 0) {
-                std::fprintf(stderr,
-                             "error: --threads must be >= 0\n");
-                return 2;
+    try {
+        while (arg < argc && std::strncmp(argv[arg], "--", 2) == 0) {
+            if (std::strcmp(argv[arg], "--threshold") == 0 &&
+                arg + 1 < argc) {
+                cfg.rule.percent = std::atof(argv[arg + 1]);
+                arg += 2;
+            } else if (std::strcmp(argv[arg], "--cutoff") == 0 &&
+                       arg + 1 < argc) {
+                cfg.shortLimit = static_cast<uint32_t>(
+                    std::atoi(argv[arg + 1]));
+                arg += 2;
+            } else if (std::strcmp(argv[arg], "--threads") == 0 &&
+                       arg + 1 < argc) {
+                int threads = std::atoi(argv[arg + 1]);
+                if (threads < 0) {
+                    std::fprintf(stderr,
+                                 "error: --threads must be >= 0\n");
+                    return 2;
+                }
+                cfg.threads = static_cast<uint32_t>(threads);
+                arg += 2;
+            } else if (std::strcmp(argv[arg], "--in-format") == 0 &&
+                       arg + 1 < argc) {
+                inFormat = trace::parseTraceFormatSpec(argv[arg + 1]);
+                arg += 2;
+            } else if (std::strcmp(argv[arg], "--out-format") == 0 &&
+                       arg + 1 < argc) {
+                outFormat =
+                    trace::parseTraceFormatSpec(argv[arg + 1]);
+                arg += 2;
+            } else {
+                return usage(argv[0]);
             }
-            cfg.threads = static_cast<uint32_t>(threads);
-            arg += 2;
-        } else {
-            return usage(argv[0]);
         }
+    } catch (const util::Error &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 2;
     }
     if (arg >= argc)
         return usage(argv[0]);
@@ -165,8 +184,8 @@ main(int argc, char **argv)
 
     try {
         if (command == "compress" && arg + 1 < argc) {
-            auto stats = codec::fcc::compressTshFile(
-                argv[arg], argv[arg + 1], cfg);
+            auto stats = codec::fcc::compressTraceFile(
+                argv[arg], argv[arg + 1], cfg, inFormat);
             std::printf("%llu packets, %llu flows: %llu -> %llu "
                         "bytes (%.2f%%)\n",
                         static_cast<unsigned long long>(
@@ -180,8 +199,8 @@ main(int argc, char **argv)
             return 0;
         }
         if (command == "decompress" && arg + 1 < argc) {
-            auto stats = codec::fcc::decompressToTshFile(
-                argv[arg], argv[arg + 1], cfg);
+            auto stats = codec::fcc::decompressTraceFile(
+                argv[arg], argv[arg + 1], cfg, outFormat);
             std::printf("%llu flows -> %llu packets, %llu bytes\n",
                         static_cast<unsigned long long>(stats.flows),
                         static_cast<unsigned long long>(
@@ -192,16 +211,27 @@ main(int argc, char **argv)
         }
         if (command == "info" && arg < argc) {
             std::string path = argv[arg];
-            if (hasSuffix(path, ".fcc"))
+            if (hasSuffix(path, ".fcc") || isFccFile(path))
                 infoFcc(path);
             else
-                infoTrace(loadAnyTrace(path));
+                infoTrace(path, inFormat);
             return 0;
         }
         if (command == "convert" && arg + 1 < argc) {
-            trace::Trace tr = loadAnyTrace(argv[arg]);
-            saveAnyTrace(tr, argv[arg + 1]);
-            std::printf("converted %zu packets\n", tr.size());
+            auto src = trace::openTraceSource(argv[arg], inFormat);
+            auto sink = trace::openTraceSink(argv[arg + 1],
+                                             outFormat);
+            std::vector<trace::PacketRecord> batch(4096);
+            uint64_t packets = 0;
+            size_t n;
+            while ((n = src->read(batch)) > 0) {
+                sink->write(std::span<const trace::PacketRecord>(
+                    batch.data(), n));
+                packets += n;
+            }
+            sink->close();
+            std::printf("converted %llu packets\n",
+                        static_cast<unsigned long long>(packets));
             return 0;
         }
     } catch (const util::Error &error) {

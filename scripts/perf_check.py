@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for the bench JSON metrics.
+
+Merges one or more bench-emitted JSON files (flat {"metric": value}
+objects, higher = better), writes the merged result, and fails when
+any metric present in the baseline has regressed by more than the
+allowed fraction.
+
+Usage:
+  perf_check.py --baseline bench/perf_baseline.json \
+                --out BENCH_pr.json [--max-regression 0.25] \
+                current1.json [current2.json ...]
+
+Baseline values are deliberately conservative floors (see
+bench/perf_baseline.json): CI hardware varies run to run, so the
+gate is tuned to catch structural regressions — an accidentally
+quadratic parser, a debug build, a lost fast path — not single-digit
+percentage noise. Refresh the floors with:
+  FCC_BENCH_SMOKE=1 build/bench/scaling_threads --json a.json
+  FCC_BENCH_SMOKE=1 build/bench/io_throughput  --json b.json
+then set each floor well below (~1/5 of) the observed value.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in baseline JSON")
+    parser.add_argument("--out", required=True,
+                        help="write the merged current metrics here")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional drop below the "
+                             "baseline (default 0.25)")
+    parser.add_argument("current", nargs="+",
+                        help="bench-emitted JSON files to merge")
+    args = parser.parse_args()
+
+    merged = {}
+    for path in args.current:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+        if not isinstance(data, dict):
+            print(f"error: {path} is not a JSON object",
+                  file=sys.stderr)
+            return 2
+        merged.update(data)
+
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(merged, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = json.load(f)
+
+    failures = []
+    floor_factor = 1.0 - args.max_regression
+    print(f"{'metric':<32} {'baseline':>10} {'floor':>10} "
+          f"{'current':>10}  verdict")
+    for name, base in sorted(baseline.items()):
+        if name.startswith("_"):
+            continue  # comment keys
+        floor = base * floor_factor
+        current = merged.get(name)
+        if current is None:
+            failures.append(f"{name}: metric missing from current "
+                            f"run")
+            print(f"{name:<32} {base:>10.1f} {floor:>10.1f} "
+                  f"{'-':>10}  MISSING")
+            continue
+        verdict = "ok" if current >= floor else "REGRESSED"
+        print(f"{name:<32} {base:>10.1f} {floor:>10.1f} "
+              f"{current:>10.1f}  {verdict}")
+        if current < floor:
+            failures.append(
+                f"{name}: {current:.1f} < floor {floor:.1f} "
+                f"(baseline {base:.1f}, tolerance "
+                f"{args.max_regression:.0%})")
+
+    if failures:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nperf gate passed "
+          f"({len([k for k in baseline if not k.startswith('_')])} "
+          "metrics within tolerance)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,8 @@
 #include <array>
 
 #include "codec/deflate/huffman.hpp"
+#include "codec/deflate/inflate_stream.hpp"
+#include "codec/deflate/rfc1951.hpp"
 #include "trace/tsh.hpp"
 #include "util/bitstream.hpp"
 #include "util/checksum.hpp"
@@ -20,43 +22,6 @@
 namespace fcc::codec::deflate {
 
 namespace {
-
-// ---- RFC 1951 fixed tables -----------------------------------------
-
-constexpr int numLitCodes = 286;   // 0..285
-constexpr int numDistCodes = 30;   // 0..29
-constexpr int endOfBlock = 256;
-
-struct LengthCode
-{
-    uint16_t code;
-    uint8_t extraBits;
-    uint16_t base;
-};
-
-constexpr uint16_t lengthBase[29] = {
-    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31,
-    35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258,
-};
-constexpr uint8_t lengthExtra[29] = {
-    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2,
-    3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
-};
-
-constexpr uint16_t distBase[30] = {
-    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193,
-    257, 385, 513, 769, 1025, 1537, 2049, 3073, 4097, 6145, 8193,
-    12289, 16385, 24577,
-};
-constexpr uint8_t distExtra[30] = {
-    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6,
-    7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13,
-};
-
-/** Order in which code-length-code lengths are transmitted. */
-constexpr uint8_t clcOrder[19] = {
-    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
-};
 
 /** Map a match length (3..258) to its length code index (0..28). */
 int
@@ -87,28 +52,6 @@ distCodeIndex(uint16_t dist)
         }
     }
     return lo;
-}
-
-/** Fixed literal/length code lengths (RFC 1951 §3.2.6). */
-std::vector<uint8_t>
-fixedLitLengths()
-{
-    std::vector<uint8_t> lens(288);
-    for (int i = 0; i <= 143; ++i)
-        lens[i] = 8;
-    for (int i = 144; i <= 255; ++i)
-        lens[i] = 9;
-    for (int i = 256; i <= 279; ++i)
-        lens[i] = 7;
-    for (int i = 280; i <= 287; ++i)
-        lens[i] = 8;
-    return lens;
-}
-
-std::vector<uint8_t>
-fixedDistLengths()
-{
-    return std::vector<uint8_t>(32, 5);
 }
 
 // ---- encoder --------------------------------------------------------
@@ -364,96 +307,15 @@ deflateCompress(std::span<const uint8_t> data, const Lz77Config &cfg)
 std::vector<uint8_t>
 inflate(std::span<const uint8_t> data)
 {
-    util::BitReader bits(data);
+    // One-shot convenience over the resumable decoder — a single
+    // decoder implementation serves both the batch and streaming
+    // paths (and the zlib cross-validation tests cover both).
+    InflateStream stream(data);
     std::vector<uint8_t> out;
-
-    bool final = false;
-    while (!final) {
-        final = bits.get(1) != 0;
-        uint32_t btype = bits.get(2);
-        if (btype == 0) {
-            bits.alignToByte();
-            uint32_t len = bits.byte();
-            len |= static_cast<uint32_t>(bits.byte()) << 8;
-            uint32_t nlen = bits.byte();
-            nlen |= static_cast<uint32_t>(bits.byte()) << 8;
-            util::require((len ^ nlen) == 0xffff,
-                          "inflate: stored block LEN/NLEN mismatch");
-            for (uint32_t i = 0; i < len; ++i)
-                out.push_back(bits.byte());
-            continue;
-        }
-        util::require(btype != 3, "inflate: reserved block type");
-
-        std::vector<uint8_t> litLens, distLens;
-        if (btype == 1) {
-            litLens = fixedLitLengths();
-            distLens = fixedDistLengths();
-        } else {
-            uint32_t hlit = bits.get(5) + 257;
-            uint32_t hdist = bits.get(5) + 1;
-            uint32_t hclen = bits.get(4) + 4;
-            util::require(hlit <= 286 && hdist <= 30,
-                          "inflate: bad HLIT/HDIST");
-            std::vector<uint8_t> clcLens(19, 0);
-            for (uint32_t i = 0; i < hclen; ++i)
-                clcLens[clcOrder[i]] =
-                    static_cast<uint8_t>(bits.get(3));
-            HuffmanDecoder clc(clcLens);
-
-            std::vector<uint8_t> seq;
-            seq.reserve(hlit + hdist);
-            while (seq.size() < hlit + hdist) {
-                int sym = clc.decode(bits);
-                if (sym < 16) {
-                    seq.push_back(static_cast<uint8_t>(sym));
-                } else if (sym == 16) {
-                    util::require(!seq.empty(),
-                                  "inflate: repeat with no previous "
-                                  "length");
-                    uint32_t rep = 3 + bits.get(2);
-                    uint8_t prev = seq.back();
-                    for (uint32_t r = 0; r < rep; ++r)
-                        seq.push_back(prev);
-                } else if (sym == 17) {
-                    uint32_t rep = 3 + bits.get(3);
-                    seq.insert(seq.end(), rep, 0);
-                } else {
-                    uint32_t rep = 11 + bits.get(7);
-                    seq.insert(seq.end(), rep, 0);
-                }
-            }
-            util::require(seq.size() == hlit + hdist,
-                          "inflate: code length overflow");
-            litLens.assign(seq.begin(), seq.begin() + hlit);
-            distLens.assign(seq.begin() + hlit, seq.end());
-        }
-
-        HuffmanDecoder lit(litLens);
-        HuffmanDecoder dist(distLens, /*allowIncomplete=*/true);
-
-        for (;;) {
-            int sym = lit.decode(bits);
-            if (sym < 256) {
-                out.push_back(static_cast<uint8_t>(sym));
-                continue;
-            }
-            if (sym == endOfBlock)
-                break;
-            util::require(sym <= 285, "inflate: bad length symbol");
-            int li = sym - 257;
-            uint32_t len = lengthBase[li] + bits.get(lengthExtra[li]);
-            int dsym = dist.decode(bits);
-            util::require(dsym < numDistCodes,
-                          "inflate: bad distance symbol");
-            uint32_t d = distBase[dsym] + bits.get(distExtra[dsym]);
-            util::require(d <= out.size(),
-                          "inflate: distance beyond output");
-            size_t from = out.size() - d;
-            for (uint32_t i = 0; i < len; ++i)
-                out.push_back(out[from + i]);
-        }
-    }
+    uint8_t buf[1 << 16];
+    size_t n;
+    while ((n = stream.read(buf, sizeof(buf))) > 0)
+        out.insert(out.end(), buf, buf + n);
     return out;
 }
 
@@ -518,29 +380,7 @@ std::vector<uint8_t>
 gzipDecompress(std::span<const uint8_t> data)
 {
     util::require(data.size() >= 18, "gzip: stream too short");
-    util::require(data[0] == 0x1f && data[1] == 0x8b,
-                  "gzip: bad magic");
-    util::require(data[2] == 8, "gzip: not deflate");
-    uint8_t flg = data[3];
-    size_t pos = 10;
-    if (flg & 0x04) {  // FEXTRA
-        util::require(data.size() >= pos + 2, "gzip: truncated FEXTRA");
-        uint16_t xlen = static_cast<uint16_t>(data[pos] |
-                                              data[pos + 1] << 8);
-        pos += 2 + xlen;
-    }
-    auto skipZeroTerminated = [&data, &pos](const char *what) {
-        while (pos < data.size() && data[pos] != 0)
-            ++pos;
-        util::require(pos < data.size(), what);
-        ++pos;
-    };
-    if (flg & 0x08)  // FNAME
-        skipZeroTerminated("gzip: truncated FNAME");
-    if (flg & 0x10)  // FCOMMENT
-        skipZeroTerminated("gzip: truncated FCOMMENT");
-    if (flg & 0x02)  // FHCRC
-        pos += 2;
+    size_t pos = gzipHeaderSize(data);
     util::require(data.size() >= pos + 8, "gzip: truncated member");
 
     auto body = inflate(data.subspan(pos, data.size() - pos - 8));

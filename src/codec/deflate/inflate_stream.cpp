@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Resumable DEFLATE decoder (block state machine over a 32 KiB ring
+ * that doubles as back-reference window and pending-output buffer)
+ * and the streaming gzip member reader layered on top of it.
+ */
+
+#include "codec/deflate/inflate_stream.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "codec/deflate/rfc1951.hpp"
+#include "util/error.hpp"
+
+namespace fcc::codec::deflate {
+
+namespace {
+
+/** Largest LZ77 match — the most one decoded symbol can emit. */
+constexpr size_t maxMatchRun = 258;
+
+} // namespace
+
+// ---- InflateStream -------------------------------------------------
+
+InflateStream::InflateStream(std::span<const uint8_t> compressed)
+    : bits_(compressed), window_(windowSize)
+{}
+
+void
+InflateStream::emit(uint8_t b)
+{
+    window_[windowFill_ & windowMask] = b;
+    ++windowFill_;
+}
+
+void
+InflateStream::copyMatch(uint32_t dist, uint32_t len)
+{
+    util::require(dist <= windowFill_,
+                  "inflate: distance beyond output");
+    // Byte-serial on purpose: overlapping matches (dist < len) must
+    // see the bytes the copy itself produces.
+    for (uint32_t i = 0; i < len; ++i)
+        emit(window_[(windowFill_ - dist) & windowMask]);
+}
+
+/**
+ * Decode forward until the ring holds a comfortable amount of pending
+ * output or the final block ends. The cap keeps undrained bytes from
+ * being overwritten: pending never exceeds windowSize.
+ */
+void
+InflateStream::decodeMore()
+{
+    const size_t cap = windowSize - maxMatchRun;
+    while (!done_ && pendingSize() < cap) {
+        if (!inBlock_) {
+            // Block header: final bit + type.
+            bool final = bits_.get(1) != 0;
+            uint32_t btype = bits_.get(2);
+            util::require(btype != 3, "inflate: reserved block type");
+            inBlock_ = true;
+            finalBlock_ = final;
+            storedBlock_ = btype == 0;
+            if (storedBlock_) {
+                bits_.alignToByte();
+                uint32_t len = bits_.byte();
+                len |= static_cast<uint32_t>(bits_.byte()) << 8;
+                uint32_t nlen = bits_.byte();
+                nlen |= static_cast<uint32_t>(bits_.byte()) << 8;
+                util::require((len ^ nlen) == 0xffff,
+                              "inflate: stored block LEN/NLEN "
+                              "mismatch");
+                storedLeft_ = len;
+            } else if (btype == 1) {
+                auto litLens = fixedLitLengths();
+                auto distLens = fixedDistLengths();
+                lit_ = std::make_unique<HuffmanDecoder>(litLens);
+                dist_ = std::make_unique<HuffmanDecoder>(
+                    distLens, /*allowIncomplete=*/true);
+            } else {
+                uint32_t hlit = bits_.get(5) + 257;
+                uint32_t hdist = bits_.get(5) + 1;
+                uint32_t hclen = bits_.get(4) + 4;
+                util::require(hlit <= 286 && hdist <= 30,
+                              "inflate: bad HLIT/HDIST");
+                std::vector<uint8_t> clcLens(19, 0);
+                for (uint32_t i = 0; i < hclen; ++i)
+                    clcLens[clcOrder[i]] =
+                        static_cast<uint8_t>(bits_.get(3));
+                HuffmanDecoder clc(clcLens);
+
+                std::vector<uint8_t> seq;
+                seq.reserve(hlit + hdist);
+                while (seq.size() < hlit + hdist) {
+                    int sym = clc.decode(bits_);
+                    if (sym < 16) {
+                        seq.push_back(static_cast<uint8_t>(sym));
+                    } else if (sym == 16) {
+                        util::require(!seq.empty(),
+                                      "inflate: repeat with no "
+                                      "previous length");
+                        uint32_t rep = 3 + bits_.get(2);
+                        uint8_t prev = seq.back();
+                        for (uint32_t r = 0; r < rep; ++r)
+                            seq.push_back(prev);
+                    } else if (sym == 17) {
+                        uint32_t rep = 3 + bits_.get(3);
+                        seq.insert(seq.end(), rep, 0);
+                    } else {
+                        uint32_t rep = 11 + bits_.get(7);
+                        seq.insert(seq.end(), rep, 0);
+                    }
+                }
+                util::require(seq.size() == hlit + hdist,
+                              "inflate: code length overflow");
+                lit_ = std::make_unique<HuffmanDecoder>(
+                    std::span<const uint8_t>(seq.data(), hlit));
+                dist_ = std::make_unique<HuffmanDecoder>(
+                    std::span<const uint8_t>(seq.data() + hlit,
+                                             hdist),
+                    /*allowIncomplete=*/true);
+            }
+            continue;
+        }
+
+        if (storedBlock_) {
+            size_t room = windowSize - pendingSize();
+            size_t take = std::min<size_t>(storedLeft_, room);
+            for (size_t i = 0; i < take; ++i)
+                emit(bits_.byte());
+            storedLeft_ -= static_cast<uint32_t>(take);
+            if (storedLeft_ == 0) {
+                inBlock_ = false;
+                done_ = finalBlock_;
+            }
+            continue;
+        }
+
+        // Huffman-coded block: one symbol per iteration.
+        int sym = lit_->decode(bits_);
+        if (sym < 256) {
+            emit(static_cast<uint8_t>(sym));
+        } else if (sym == endOfBlock) {
+            inBlock_ = false;
+            lit_.reset();
+            dist_.reset();
+            done_ = finalBlock_;
+        } else {
+            util::require(sym <= 285, "inflate: bad length symbol");
+            int li = sym - 257;
+            uint32_t len = lengthBase[li] + bits_.get(lengthExtra[li]);
+            int dsym = dist_->decode(bits_);
+            util::require(dsym < numDistCodes,
+                          "inflate: bad distance symbol");
+            uint32_t d = distBase[dsym] + bits_.get(distExtra[dsym]);
+            copyMatch(d, len);
+        }
+    }
+}
+
+size_t
+InflateStream::read(uint8_t *out, size_t maxLen)
+{
+    size_t total = 0;
+    while (total < maxLen) {
+        if (pendingSize() == 0) {
+            if (done_)
+                break;
+            decodeMore();
+            if (pendingSize() == 0)
+                break;  // done_ just became true with no output
+        }
+        size_t n = std::min<size_t>(maxLen - total, pendingSize());
+        // The pending region may wrap the ring: copy in <= 2 pieces.
+        while (n > 0) {
+            size_t at = static_cast<size_t>(drained_) & windowMask;
+            size_t piece = std::min(n, windowSize - at);
+            std::memcpy(out + total, window_.data() + at, piece);
+            total += piece;
+            drained_ += piece;
+            n -= piece;
+        }
+    }
+    return total;
+}
+
+// ---- gzip framing --------------------------------------------------
+
+size_t
+gzipHeaderSize(std::span<const uint8_t> data)
+{
+    util::require(data.size() >= 10, "gzip: truncated header");
+    util::require(data[0] == 0x1f && data[1] == 0x8b,
+                  "gzip: bad magic");
+    util::require(data[2] == 8, "gzip: not deflate");
+    uint8_t flg = data[3];
+    size_t pos = 10;
+    if (flg & 0x04) {  // FEXTRA
+        util::require(data.size() >= pos + 2,
+                      "gzip: truncated FEXTRA");
+        uint16_t xlen = static_cast<uint16_t>(data[pos] |
+                                              data[pos + 1] << 8);
+        pos += 2 + xlen;
+        util::require(pos <= data.size(), "gzip: truncated FEXTRA");
+    }
+    auto skipZeroTerminated = [&data, &pos](const char *what) {
+        while (pos < data.size() && data[pos] != 0)
+            ++pos;
+        util::require(pos < data.size(), what);
+        ++pos;
+    };
+    if (flg & 0x08)  // FNAME
+        skipZeroTerminated("gzip: truncated FNAME");
+    if (flg & 0x10)  // FCOMMENT
+        skipZeroTerminated("gzip: truncated FCOMMENT");
+    if (flg & 0x02) {  // FHCRC
+        pos += 2;
+        util::require(pos <= data.size(), "gzip: truncated FHCRC");
+    }
+    return pos;
+}
+
+GzipInflateSource::GzipInflateSource(
+    std::unique_ptr<util::ByteSource> inner)
+    : inner_(std::move(inner))
+{
+    data_ = inner_->contiguous();
+    if (data_.empty()) {
+        // Source cannot expose its content in place (stdio, gzip-in-
+        // gzip); buffer the compressed bytes — still bounded by the
+        // compressed size, never the decompressed one.
+        uint8_t buf[1 << 16];
+        size_t n;
+        while ((n = inner_->read(buf, sizeof(buf))) > 0)
+            owned_.insert(owned_.end(), buf, buf + n);
+        data_ = {owned_.data(), owned_.size()};
+    }
+    startMember();
+}
+
+void
+GzipInflateSource::startMember()
+{
+    pos_ += gzipHeaderSize(data_.subspan(pos_));
+    stream_ = std::make_unique<InflateStream>(data_.subspan(pos_));
+    crc_ = util::Crc32();
+    memberBytes_ = 0;
+}
+
+size_t
+GzipInflateSource::read(uint8_t *out, size_t maxLen)
+{
+    if (done_ || maxLen == 0)
+        return 0;
+    for (;;) {
+        size_t n = stream_->read(out, maxLen);
+        if (n > 0) {
+            crc_.update({out, n});
+            memberBytes_ += n;
+            return n;
+        }
+
+        // Member finished: verify the CRC-32 / ISIZE trailer.
+        size_t end = pos_ + stream_->compressedBytesConsumed();
+        util::require(data_.size() - end >= 8,
+                      "gzip: truncated member trailer");
+        const uint8_t *t = data_.data() + end;
+        uint32_t wantCrc = 0, wantSize = 0;
+        for (int i = 0; i < 4; ++i) {
+            wantCrc |= static_cast<uint32_t>(t[i]) << (8 * i);
+            wantSize |= static_cast<uint32_t>(t[4 + i]) << (8 * i);
+        }
+        util::require(crc_.value() == wantCrc,
+                      "gzip: CRC-32 mismatch");
+        util::require(static_cast<uint32_t>(memberBytes_) == wantSize,
+                      "gzip: length mismatch");
+        pos_ = end + 8;
+        if (pos_ == data_.size()) {
+            done_ = true;
+            return 0;
+        }
+        startMember();  // concatenated members stream transparently
+    }
+}
+
+} // namespace fcc::codec::deflate

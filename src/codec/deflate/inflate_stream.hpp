@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Resumable DEFLATE decoding and the streaming gzip byte source.
+ *
+ * InflateStream is the library's single DEFLATE decoder: it walks the
+ * block structure incrementally and hands the caller output in
+ * caller-sized chunks, keeping only the 32 KiB back-reference window
+ * (plus at most one match, 258 bytes) buffered. The one-shot
+ * inflate() in deflate.hpp is a thin loop over it, so the existing
+ * zlib cross-validation tests exercise this decoder too.
+ *
+ * GzipInflateSource layers RFC 1952 member framing on top and plugs
+ * into the trace I/O stack as a fcc::util::ByteSource decorator: a
+ * gzip-compressed trace is read with memory bounded by the
+ * *compressed* size (zero-copy from an mmap'd file) plus the window —
+ * the decompressed stream is never materialized.
+ */
+
+#ifndef FCC_CODEC_DEFLATE_INFLATE_STREAM_HPP
+#define FCC_CODEC_DEFLATE_INFLATE_STREAM_HPP
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "codec/deflate/huffman.hpp"
+#include "util/bitstream.hpp"
+#include "util/checksum.hpp"
+#include "util/io.hpp"
+
+namespace fcc::codec::deflate {
+
+/**
+ * Incremental DEFLATE (RFC 1951) decoder over a complete compressed
+ * buffer. The compressed memory must outlive the stream; output is
+ * produced on demand by read().
+ */
+class InflateStream
+{
+  public:
+    explicit InflateStream(std::span<const uint8_t> compressed);
+
+    /**
+     * Decode up to @p maxLen further bytes into @p out.
+     * @returns the number of bytes produced; 0 means the final block
+     *          has been fully decoded.
+     * @throws fcc::util::Error on any malformed construct.
+     */
+    size_t read(uint8_t *out, size_t maxLen);
+
+    /** True once the final block has been consumed and drained. */
+    bool finished() const { return done_ && pendingSize() == 0; }
+
+    /**
+     * Bytes of compressed input consumed, rounded up to a whole byte
+     * — the offset where container framing (a gzip trailer) resumes.
+     * Only meaningful once finished().
+     */
+    size_t compressedBytesConsumed() const
+    {
+        return (bits_.bitPosition() + 7) / 8;
+    }
+
+  private:
+    size_t pendingSize() const { return windowFill_ - drained_; }
+    void decodeMore();
+    void emit(uint8_t b);
+    void copyMatch(uint32_t dist, uint32_t len);
+
+    util::BitReader bits_;
+
+    // 32 KiB ring: both the LZ77 back-reference window and the
+    // pending-output buffer (bytes decoded but not yet read()).
+    static constexpr size_t windowSize = 1u << 15;
+    static constexpr size_t windowMask = windowSize - 1;
+    std::vector<uint8_t> window_;
+    uint64_t windowFill_ = 0;  ///< total bytes decoded so far
+    uint64_t drained_ = 0;     ///< total bytes handed to read()
+
+    // Per-block state (valid while inBlock_).
+    bool done_ = false;
+    bool inBlock_ = false;
+    bool finalBlock_ = false;
+    bool storedBlock_ = false;
+    uint32_t storedLeft_ = 0;
+    std::unique_ptr<HuffmanDecoder> lit_, dist_;
+};
+
+/**
+ * Streaming gzip (RFC 1952) reader as a ByteSource decorator.
+ *
+ * Accepts one or more concatenated members, verifies each member's
+ * CRC-32 and ISIZE trailer as the stream is drained, and rejects
+ * trailing garbage. When the inner source exposes its content
+ * contiguously (mmap, memory buffer) no copy of the compressed data
+ * is made.
+ */
+class GzipInflateSource : public util::ByteSource
+{
+  public:
+    /** @throws fcc::util::Error when the first member header is bad. */
+    explicit GzipInflateSource(std::unique_ptr<util::ByteSource> inner);
+
+    size_t read(uint8_t *out, size_t maxLen) override;
+
+  private:
+    void startMember();
+
+    std::unique_ptr<util::ByteSource> inner_;  ///< keeps mmap alive
+    std::vector<uint8_t> owned_;               ///< slurped fallback
+    std::span<const uint8_t> data_;            ///< whole gzip file
+    size_t pos_ = 0;                           ///< current member offset
+    std::unique_ptr<InflateStream> stream_;
+    util::Crc32 crc_;
+    uint64_t memberBytes_ = 0;
+    bool done_ = false;
+};
+
+/**
+ * Parse a gzip member header starting at @p data .
+ * @returns the size of the header (offset of the deflate payload).
+ * @throws fcc::util::Error on a malformed or truncated header.
+ */
+size_t gzipHeaderSize(std::span<const uint8_t> data);
+
+} // namespace fcc::codec::deflate
+
+#endif // FCC_CODEC_DEFLATE_INFLATE_STREAM_HPP

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared RFC 1951 constants: length/distance code base values and
+ * extra-bit widths, the code-length-code transmission order, and the
+ * fixed Huffman code lengths. Used by the encoder (deflate.cpp) and
+ * the resumable decoder (inflate_stream.cpp).
+ */
+
+#ifndef FCC_CODEC_DEFLATE_RFC1951_HPP
+#define FCC_CODEC_DEFLATE_RFC1951_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace fcc::codec::deflate {
+
+inline constexpr int numLitCodes = 286;   // 0..285
+inline constexpr int numDistCodes = 30;   // 0..29
+inline constexpr int endOfBlock = 256;
+
+inline constexpr uint16_t lengthBase[29] = {
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31,
+    35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258,
+};
+inline constexpr uint8_t lengthExtra[29] = {
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2,
+    3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+};
+
+inline constexpr uint16_t distBase[30] = {
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193,
+    257, 385, 513, 769, 1025, 1537, 2049, 3073, 4097, 6145, 8193,
+    12289, 16385, 24577,
+};
+inline constexpr uint8_t distExtra[30] = {
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6,
+    7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13,
+};
+
+/** Order in which code-length-code lengths are transmitted. */
+inline constexpr uint8_t clcOrder[19] = {
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+};
+
+/** Fixed literal/length code lengths (RFC 1951 §3.2.6). */
+inline std::vector<uint8_t>
+fixedLitLengths()
+{
+    std::vector<uint8_t> lens(288);
+    for (int i = 0; i <= 143; ++i)
+        lens[i] = 8;
+    for (int i = 144; i <= 255; ++i)
+        lens[i] = 9;
+    for (int i = 256; i <= 279; ++i)
+        lens[i] = 7;
+    for (int i = 280; i <= 287; ++i)
+        lens[i] = 8;
+    return lens;
+}
+
+inline std::vector<uint8_t>
+fixedDistLengths()
+{
+    return std::vector<uint8_t>(32, 5);
+}
+
+} // namespace fcc::codec::deflate
+
+#endif // FCC_CODEC_DEFLATE_RFC1951_HPP

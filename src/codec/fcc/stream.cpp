@@ -1,15 +1,14 @@
 /**
  * @file
- * Streaming (file-to-file) FCC interface: incremental TSH reading
- * with bounded open-flow state on compression; on decompression
- * the §4 time-ordered reconstruction buffer, flushed whenever its
- * head predates the next time-seq record.
+ * Streaming FCC interface over TraceSource/TraceSink: incremental
+ * record reading with bounded open-flow state on compression; on
+ * decompression the §4 time-ordered reconstruction buffer, flushed
+ * to the sink whenever its head predates the next time-seq record.
  */
 
 #include "codec/fcc/stream.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <memory>
 #include <queue>
 #include <unordered_map>
@@ -17,26 +16,12 @@
 #include "flow/template_store.hpp"
 #include "trace/tsh.hpp"
 #include "util/error.hpp"
+#include "util/io.hpp"
 #include "util/thread_pool.hpp"
 
 namespace fcc::codec::fcc {
 
 namespace {
-
-struct FileCloser
-{
-    void operator()(std::FILE *f) const { if (f) std::fclose(f); }
-};
-
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
-
-FilePtr
-openFile(const std::string &path, const char *mode, const char *what)
-{
-    FilePtr f(std::fopen(path.c_str(), mode));
-    util::require(f != nullptr, what);
-    return f;
-}
 
 /**
  * Incremental single-flow state: enough to classify packets online
@@ -202,49 +187,26 @@ class StreamingBuilder
 } // namespace
 
 StreamStats
-compressTshFile(const std::string &tshPath, const std::string &fccPath,
-                const FccConfig &cfg)
+compressSource(trace::TraceSource &src, const std::string &fccPath,
+               const FccConfig &cfg)
 {
-    FilePtr in = openFile(tshPath, "rb",
-                          "fcc stream: cannot open TSH input");
     StreamingBuilder builder(cfg);
     StreamStats stats;
 
-    // Read whole TSH records in chunks.
-    constexpr size_t recordsPerChunk = 4096;
-    std::vector<uint8_t> buf(recordsPerChunk * trace::tshRecordBytes);
-    size_t pending = 0;
-    for (;;) {
-        size_t n = std::fread(buf.data() + pending, 1,
-                              buf.size() - pending, in.get());
-        if (n == 0) {
-            util::require(pending == 0,
-                          "fcc stream: trailing partial TSH record");
-            break;
-        }
-        pending += n;
-        size_t whole = pending / trace::tshRecordBytes *
-                       trace::tshRecordBytes;
-        trace::Trace chunk = trace::readTsh(
-            std::span<const uint8_t>(buf.data(), whole));
-        for (const auto &pkt : chunk)
-            builder.addPacket(pkt);
-        stats.inputBytes += whole;
-        std::copy(buf.begin() + static_cast<std::ptrdiff_t>(whole),
-                  buf.begin() + static_cast<std::ptrdiff_t>(pending),
-                  buf.begin());
-        pending -= whole;
-    }
+    std::vector<trace::PacketRecord> batch(4096);
+    size_t n;
+    while ((n = src.read(batch)) > 0)
+        for (size_t i = 0; i < n; ++i)
+            builder.addPacket(batch[i]);
+    stats.inputBytes = src.bytesConsumed();
 
     Datasets datasets = builder.finish();
     SizeBreakdown sizes;
     auto bytes = serializeChunked(datasets, cfg.chunkRecords, sizes);
 
-    FilePtr out = openFile(fccPath, "wb",
-                           "fcc stream: cannot open FCC output");
-    util::require(std::fwrite(bytes.data(), 1, bytes.size(),
-                              out.get()) == bytes.size(),
-                  "fcc stream: short write");
+    util::FileByteSink out(fccPath);
+    out.write(bytes);
+    out.close();
     stats.outputBytes = bytes.size();
     stats.packets = builder.packets();
     stats.flows = builder.flows();
@@ -252,24 +214,46 @@ compressTshFile(const std::string &tshPath, const std::string &fccPath,
 }
 
 StreamStats
-decompressToTshFile(const std::string &fccPath,
-                    const std::string &tshPath, const FccConfig &cfg)
+compressTraceFile(const std::string &inPath,
+                  const std::string &fccPath, const FccConfig &cfg,
+                  const trace::TraceFormatSpec &format)
 {
-    FilePtr in = openFile(fccPath, "rb",
-                          "fcc stream: cannot open FCC input");
-    std::vector<uint8_t> bytes;
-    uint8_t buf[1 << 16];
-    size_t n;
-    while ((n = std::fread(buf, 1, sizeof(buf), in.get())) > 0)
-        bytes.insert(bytes.end(), buf, buf + n);
-    Datasets datasets = deserialize(bytes);
+    auto src = trace::openTraceSource(inPath, format);
+    return compressSource(*src, fccPath, cfg);
+}
 
+namespace {
+
+/** Load and decode an FCC container, reporting its on-disk size. */
+Datasets
+loadDatasets(const std::string &fccPath, uint64_t &inputBytes)
+{
+    // The compressed artifact is read via mmap when possible — the
+    // Datasets it decodes to live in memory by design; the
+    // *reconstructed packets* never do.
+    auto in = util::openByteSource(fccPath);
+    std::vector<uint8_t> owned;
+    std::span<const uint8_t> bytes = in->contiguous();
+    if (bytes.empty()) {
+        uint8_t buf[1 << 16];
+        size_t got;
+        while ((got = in->read(buf, sizeof(buf))) > 0)
+            owned.insert(owned.end(), buf, buf + got);
+        bytes = {owned.data(), owned.size()};
+    }
+    inputBytes = bytes.size();
+    return deserialize(bytes);
+}
+
+/** The §4 expansion of already-decoded datasets into a sink. */
+StreamStats
+expandToSink(const Datasets &datasets, trace::TraceSink &sink,
+             const FccConfig &cfg, uint64_t inputBytes)
+{
     FccTraceCompressor codec(cfg);
-    FilePtr out = openFile(tshPath, "wb",
-                           "fcc stream: cannot open TSH output");
 
     StreamStats stats;
-    stats.inputBytes = bytes.size();
+    stats.inputBytes = inputBytes;
     stats.flows = datasets.timeSeq.size();
 
     // Paper §4: reconstructed packets wait in a time-ordered buffer;
@@ -286,21 +270,18 @@ decompressToTshFile(const std::string &fccPath,
                         decltype(later)>
         pendingQ(later);
 
+    std::vector<trace::PacketRecord> flushBatch;
     auto flushOlderThan = [&](uint64_t limitNs) {
-        trace::Trace batch;
+        flushBatch.clear();
         while (!pendingQ.empty() &&
                pendingQ.top().timestampNs < limitNs) {
-            batch.add(pendingQ.top());
+            flushBatch.push_back(pendingQ.top());
             pendingQ.pop();
         }
-        if (batch.empty())
+        if (flushBatch.empty())
             return;
-        auto tsh = trace::writeTsh(batch);
-        util::require(std::fwrite(tsh.data(), 1, tsh.size(),
-                                  out.get()) == tsh.size(),
-                      "fcc stream: short write");
-        stats.outputBytes += tsh.size();
-        stats.packets += batch.size();
+        sink.write(std::span<const trace::PacketRecord>(flushBatch));
+        stats.packets += flushBatch.size();
     };
 
     if (!datasets.chunkSizes.empty()) {
@@ -346,6 +327,8 @@ decompressToTshFile(const std::string &fccPath,
                 : ~0ull;
             flushOlderThan(limitNs);
         }
+        sink.close();
+        stats.outputBytes = sink.bytesWritten();
         return stats;
     }
 
@@ -360,7 +343,53 @@ decompressToTshFile(const std::string &fccPath,
             pendingQ.push(pkt);
     }
     flushOlderThan(~0ull);
+    sink.close();
+    stats.outputBytes = sink.bytesWritten();
     return stats;
+}
+
+} // namespace
+
+StreamStats
+decompressToSink(const std::string &fccPath, trace::TraceSink &sink,
+                 const FccConfig &cfg)
+{
+    uint64_t inputBytes = 0;
+    Datasets datasets = loadDatasets(fccPath, inputBytes);
+    return expandToSink(datasets, sink, cfg, inputBytes);
+}
+
+StreamStats
+decompressTraceFile(const std::string &fccPath,
+                    const std::string &outPath, const FccConfig &cfg,
+                    const trace::TraceFormatSpec &format)
+{
+    // Decode the input fully before opening (and truncating) the
+    // output path: a corrupt .fcc must not clobber an existing file.
+    uint64_t inputBytes = 0;
+    Datasets datasets = loadDatasets(fccPath, inputBytes);
+    auto sink = trace::openTraceSink(outPath, format);
+    return expandToSink(datasets, *sink, cfg, inputBytes);
+}
+
+StreamStats
+compressTshFile(const std::string &tshPath, const std::string &fccPath,
+                const FccConfig &cfg)
+{
+    trace::TraceFormatSpec tsh;
+    tsh.autoDetect = false;
+    tsh.format = trace::TraceFormat::Tsh;
+    return compressTraceFile(tshPath, fccPath, cfg, tsh);
+}
+
+StreamStats
+decompressToTshFile(const std::string &fccPath,
+                    const std::string &tshPath, const FccConfig &cfg)
+{
+    trace::TraceFormatSpec tsh;
+    tsh.autoDetect = false;
+    tsh.format = trace::TraceFormat::Tsh;
+    return decompressTraceFile(fccPath, tshPath, cfg, tsh);
 }
 
 } // namespace fcc::codec::fcc

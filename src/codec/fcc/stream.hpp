@@ -1,8 +1,11 @@
 /**
  * @file
- * File-to-file streaming interface of the FCC codec.
+ * Streaming interface of the FCC codec over the trace I/O
+ * subsystem: compression consumes any TraceSource (TSH, pcap,
+ * pcapng, gzip'd variants — see trace/source.hpp), decompression
+ * produces any TraceSink.
  *
- * Compression reads TSH records incrementally (one connection's
+ * Compression reads packet records incrementally (one connection's
  * worth of state at a time — memory is bounded by open flows plus
  * the template/time-seq datasets, not by the packet count).
  *
@@ -23,6 +26,7 @@
 #include <string>
 
 #include "codec/fcc/fcc_codec.hpp"
+#include "trace/source.hpp"
 
 namespace fcc::codec::fcc {
 
@@ -45,22 +49,58 @@ struct StreamStats
 };
 
 /**
- * Compress a TSH file into an FCC file without materializing the
- * whole packet trace.
+ * Compress any TraceSource into an FCC file without materializing
+ * the packet stream: memory is bounded by open flows plus the
+ * datasets, whatever the input size. Input must be time-ordered.
  *
  * @throws fcc::util::Error on I/O failure or malformed input.
  */
 StreamStats
-compressTshFile(const std::string &tshPath, const std::string &fccPath,
-                const FccConfig &cfg = {});
+compressSource(trace::TraceSource &src, const std::string &fccPath,
+               const FccConfig &cfg = {});
 
 /**
- * Decompress an FCC file into a TSH file using the §4 incremental
- * flush (peak buffered packets stays near the number of concurrently
- * active flows).
+ * Compress a trace file of any supported capture format (TSH, pcap,
+ * pcapng, each optionally gzip'd) into an FCC file. The default
+ * spec auto-detects the format from magic bytes.
  *
  * @throws fcc::util::Error on I/O failure or malformed input.
  */
+StreamStats
+compressTraceFile(const std::string &inPath,
+                  const std::string &fccPath,
+                  const FccConfig &cfg = {},
+                  const trace::TraceFormatSpec &format = {});
+
+/**
+ * Decompress an FCC file into @p sink using the §4 incremental
+ * flush (peak buffered packets stays near the number of concurrently
+ * active flows). The sink is closed before returning.
+ *
+ * @throws fcc::util::Error on I/O failure or malformed input.
+ */
+StreamStats
+decompressToSink(const std::string &fccPath, trace::TraceSink &sink,
+                 const FccConfig &cfg = {});
+
+/**
+ * Decompress an FCC file into a trace file. An auto spec picks the
+ * output format from the extension (.pcap / .pcapng, else TSH).
+ *
+ * @throws fcc::util::Error on I/O failure or malformed input.
+ */
+StreamStats
+decompressTraceFile(const std::string &fccPath,
+                    const std::string &outPath,
+                    const FccConfig &cfg = {},
+                    const trace::TraceFormatSpec &format = {});
+
+/** Back-compat wrapper: compressTraceFile() with a fixed TSH spec. */
+StreamStats
+compressTshFile(const std::string &tshPath, const std::string &fccPath,
+                const FccConfig &cfg = {});
+
+/** Back-compat wrapper: decompressTraceFile() with a TSH spec. */
 StreamStats
 decompressToTshFile(const std::string &fccPath,
                     const std::string &tshPath,

@@ -2,13 +2,15 @@
  * @file
  * pcap savefile I/O: accepts both byte orders, microsecond and
  * nanosecond magics, and RAW or Ethernet link types; always writes
- * microsecond LINKTYPE_RAW files of bare IPv4+TCP headers.
+ * LINKTYPE_RAW files of bare IPv4+TCP headers (microsecond or
+ * nanosecond timestamps). The incremental PcapSource/PcapSink are
+ * the single implementation; the whole-buffer entry points wrap
+ * them.
  */
 
 #include "trace/pcap.hpp"
 
-#include <cstdio>
-#include <memory>
+#include <algorithm>
 
 #include "trace/tsh.hpp"
 #include "util/bytes.hpp"
@@ -26,63 +28,42 @@ constexpr uint32_t magicNsecSwap = 0x4d3cb2a1u;
 constexpr uint32_t linkRaw = 101;
 constexpr uint32_t linkEthernet = 1;
 
-uint32_t
-bswap32(uint32_t v)
-{
-    return (v >> 24) | ((v >> 8) & 0xff00u) |
-           ((v << 8) & 0xff0000u) | (v << 24);
-}
+} // namespace
 
-uint16_t
-getU16be(const uint8_t *p)
-{
-    return static_cast<uint16_t>(p[0] << 8 | p[1]);
-}
-
-uint32_t
-getU32be(const uint8_t *p)
-{
-    return static_cast<uint32_t>(p[0]) << 24 |
-           static_cast<uint32_t>(p[1]) << 16 |
-           static_cast<uint32_t>(p[2]) << 8 |
-           static_cast<uint32_t>(p[3]);
-}
-
-/** Parse one raw IPv4 (+TCP prefix) body into @p pkt. */
 void
-parseIpBody(const uint8_t *body, size_t len, PacketRecord &pkt)
+parseIpv4Packet(const uint8_t *body, size_t len, PacketRecord &pkt)
 {
     util::require(len >= 20, "readPcap: truncated IP header");
     util::require((body[0] >> 4) == 4, "readPcap: not IPv4");
     size_t ihl = static_cast<size_t>(body[0] & 0x0f) * 4;
     util::require(ihl >= 20 && len >= ihl,
                   "readPcap: bad IP header length");
-    uint16_t totalLen = getU16be(body + 2);
-    pkt.ipId = getU16be(body + 4);
+    uint16_t totalLen = util::loadBe16(body + 2);
+    pkt.ipId = util::loadBe16(body + 4);
     pkt.protocol = body[9];
-    pkt.srcIp = getU32be(body + 12);
-    pkt.dstIp = getU32be(body + 16);
+    pkt.srcIp = util::loadBe32(body + 12);
+    pkt.dstIp = util::loadBe32(body + 16);
 
     const uint8_t *l4 = body + ihl;
     size_t l4len = len - ihl;
     if (pkt.protocol == ip_proto::Tcp) {
         util::require(l4len >= 16, "readPcap: truncated TCP header");
-        pkt.srcPort = getU16be(l4);
-        pkt.dstPort = getU16be(l4 + 2);
-        pkt.seq = getU32be(l4 + 4);
-        pkt.ack = getU32be(l4 + 8);
+        pkt.srcPort = util::loadBe16(l4);
+        pkt.dstPort = util::loadBe16(l4 + 2);
+        pkt.seq = util::loadBe32(l4 + 4);
+        pkt.ack = util::loadBe32(l4 + 8);
         size_t dataOff = static_cast<size_t>(l4[12] >> 4) * 4;
         util::require(dataOff >= 20, "readPcap: bad TCP data offset");
         pkt.tcpFlags = l4[13];
-        pkt.window = l4len >= 16 ? getU16be(l4 + 14) : 0;
+        pkt.window = util::loadBe16(l4 + 14);
         size_t hdr = ihl + dataOff;
         pkt.payloadBytes = totalLen > hdr
             ? static_cast<uint16_t>(totalLen - hdr) : 0;
     } else if (pkt.protocol == ip_proto::Udp) {
         util::require(l4len >= 8, "readPcap: truncated UDP header");
-        pkt.srcPort = getU16be(l4);
-        pkt.dstPort = getU16be(l4 + 2);
-        uint16_t udpLen = getU16be(l4 + 4);
+        pkt.srcPort = util::loadBe16(l4);
+        pkt.dstPort = util::loadBe16(l4 + 2);
+        uint16_t udpLen = util::loadBe16(l4 + 4);
         pkt.payloadBytes = udpLen > 8
             ? static_cast<uint16_t>(udpLen - 8) : 0;
     } else {
@@ -91,149 +72,194 @@ parseIpBody(const uint8_t *body, size_t len, PacketRecord &pkt)
     }
 }
 
-struct FileCloser
+void
+appendIpv4TcpHeader(const PacketRecord &pkt, std::vector<uint8_t> &out)
 {
-    void operator()(std::FILE *f) const { if (f) std::fclose(f); }
-};
+    auto putU16 = [&out](uint16_t v) {
+        out.push_back(static_cast<uint8_t>(v >> 8));
+        out.push_back(static_cast<uint8_t>(v));
+    };
+    auto putU32 = [&out](uint32_t v) {
+        out.push_back(static_cast<uint8_t>(v >> 24));
+        out.push_back(static_cast<uint8_t>(v >> 16));
+        out.push_back(static_cast<uint8_t>(v >> 8));
+        out.push_back(static_cast<uint8_t>(v));
+    };
+    size_t ipStart = out.size();
+    out.push_back(0x45);
+    out.push_back(0);
+    putU16(pkt.ipTotalLength());
+    putU16(pkt.ipId);
+    putU16(0x4000);
+    out.push_back(64);
+    out.push_back(pkt.protocol);
+    putU16(0);
+    putU32(pkt.srcIp);
+    putU32(pkt.dstIp);
+    uint16_t csum = ipChecksum(
+        std::span<const uint8_t>(out.data() + ipStart, 20));
+    out[ipStart + 10] = static_cast<uint8_t>(csum >> 8);
+    out[ipStart + 11] = static_cast<uint8_t>(csum);
 
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+    putU16(pkt.srcPort);
+    putU16(pkt.dstPort);
+    putU32(pkt.seq);
+    putU32(pkt.ack);
+    out.push_back(5 << 4);
+    out.push_back(pkt.tcpFlags);
+    putU16(pkt.window);
+    putU16(0);  // TCP checksum (not stored in header traces)
+    putU16(0);  // urgent pointer
+}
 
-} // namespace
+// ---- PcapSource ----------------------------------------------------
+
+PcapSource::PcapSource(std::unique_ptr<util::ByteSource> bytes)
+    : bytes_(std::move(bytes))
+{
+    uint8_t hdr[24];
+    util::require(util::readFully(*bytes_, hdr, sizeof(hdr),
+                                  "readPcap: missing global header") ==
+                      sizeof(hdr),
+                  "readPcap: missing global header");
+    consumed_ += sizeof(hdr);
+
+    uint32_t magic = util::loadLe32(hdr);
+    switch (magic) {
+      case magicUsec:     swapped_ = false; nanos_ = false; break;
+      case magicUsecSwap: swapped_ = true;  nanos_ = false; break;
+      case magicNsec:     swapped_ = false; nanos_ = true;  break;
+      case magicNsecSwap: swapped_ = true;  nanos_ = true;  break;
+      default:
+        throw util::Error("readPcap: bad magic number");
+    }
+    uint32_t link = util::loadLe32(hdr + 20);
+    if (swapped_)
+        link = util::byteSwap32(link);
+    util::require(link == linkRaw || link == linkEthernet,
+                  "readPcap: unsupported link type");
+    l2skip_ = link == linkEthernet ? 14 : 0;
+}
+
+size_t
+PcapSource::read(std::span<PacketRecord> batch)
+{
+    size_t filled = 0;
+    uint8_t rec[16];
+    while (filled < batch.size()) {
+        size_t n = util::readFully(
+            *bytes_, rec, sizeof(rec),
+            "readPcap: truncated record header");
+        if (n == 0)
+            break;  // clean end of file
+        auto fix = [this](uint32_t v) {
+            return swapped_ ? util::byteSwap32(v) : v;
+        };
+        uint32_t sec = fix(util::loadLe32(rec));
+        uint32_t frac = fix(util::loadLe32(rec + 4));
+        uint32_t capLen = fix(util::loadLe32(rec + 8));
+        // Reject out-of-range fractional timestamps for *both*
+        // magics: a nanosecond file must stay below 1e9 just as a
+        // microsecond file must stay below 1e6 — otherwise corrupt
+        // captures silently produce non-monotonic timestamps.
+        util::require(frac < (nanos_ ? 1000000000u : 1000000u),
+                      "readPcap: timestamp fraction out of range");
+        // libpcap's MAXIMUM_SNAPLEN; anything above is corruption,
+        // not capture data — refuse before allocating.
+        util::require(capLen <= 262144,
+                      "readPcap: capture length too large");
+
+        body_.resize(capLen);
+        if (capLen > 0)
+            util::require(util::readFully(
+                              *bytes_, body_.data(), capLen,
+                              "readPcap: truncated record body") ==
+                              capLen,
+                          "readPcap: truncated record body");
+        consumed_ += sizeof(rec) + capLen;
+
+        PacketRecord &pkt = batch[filled];
+        pkt = PacketRecord();
+        pkt.timestampNs =
+            static_cast<uint64_t>(sec) * 1000000000ull +
+            (nanos_ ? frac : static_cast<uint64_t>(frac) * 1000ull);
+        util::require(capLen >= l2skip_,
+                      "readPcap: capture below link header size");
+        parseIpv4Packet(body_.data() + l2skip_, capLen - l2skip_,
+                        pkt);
+        ++filled;
+    }
+    return filled;
+}
+
+// ---- PcapSink ------------------------------------------------------
+
+PcapSink::PcapSink(std::unique_ptr<util::ByteSink> out, bool nanos)
+    : out_(std::move(out)), nanos_(nanos)
+{
+    std::vector<uint8_t> hdr;
+    util::storeLe32(hdr, nanos_ ? magicNsec : magicUsec);
+    hdr.push_back(2); hdr.push_back(0);   // version major (LE)
+    hdr.push_back(4); hdr.push_back(0);   // version minor (LE)
+    util::storeLe32(hdr, 0);       // thiszone
+    util::storeLe32(hdr, 0);       // sigfigs
+    util::storeLe32(hdr, 65535);   // snaplen
+    util::storeLe32(hdr, linkRaw);
+    out_->write(hdr);
+}
+
+void
+PcapSink::write(std::span<const PacketRecord> batch)
+{
+    buf_.clear();
+    for (const auto &pkt : batch) {
+        util::storeLe32(buf_, static_cast<uint32_t>(pkt.timestampNs /
+                                             1000000000ull));
+        uint32_t frac = nanos_
+            ? static_cast<uint32_t>(pkt.timestampNs % 1000000000ull)
+            : static_cast<uint32_t>((pkt.timestampNs / 1000ull) %
+                                    1000000ull);
+        util::storeLe32(buf_, frac);
+        util::storeLe32(buf_, 40);                   // captured length
+        util::storeLe32(buf_, pkt.ipTotalLength());  // original length
+        appendIpv4TcpHeader(pkt, buf_);
+    }
+    out_->write(buf_);
+}
+
+// ---- whole-buffer wrappers -----------------------------------------
 
 std::vector<uint8_t>
-writePcap(const Trace &trace)
+writePcap(const Trace &trace, bool nanos)
 {
-    util::ByteWriter w;
-    w.u32(magicUsec);
-    w.u16(2);      // version major
-    w.u16(4);      // version minor
-    w.u32(0);      // thiszone
-    w.u32(0);      // sigfigs
-    w.u32(65535);  // snaplen
-    w.u32(linkRaw);
-
-    for (const auto &pkt : trace) {
-        w.u32(static_cast<uint32_t>(pkt.timestampNs / 1000000000ull));
-        w.u32(static_cast<uint32_t>((pkt.timestampNs / 1000ull) %
-                                    1000000ull));
-        w.u32(40);                    // captured length: headers only
-        w.u32(pkt.ipTotalLength());   // original length
-
-        // Reuse the TSH encoder's IP/TCP layout via a 1-packet trace
-        // would be wasteful; emit the 40 header bytes directly.
-        std::vector<uint8_t> hdr;
-        hdr.reserve(40);
-        auto putU16 = [&hdr](uint16_t v) {
-            hdr.push_back(static_cast<uint8_t>(v >> 8));
-            hdr.push_back(static_cast<uint8_t>(v));
-        };
-        auto putU32 = [&hdr](uint32_t v) {
-            hdr.push_back(static_cast<uint8_t>(v >> 24));
-            hdr.push_back(static_cast<uint8_t>(v >> 16));
-            hdr.push_back(static_cast<uint8_t>(v >> 8));
-            hdr.push_back(static_cast<uint8_t>(v));
-        };
-        hdr.push_back(0x45);
-        hdr.push_back(0);
-        putU16(pkt.ipTotalLength());
-        putU16(pkt.ipId);
-        putU16(0x4000);
-        hdr.push_back(64);
-        hdr.push_back(pkt.protocol);
-        putU16(0);
-        putU32(pkt.srcIp);
-        putU32(pkt.dstIp);
-        uint16_t csum = ipChecksum(
-            std::span<const uint8_t>(hdr.data(), 20));
-        hdr[10] = static_cast<uint8_t>(csum >> 8);
-        hdr[11] = static_cast<uint8_t>(csum);
-
-        putU16(pkt.srcPort);
-        putU16(pkt.dstPort);
-        putU32(pkt.seq);
-        putU32(pkt.ack);
-        hdr.push_back(5 << 4);
-        hdr.push_back(pkt.tcpFlags);
-        putU16(pkt.window);
-        putU16(0);  // TCP checksum (not stored in header traces)
-        putU16(0);  // urgent pointer
-
-        w.bytes(hdr.data(), hdr.size());
-    }
-    return w.take();
+    auto vec = std::make_unique<util::VectorByteSink>();
+    auto *raw = vec.get();
+    PcapSink sink(std::move(vec), nanos);
+    sink.write(std::span<const PacketRecord>(trace.packets()));
+    sink.close();
+    return raw->take();
 }
 
 Trace
 readPcap(std::span<const uint8_t> data)
 {
-    util::require(data.size() >= 24, "readPcap: missing global header");
-    util::ByteReader r(data);
-
-    uint32_t magic = r.u32();
-    bool swapped, nanos;
-    switch (magic) {
-      case magicUsec:     swapped = false; nanos = false; break;
-      case magicUsecSwap: swapped = true;  nanos = false; break;
-      case magicNsec:     swapped = false; nanos = true;  break;
-      case magicNsecSwap: swapped = true;  nanos = true;  break;
-      default:
-        throw util::Error("readPcap: bad magic number");
-    }
-    auto fix = [swapped](uint32_t v) { return swapped ? bswap32(v) : v; };
-
-    r.skip(2 + 2 + 4 + 4);  // version, thiszone, sigfigs
-    r.skip(4);              // snaplen
-    uint32_t link = fix(r.u32());
-    util::require(link == linkRaw || link == linkEthernet,
-                  "readPcap: unsupported link type");
-    size_t l2skip = link == linkEthernet ? 14 : 0;
-
-    Trace trace;
-    while (r.remaining() > 0) {
-        util::require(r.remaining() >= 16,
-                      "readPcap: truncated record header");
-        uint32_t sec = fix(r.u32());
-        uint32_t frac = fix(r.u32());
-        uint32_t capLen = fix(r.u32());
-        r.skip(4);  // original length
-        util::require(r.remaining() >= capLen,
-                      "readPcap: truncated record body");
-
-        PacketRecord pkt;
-        pkt.timestampNs = static_cast<uint64_t>(sec) * 1000000000ull +
-                          (nanos ? frac
-                                 : static_cast<uint64_t>(frac) * 1000ull);
-        util::require(capLen >= l2skip,
-                      "readPcap: capture below link header size");
-        const uint8_t *body = data.data() + r.position() + l2skip;
-        parseIpBody(body, capLen - l2skip, pkt);
-        r.skip(capLen);
-        trace.add(pkt);
-    }
-    return trace;
+    PcapSource src(std::make_unique<util::BufferByteSource>(data));
+    return readAllPackets(src);
 }
 
 void
 writePcapFile(const Trace &trace, const std::string &path)
 {
-    FilePtr f(std::fopen(path.c_str(), "wb"));
-    util::require(f != nullptr, "writePcapFile: cannot open output");
-    auto bytes = writePcap(trace);
-    size_t n = std::fwrite(bytes.data(), 1, bytes.size(), f.get());
-    util::require(n == bytes.size(), "writePcapFile: short write");
+    PcapSink sink(std::make_unique<util::FileByteSink>(path));
+    sink.write(std::span<const PacketRecord>(trace.packets()));
+    sink.close();
 }
 
 Trace
 readPcapFile(const std::string &path)
 {
-    FilePtr f(std::fopen(path.c_str(), "rb"));
-    util::require(f != nullptr, "readPcapFile: cannot open input");
-    std::vector<uint8_t> bytes;
-    uint8_t buf[1 << 16];
-    size_t n;
-    while ((n = std::fread(buf, 1, sizeof(buf), f.get())) > 0)
-        bytes.insert(bytes.end(), buf, buf + n);
-    return readPcap(bytes);
+    PcapSource src(util::openByteSource(path));
+    return readAllPackets(src);
 }
 
 } // namespace fcc::trace

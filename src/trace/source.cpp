@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Streaming trace I/O subsystem: TSH source/sink over the byte
+ * layer, in-memory adapters, magic-byte format auto-detection with
+ * transparent gzip unwrapping, and the path-level factories.
+ */
+
+#include "trace/source.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "codec/deflate/inflate_stream.hpp"
+#include "trace/pcap.hpp"
+#include "trace/pcapng.hpp"
+#include "util/error.hpp"
+
+namespace fcc::trace {
+
+// ---- TshSource -----------------------------------------------------
+
+size_t
+TshSource::read(std::span<PacketRecord> batch)
+{
+    if (batch.empty())
+        return 0;
+    size_t want = batch.size() * tshRecordBytes;
+    buf_.resize(want);
+    size_t have = 0;
+    while (have < want) {
+        size_t n = bytes_->read(buf_.data() + have, want - have);
+        if (n == 0)
+            break;
+        have += n;
+    }
+    size_t whole = have / tshRecordBytes;
+    util::require(whole * tshRecordBytes == have,
+                  "tsh source: trailing partial record");
+    for (size_t i = 0; i < whole; ++i)
+        batch[i] = decodeTshRecord(buf_.data() + i * tshRecordBytes);
+    consumed_ += have;
+    return whole;
+}
+
+// ---- TshSink -------------------------------------------------------
+
+void
+TshSink::write(std::span<const PacketRecord> batch)
+{
+    buf_.clear();
+    buf_.reserve(batch.size() * tshRecordBytes);
+    for (const auto &pkt : batch)
+        encodeTshRecord(pkt, buf_);
+    out_->write(buf_);
+}
+
+// ---- MemoryTraceSource ---------------------------------------------
+
+size_t
+MemoryTraceSource::read(std::span<PacketRecord> batch)
+{
+    size_t n = std::min(batch.size(), trace_.size() - pos_);
+    for (size_t i = 0; i < n; ++i)
+        batch[i] = trace_[pos_ + i];
+    pos_ += n;
+    return n;
+}
+
+// ---- whole-stream helpers ------------------------------------------
+
+Trace
+readAllPackets(TraceSource &src)
+{
+    Trace trace;
+    std::vector<PacketRecord> batch(4096);
+    size_t n;
+    while ((n = src.read(batch)) > 0)
+        for (size_t i = 0; i < n; ++i)
+            trace.add(batch[i]);
+    return trace;
+}
+
+void
+writeAllPackets(TraceSink &sink, const Trace &trace)
+{
+    constexpr size_t batchRecords = 4096;
+    const auto &packets = trace.packets();
+    for (size_t base = 0; base < packets.size();
+         base += batchRecords) {
+        size_t n = std::min(batchRecords, packets.size() - base);
+        sink.write(
+            std::span<const PacketRecord>(packets.data() + base, n));
+    }
+    sink.close();
+}
+
+// ---- format detection ----------------------------------------------
+
+namespace {
+
+bool
+matchesMagic(std::span<const uint8_t> head, const uint8_t (&magic)[4])
+{
+    return head.size() >= 4 &&
+           std::memcmp(head.data(), magic, 4) == 0;
+}
+
+} // namespace
+
+DetectedFormat
+detectTraceFormat(std::span<const uint8_t> head)
+{
+    if (head.size() >= 2 && head[0] == 0x1f && head[1] == 0x8b)
+        return {TraceFormat::Tsh, /*gzip=*/true};
+
+    static constexpr uint8_t pcapngMagic[4] = {0x0a, 0x0d, 0x0d, 0x0a};
+    if (matchesMagic(head, pcapngMagic))
+        return {TraceFormat::Pcapng, false};
+
+    static constexpr uint8_t pcapMagics[4][4] = {
+        {0xa1, 0xb2, 0xc3, 0xd4},  // usec, big-endian
+        {0xd4, 0xc3, 0xb2, 0xa1},  // usec, little-endian
+        {0xa1, 0xb2, 0x3c, 0x4d},  // nsec, big-endian
+        {0x4d, 0x3c, 0xb2, 0xa1},  // nsec, little-endian
+    };
+    for (const auto &magic : pcapMagics)
+        if (matchesMagic(head, magic))
+            return {TraceFormat::Pcap, false};
+
+    // TSH has no magic: accept when the first record is plausible —
+    // the IPv4 version/IHL byte at offset 8 and a sub-second
+    // microsecond field at offsets 5..7.
+    if (head.size() >= 9 && head[8] == 0x45) {
+        uint32_t usec = static_cast<uint32_t>(head[5]) << 16 |
+                        static_cast<uint32_t>(head[6]) << 8 | head[7];
+        if (usec < 1000000)
+            return {TraceFormat::Tsh, false};
+    }
+    throw util::Error(
+        "cannot detect trace format (want tsh, pcap, pcapng, or a "
+        "gzip'd one of those)");
+}
+
+TraceFormatSpec
+parseTraceFormatSpec(const std::string &name)
+{
+    TraceFormatSpec spec;
+    std::string base = name;
+    if (base.size() > 3 &&
+        base.compare(base.size() - 3, 3, ".gz") == 0) {
+        spec.gzip = true;
+        base.resize(base.size() - 3);
+    }
+    if (base == "auto") {
+        util::require(!spec.gzip,
+                      "format 'auto' detects gzip by itself");
+        spec.autoDetect = true;
+        return spec;
+    }
+    spec.autoDetect = false;
+    if (base == "tsh")
+        spec.format = TraceFormat::Tsh;
+    else if (base == "pcap")
+        spec.format = TraceFormat::Pcap;
+    else if (base == "pcapng")
+        spec.format = TraceFormat::Pcapng;
+    else
+        throw util::Error("unknown trace format: " + name);
+    return spec;
+}
+
+std::string
+traceFormatName(TraceFormat format, bool gzip)
+{
+    std::string name;
+    switch (format) {
+      case TraceFormat::Tsh:    name = "tsh"; break;
+      case TraceFormat::Pcap:   name = "pcap"; break;
+      case TraceFormat::Pcapng: name = "pcapng"; break;
+    }
+    if (gzip)
+        name += ".gz";
+    return name;
+}
+
+// ---- factories -----------------------------------------------------
+
+namespace {
+
+/**
+ * Peek the first @p n bytes of @p src without consuming them:
+ * zero-copy via contiguous() when available, otherwise read and
+ * re-wrap the source with the prefix replayed.
+ */
+std::vector<uint8_t>
+peekHead(std::unique_ptr<util::ByteSource> &src, size_t n)
+{
+    auto whole = src->contiguous();
+    if (!whole.empty()) {
+        size_t take = std::min(n, whole.size());
+        return {whole.begin(), whole.begin() + take};
+    }
+    std::vector<uint8_t> head(n);
+    size_t got = 0;
+    while (got < n) {
+        size_t r = src->read(head.data() + got, n - got);
+        if (r == 0)
+            break;
+        got += r;
+    }
+    head.resize(got);
+    src = std::make_unique<util::PrefixedByteSource>(head,
+                                                     std::move(src));
+    return head;
+}
+
+std::unique_ptr<TraceSource>
+makeSource(TraceFormat format,
+           std::unique_ptr<util::ByteSource> bytes)
+{
+    switch (format) {
+      case TraceFormat::Pcap:
+        return std::make_unique<PcapSource>(std::move(bytes));
+      case TraceFormat::Pcapng:
+        return std::make_unique<PcapngSource>(std::move(bytes));
+      case TraceFormat::Tsh:
+      default:
+        return std::make_unique<TshSource>(std::move(bytes));
+    }
+}
+
+} // namespace
+
+std::unique_ptr<TraceSource>
+openTraceSource(const std::string &path, const TraceFormatSpec &spec,
+                DetectedFormat *detected)
+{
+    auto bytes = util::openByteSource(path);
+    TraceFormat format = spec.format;
+    bool gzip = spec.gzip;
+
+    if (spec.autoDetect) {
+        auto head = peekHead(bytes, 16);
+        DetectedFormat outer = detectTraceFormat(head);
+        gzip = outer.gzip;
+        if (outer.gzip) {
+            bytes = std::make_unique<codec::deflate::GzipInflateSource>(
+                std::move(bytes));
+            auto inner = peekHead(bytes, 16);
+            DetectedFormat innerFormat = detectTraceFormat(inner);
+            util::require(!innerFormat.gzip,
+                          "gzip-in-gzip trace input unsupported");
+            format = innerFormat.format;
+        } else {
+            format = outer.format;
+        }
+    } else if (spec.gzip) {
+        bytes = std::make_unique<codec::deflate::GzipInflateSource>(
+            std::move(bytes));
+    }
+    if (detected != nullptr)
+        *detected = {format, gzip};
+    return makeSource(format, std::move(bytes));
+}
+
+std::unique_ptr<TraceSink>
+openTraceSink(const std::string &path, const TraceFormatSpec &spec)
+{
+    util::require(!spec.gzip,
+                  "gzip-compressed trace output is not supported");
+    TraceFormat format = spec.format;
+    if (spec.autoDetect) {
+        auto endsWith = [&path](const char *suffix) {
+            std::string s(suffix);
+            return path.size() >= s.size() &&
+                   path.compare(path.size() - s.size(), s.size(),
+                                s) == 0;
+        };
+        util::require(!endsWith(".gz"),
+                      "gzip-compressed trace output is not "
+                      "supported");
+        if (endsWith(".pcapng"))
+            format = TraceFormat::Pcapng;
+        else if (endsWith(".pcap"))
+            format = TraceFormat::Pcap;
+        else
+            format = TraceFormat::Tsh;
+    }
+
+    auto file = std::make_unique<util::FileByteSink>(path);
+    switch (format) {
+      case TraceFormat::Pcap:
+        return std::make_unique<PcapSink>(std::move(file));
+      case TraceFormat::Pcapng:
+        return std::make_unique<PcapngSink>(std::move(file));
+      case TraceFormat::Tsh:
+      default:
+        return std::make_unique<TshSink>(std::move(file));
+    }
+}
+
+} // namespace fcc::trace

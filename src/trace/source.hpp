@@ -1,0 +1,239 @@
+/**
+ * @file
+ * The streaming trace I/O subsystem: TraceSource (pull) and
+ * TraceSink (push) move packet headers in bounded batches, so no
+ * layer above them ever materializes a whole trace.
+ *
+ * Concrete sources/sinks exist per capture format — TSH here, pcap in
+ * pcap.hpp, pcapng in pcapng.hpp — all over the ByteSource/ByteSink
+ * layer from util/io.hpp (mmap with stdio fallback, plus the gzip
+ * decorator from codec/deflate/inflate_stream.hpp). openTraceSource()
+ * auto-detects the container from magic bytes, transparently
+ * unwrapping gzip; openTraceSink() picks the output format from the
+ * file extension. The FCC streaming codec (codec/fcc/stream.hpp)
+ * consumes and produces these interfaces, which makes every common
+ * capture format a first-class compression workload.
+ */
+
+#ifndef FCC_TRACE_SOURCE_HPP
+#define FCC_TRACE_SOURCE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "trace/tsh.hpp"
+#include "util/io.hpp"
+
+namespace fcc::trace {
+
+/**
+ * Pull interface over a stream of packet headers.
+ *
+ * read() fills a caller-provided batch and returns how many records
+ * were produced; 0 means end of stream. Implementations hold O(batch)
+ * state, never the whole trace.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Fill up to batch.size() records; 0 = end of stream. */
+    virtual size_t read(std::span<PacketRecord> batch) = 0;
+
+    /**
+     * Container-format bytes consumed so far (after any gzip layer —
+     * i.e. TSH/pcap/pcapng bytes, not compressed bytes).
+     */
+    virtual uint64_t bytesConsumed() const = 0;
+};
+
+/**
+ * Push interface accepting a stream of packet headers.
+ *
+ * close() finalizes the container and flushes; it is idempotent and
+ * must be called for the output to be complete.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Append a batch. @throws fcc::util::Error on I/O failure. */
+    virtual void write(std::span<const PacketRecord> batch) = 0;
+
+    /** Finalize the container. @throws fcc::util::Error */
+    virtual void close() = 0;
+
+    /** Container bytes produced so far. */
+    virtual uint64_t bytesWritten() const = 0;
+};
+
+// ---- TSH -----------------------------------------------------------
+
+/** Streaming reader of flat 44-byte TSH records. */
+class TshSource final : public TraceSource
+{
+  public:
+    explicit TshSource(std::unique_ptr<util::ByteSource> bytes)
+        : bytes_(std::move(bytes))
+    {}
+
+    size_t read(std::span<PacketRecord> batch) override;
+    uint64_t bytesConsumed() const override { return consumed_; }
+
+  private:
+    std::unique_ptr<util::ByteSource> bytes_;
+    std::vector<uint8_t> buf_;
+    uint64_t consumed_ = 0;
+};
+
+/** Streaming writer of flat 44-byte TSH records. */
+class TshSink final : public TraceSink
+{
+  public:
+    explicit TshSink(std::unique_ptr<util::ByteSink> out)
+        : out_(std::move(out))
+    {}
+
+    void write(std::span<const PacketRecord> batch) override;
+    void close() override { out_->close(); }
+    uint64_t bytesWritten() const override
+    {
+        return out_->bytesWritten();
+    }
+
+  private:
+    std::unique_ptr<util::ByteSink> out_;
+    std::vector<uint8_t> buf_;
+};
+
+// ---- in-memory adapters --------------------------------------------
+
+/** Reads an in-memory Trace as a TraceSource (tests, benches). */
+class MemoryTraceSource final : public TraceSource
+{
+  public:
+    /** @p trace must outlive the source. */
+    explicit MemoryTraceSource(const Trace &trace) : trace_(trace) {}
+
+    size_t read(std::span<PacketRecord> batch) override;
+
+    /** Logical size: what the packets occupy as flat TSH records. */
+    uint64_t bytesConsumed() const override
+    {
+        return pos_ * tshRecordBytes;
+    }
+
+  private:
+    const Trace &trace_;
+    size_t pos_ = 0;
+};
+
+/** Collects written packets into an in-memory Trace. */
+class CollectTraceSink final : public TraceSink
+{
+  public:
+    /** @p out must outlive the sink. */
+    explicit CollectTraceSink(Trace &out) : out_(out) {}
+
+    void write(std::span<const PacketRecord> batch) override
+    {
+        for (const auto &pkt : batch)
+            out_.add(pkt);
+    }
+    void close() override {}
+    uint64_t bytesWritten() const override
+    {
+        return out_.size() * tshRecordBytes;
+    }
+
+  private:
+    Trace &out_;
+};
+
+// ---- whole-stream helpers ------------------------------------------
+
+/** Drain @p src into an in-memory Trace. */
+Trace readAllPackets(TraceSource &src);
+
+/** Write every packet of @p trace to @p sink and close it. */
+void writeAllPackets(TraceSink &sink, const Trace &trace);
+
+// ---- format detection and factories --------------------------------
+
+/** On-disk container formats the subsystem can read and write. */
+enum class TraceFormat { Tsh, Pcap, Pcapng };
+
+/** Parsed --in-format / --out-format value. */
+struct TraceFormatSpec
+{
+    bool autoDetect = true;          ///< sniff magic bytes
+    TraceFormat format = TraceFormat::Tsh;  ///< when !autoDetect
+    bool gzip = false;               ///< gzip-wrapped container
+};
+
+/** What detectTraceFormat() found. */
+struct DetectedFormat
+{
+    TraceFormat format = TraceFormat::Tsh;
+    bool gzip = false;  ///< outermost layer was a gzip member
+};
+
+/**
+ * Identify a capture format from its first bytes (16 are enough for
+ * every case). gzip is reported from the outer magic only — the
+ * caller unwraps and re-detects the inner container.
+ *
+ * TSH has no magic number; it is accepted when the first record looks
+ * like a plausible TSH header (IPv4 version/IHL nibble, sub-second
+ * microsecond field). Anything else throws.
+ *
+ * @throws fcc::util::Error when no format matches (including inputs
+ *         shorter than one TSH record's sniffable prefix).
+ */
+DetectedFormat detectTraceFormat(std::span<const uint8_t> head);
+
+/**
+ * Parse a CLI format name: "auto", "tsh", "pcap", "pcapng", each
+ * optionally suffixed ".gz" (e.g. "pcapng.gz"); "auto" detects the
+ * gzip layer by itself. @throws fcc::util::Error on unknown names.
+ */
+TraceFormatSpec parseTraceFormatSpec(const std::string &name);
+
+/** Human-readable name of a detected format ("pcapng.gz" style). */
+std::string traceFormatName(TraceFormat format, bool gzip = false);
+
+/**
+ * Open @p path as a streaming TraceSource.
+ *
+ * With an auto spec (the default) the container and an optional gzip
+ * wrapper are detected from magic bytes; an explicit spec skips
+ * detection. The file is memory-mapped when possible, with a
+ * buffered-read fallback.
+ *
+ * @throws fcc::util::Error on I/O failure or undetectable format.
+ */
+std::unique_ptr<TraceSource>
+openTraceSource(const std::string &path,
+                const TraceFormatSpec &spec = {},
+                DetectedFormat *detected = nullptr);
+
+/**
+ * Open @p path as a streaming TraceSink. An auto spec picks the
+ * format from the extension (.pcap / .pcapng, else TSH). gzip output
+ * is not supported.
+ *
+ * @throws fcc::util::Error on I/O failure or a gzip output request.
+ */
+std::unique_ptr<TraceSink>
+openTraceSink(const std::string &path,
+              const TraceFormatSpec &spec = {});
+
+} // namespace fcc::trace
+
+#endif // FCC_TRACE_SOURCE_HPP

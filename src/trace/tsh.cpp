@@ -10,44 +10,10 @@
 #include <cstdio>
 #include <memory>
 
+#include "util/bytes.hpp"
 #include "util/error.hpp"
 
 namespace fcc::trace {
-
-namespace {
-
-void
-putU16be(std::vector<uint8_t> &out, uint16_t v)
-{
-    out.push_back(static_cast<uint8_t>(v >> 8));
-    out.push_back(static_cast<uint8_t>(v));
-}
-
-void
-putU32be(std::vector<uint8_t> &out, uint32_t v)
-{
-    out.push_back(static_cast<uint8_t>(v >> 24));
-    out.push_back(static_cast<uint8_t>(v >> 16));
-    out.push_back(static_cast<uint8_t>(v >> 8));
-    out.push_back(static_cast<uint8_t>(v));
-}
-
-uint16_t
-getU16be(const uint8_t *p)
-{
-    return static_cast<uint16_t>(p[0] << 8 | p[1]);
-}
-
-uint32_t
-getU32be(const uint8_t *p)
-{
-    return static_cast<uint32_t>(p[0]) << 24 |
-           static_cast<uint32_t>(p[1]) << 16 |
-           static_cast<uint32_t>(p[2]) << 8 |
-           static_cast<uint32_t>(p[3]);
-}
-
-} // namespace
 
 uint16_t
 ipChecksum(std::span<const uint8_t> data)
@@ -63,50 +29,89 @@ ipChecksum(std::span<const uint8_t> data)
     return static_cast<uint16_t>(~sum);
 }
 
+void
+encodeTshRecord(const PacketRecord &pkt, std::vector<uint8_t> &out)
+{
+    uint32_t sec = static_cast<uint32_t>(pkt.timestampNs /
+                                         1000000000ull);
+    uint32_t usec = static_cast<uint32_t>(
+        (pkt.timestampNs / 1000ull) % 1000000ull);
+
+    util::storeBe32(out, sec);
+    out.push_back(0);  // interface number
+    out.push_back(static_cast<uint8_t>(usec >> 16));
+    out.push_back(static_cast<uint8_t>(usec >> 8));
+    out.push_back(static_cast<uint8_t>(usec));
+
+    // IPv4 header (20 bytes), checksum back-patched.
+    size_t ipStart = out.size();
+    out.push_back(0x45);  // version 4, IHL 5
+    out.push_back(0);     // TOS
+    util::storeBe16(out, pkt.ipTotalLength());
+    util::storeBe16(out, pkt.ipId);
+    util::storeBe16(out, 0x4000);  // flags: don't-fragment
+    out.push_back(64);      // TTL
+    out.push_back(pkt.protocol);
+    util::storeBe16(out, 0);       // checksum placeholder
+    util::storeBe32(out, pkt.srcIp);
+    util::storeBe32(out, pkt.dstIp);
+    uint16_t csum = ipChecksum(
+        std::span<const uint8_t>(out.data() + ipStart, 20));
+    out[ipStart + 10] = static_cast<uint8_t>(csum >> 8);
+    out[ipStart + 11] = static_cast<uint8_t>(csum);
+
+    // First 16 bytes of the TCP header.
+    util::storeBe16(out, pkt.srcPort);
+    util::storeBe16(out, pkt.dstPort);
+    util::storeBe32(out, pkt.seq);
+    util::storeBe32(out, pkt.ack);
+    out.push_back(5 << 4);  // data offset 5 words
+    out.push_back(pkt.tcpFlags);
+    util::storeBe16(out, pkt.window);
+}
+
+PacketRecord
+decodeTshRecord(const uint8_t *rec)
+{
+    PacketRecord pkt;
+
+    uint32_t sec = util::loadBe32(rec);
+    uint32_t usec = static_cast<uint32_t>(rec[5]) << 16 |
+                    static_cast<uint32_t>(rec[6]) << 8 | rec[7];
+    util::require(usec < 1000000, "readTsh: microseconds >= 1e6");
+    pkt.timestampNs = static_cast<uint64_t>(sec) * 1000000000ull +
+                      static_cast<uint64_t>(usec) * 1000ull;
+
+    const uint8_t *ip = rec + 8;
+    util::require((ip[0] >> 4) == 4, "readTsh: not IPv4");
+    util::require((ip[0] & 0x0f) == 5,
+                  "readTsh: IP options unsupported");
+    uint16_t totalLen = util::loadBe16(ip + 2);
+    util::require(totalLen >= 40,
+                  "readTsh: IP total length below header size");
+    pkt.payloadBytes = static_cast<uint16_t>(totalLen - 40);
+    pkt.ipId = util::loadBe16(ip + 4);
+    pkt.protocol = ip[9];
+    pkt.srcIp = util::loadBe32(ip + 12);
+    pkt.dstIp = util::loadBe32(ip + 16);
+
+    const uint8_t *tcp = rec + 28;
+    pkt.srcPort = util::loadBe16(tcp);
+    pkt.dstPort = util::loadBe16(tcp + 2);
+    pkt.seq = util::loadBe32(tcp + 4);
+    pkt.ack = util::loadBe32(tcp + 8);
+    pkt.tcpFlags = tcp[13];
+    pkt.window = util::loadBe16(tcp + 14);
+    return pkt;
+}
+
 std::vector<uint8_t>
 writeTsh(const Trace &trace)
 {
     std::vector<uint8_t> out;
     out.reserve(trace.size() * tshRecordBytes);
-
-    for (const auto &pkt : trace) {
-        uint32_t sec = static_cast<uint32_t>(pkt.timestampNs /
-                                             1000000000ull);
-        uint32_t usec = static_cast<uint32_t>(
-            (pkt.timestampNs / 1000ull) % 1000000ull);
-
-        putU32be(out, sec);
-        out.push_back(0);  // interface number
-        out.push_back(static_cast<uint8_t>(usec >> 16));
-        out.push_back(static_cast<uint8_t>(usec >> 8));
-        out.push_back(static_cast<uint8_t>(usec));
-
-        // IPv4 header (20 bytes), checksum back-patched.
-        size_t ipStart = out.size();
-        out.push_back(0x45);  // version 4, IHL 5
-        out.push_back(0);     // TOS
-        putU16be(out, pkt.ipTotalLength());
-        putU16be(out, pkt.ipId);
-        putU16be(out, 0x4000);  // flags: don't-fragment
-        out.push_back(64);      // TTL
-        out.push_back(pkt.protocol);
-        putU16be(out, 0);       // checksum placeholder
-        putU32be(out, pkt.srcIp);
-        putU32be(out, pkt.dstIp);
-        uint16_t csum = ipChecksum(
-            std::span<const uint8_t>(out.data() + ipStart, 20));
-        out[ipStart + 10] = static_cast<uint8_t>(csum >> 8);
-        out[ipStart + 11] = static_cast<uint8_t>(csum);
-
-        // First 16 bytes of the TCP header.
-        putU16be(out, pkt.srcPort);
-        putU16be(out, pkt.dstPort);
-        putU32be(out, pkt.seq);
-        putU32be(out, pkt.ack);
-        out.push_back(5 << 4);  // data offset 5 words
-        out.push_back(pkt.tcpFlags);
-        putU16be(out, pkt.window);
-    }
+    for (const auto &pkt : trace)
+        encodeTshRecord(pkt, out);
     return out;
 }
 
@@ -116,40 +121,8 @@ readTsh(std::span<const uint8_t> data)
     util::require(data.size() % tshRecordBytes == 0,
                   "readTsh: size is not a multiple of 44 bytes");
     Trace trace;
-    for (size_t off = 0; off < data.size(); off += tshRecordBytes) {
-        const uint8_t *rec = data.data() + off;
-        PacketRecord pkt;
-
-        uint32_t sec = getU32be(rec);
-        uint32_t usec = static_cast<uint32_t>(rec[5]) << 16 |
-                        static_cast<uint32_t>(rec[6]) << 8 | rec[7];
-        util::require(usec < 1000000, "readTsh: microseconds >= 1e6");
-        pkt.timestampNs = static_cast<uint64_t>(sec) * 1000000000ull +
-                          static_cast<uint64_t>(usec) * 1000ull;
-
-        const uint8_t *ip = rec + 8;
-        util::require((ip[0] >> 4) == 4, "readTsh: not IPv4");
-        util::require((ip[0] & 0x0f) == 5,
-                      "readTsh: IP options unsupported");
-        uint16_t totalLen = getU16be(ip + 2);
-        util::require(totalLen >= 40,
-                      "readTsh: IP total length below header size");
-        pkt.payloadBytes = static_cast<uint16_t>(totalLen - 40);
-        pkt.ipId = getU16be(ip + 4);
-        pkt.protocol = ip[9];
-        pkt.srcIp = getU32be(ip + 12);
-        pkt.dstIp = getU32be(ip + 16);
-
-        const uint8_t *tcp = rec + 28;
-        pkt.srcPort = getU16be(tcp);
-        pkt.dstPort = getU16be(tcp + 2);
-        pkt.seq = getU32be(tcp + 4);
-        pkt.ack = getU32be(tcp + 8);
-        pkt.tcpFlags = tcp[13];
-        pkt.window = getU16be(tcp + 14);
-
-        trace.add(pkt);
-    }
+    for (size_t off = 0; off < data.size(); off += tshRecordBytes)
+        trace.add(decodeTshRecord(data.data() + off));
     return trace;
 }
 

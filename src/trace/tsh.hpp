@@ -32,6 +32,18 @@ namespace fcc::trace {
 constexpr size_t tshRecordBytes = 44;
 
 /**
+ * Append one 44-byte TSH record for @p pkt to @p out — the unit the
+ * streaming TshSink and the whole-trace writeTsh() share.
+ */
+void encodeTshRecord(const PacketRecord &pkt, std::vector<uint8_t> &out);
+
+/**
+ * Decode one 44-byte TSH record. @p rec must hold at least
+ * tshRecordBytes. @throws fcc::util::Error on a malformed record.
+ */
+PacketRecord decodeTshRecord(const uint8_t *rec);
+
+/**
  * Serialize a trace to TSH bytes.
  *
  * The IPv4 header checksum is computed; timestamps are truncated to

@@ -19,6 +19,85 @@
 
 namespace fcc::util {
 
+// Unaligned scalar load/store and byte-swap primitives shared by
+// the trace-format parsers (TSH and pcap are big-endian on the
+// wire, pcap/pcapng may be either order per file/section).
+
+inline uint16_t
+loadBe16(const uint8_t *p)
+{
+    return static_cast<uint16_t>(p[0] << 8 | p[1]);
+}
+
+inline uint32_t
+loadBe32(const uint8_t *p)
+{
+    return static_cast<uint32_t>(p[0]) << 24 |
+           static_cast<uint32_t>(p[1]) << 16 |
+           static_cast<uint32_t>(p[2]) << 8 |
+           static_cast<uint32_t>(p[3]);
+}
+
+inline uint16_t
+loadLe16(const uint8_t *p)
+{
+    return static_cast<uint16_t>(p[0] | p[1] << 8);
+}
+
+inline uint32_t
+loadLe32(const uint8_t *p)
+{
+    return static_cast<uint32_t>(p[0]) |
+           static_cast<uint32_t>(p[1]) << 8 |
+           static_cast<uint32_t>(p[2]) << 16 |
+           static_cast<uint32_t>(p[3]) << 24;
+}
+
+inline void
+storeBe16(std::vector<uint8_t> &out, uint16_t v)
+{
+    out.push_back(static_cast<uint8_t>(v >> 8));
+    out.push_back(static_cast<uint8_t>(v));
+}
+
+inline void
+storeBe32(std::vector<uint8_t> &out, uint32_t v)
+{
+    out.push_back(static_cast<uint8_t>(v >> 24));
+    out.push_back(static_cast<uint8_t>(v >> 16));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+    out.push_back(static_cast<uint8_t>(v));
+}
+
+inline void
+storeLe16(std::vector<uint8_t> &out, uint16_t v)
+{
+    out.push_back(static_cast<uint8_t>(v));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+inline void
+storeLe32(std::vector<uint8_t> &out, uint32_t v)
+{
+    out.push_back(static_cast<uint8_t>(v));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+    out.push_back(static_cast<uint8_t>(v >> 16));
+    out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+inline uint16_t
+byteSwap16(uint16_t v)
+{
+    return static_cast<uint16_t>((v >> 8) | (v << 8));
+}
+
+inline uint32_t
+byteSwap32(uint32_t v)
+{
+    return (v >> 24) | ((v >> 8) & 0xff00u) |
+           ((v << 8) & 0xff0000u) | (v << 24);
+}
+
 /** Growable little-endian binary output buffer. */
 class ByteWriter
 {

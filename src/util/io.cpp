@@ -1,0 +1,244 @@
+/**
+ * @file
+ * ByteSource implementations: buffered stdio reads, mmap with
+ * sequential-access advice and consumed-prefix release, memory and
+ * generator adapters, and the mmap-or-stdio factory.
+ */
+
+#include "util/io.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define FCC_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define FCC_HAVE_MMAP 0
+#endif
+
+namespace fcc::util {
+
+size_t
+readFully(ByteSource &src, uint8_t *out, size_t len, const char *what)
+{
+    size_t total = 0;
+    while (total < len) {
+        size_t n = src.read(out + total, len - total);
+        if (n == 0) {
+            require(total == 0, what);
+            return 0;
+        }
+        total += n;
+    }
+    return total;
+}
+
+// ---- BufferByteSource ----------------------------------------------
+
+size_t
+BufferByteSource::read(uint8_t *out, size_t maxLen)
+{
+    size_t n = std::min(maxLen, view_.size() - pos_);
+    if (n == 0)
+        return 0;  // empty views may have a null data()
+    std::memcpy(out, view_.data() + pos_, n);
+    pos_ += n;
+    return n;
+}
+
+// ---- FileByteSource ------------------------------------------------
+
+FileByteSource::FileByteSource(const std::string &path)
+    : file_(std::fopen(path.c_str(), "rb"))
+{
+    require(file_ != nullptr, "cannot open file: " + path);
+}
+
+size_t
+FileByteSource::read(uint8_t *out, size_t maxLen)
+{
+    size_t n = std::fread(out, 1, maxLen, file_.get());
+    require(n > 0 || !std::ferror(file_.get()),
+            "file read error");
+    return n;
+}
+
+// ---- MmapByteSource ------------------------------------------------
+
+bool
+MmapByteSource::supported()
+{
+    return FCC_HAVE_MMAP != 0;
+}
+
+#if FCC_HAVE_MMAP
+
+namespace {
+/** Release granularity: how much consumed data to keep resident. */
+constexpr size_t releaseChunk = 64u << 20;
+} // namespace
+
+MmapByteSource::MmapByteSource(const std::string &path)
+{
+    int fd = ::open(path.c_str(), O_RDONLY);
+    require(fd >= 0, "cannot open file: " + path);
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        throw Error("cannot stat file: " + path);
+    }
+    size_ = static_cast<size_t>(st.st_size);
+    if (size_ > 0) {
+        map_ = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+        if (map_ == MAP_FAILED) {
+            ::close(fd);
+            throw Error("cannot mmap file: " + path);
+        }
+        ::madvise(map_, size_, MADV_SEQUENTIAL);
+    }
+    ::close(fd);
+}
+
+MmapByteSource::~MmapByteSource()
+{
+    if (map_ != nullptr)
+        ::munmap(map_, size_);
+}
+
+size_t
+MmapByteSource::read(uint8_t *out, size_t maxLen)
+{
+    size_t n = std::min(maxLen, size_ - pos_);
+    if (n == 0)
+        return 0;  // zero-byte files never map (map_ is null)
+    std::memcpy(out, static_cast<const uint8_t *>(map_) + pos_, n);
+    pos_ += n;
+
+    // Drop fully consumed pages so RSS stays bounded on huge files.
+    if (pos_ - released_ >= 2 * releaseChunk) {
+        size_t upTo = (pos_ - releaseChunk) & ~(releaseChunk - 1);
+        if (upTo > released_) {
+            ::madvise(static_cast<uint8_t *>(map_) + released_,
+                      upTo - released_, MADV_DONTNEED);
+            released_ = upTo;
+        }
+    }
+    return n;
+}
+
+std::span<const uint8_t>
+MmapByteSource::contiguous() const
+{
+    return {static_cast<const uint8_t *>(map_) + pos_, size_ - pos_};
+}
+
+#else // !FCC_HAVE_MMAP
+
+MmapByteSource::MmapByteSource(const std::string &path)
+{
+    (void)path;
+    throw Error("mmap is not supported on this platform");
+}
+
+MmapByteSource::~MmapByteSource() = default;
+
+size_t
+MmapByteSource::read(uint8_t *, size_t)
+{
+    return 0;
+}
+
+std::span<const uint8_t>
+MmapByteSource::contiguous() const
+{
+    return {};
+}
+
+#endif // FCC_HAVE_MMAP
+
+// ---- GeneratorByteSource -------------------------------------------
+
+size_t
+GeneratorByteSource::read(uint8_t *out, size_t maxLen)
+{
+    if (done_ || maxLen == 0)
+        return 0;
+    size_t n = gen_(out, maxLen);
+    if (n == 0)
+        done_ = true;
+    return n;
+}
+
+// ---- PrefixedByteSource --------------------------------------------
+
+size_t
+PrefixedByteSource::read(uint8_t *out, size_t maxLen)
+{
+    if (pos_ < prefix_.size()) {
+        size_t n = std::min(maxLen, prefix_.size() - pos_);
+        std::memcpy(out, prefix_.data() + pos_, n);
+        pos_ += n;
+        return n;
+    }
+    return rest_ ? rest_->read(out, maxLen) : 0;
+}
+
+// ---- FileByteSink --------------------------------------------------
+
+FileByteSink::FileByteSink(const std::string &path)
+    : file_(std::fopen(path.c_str(), "wb"))
+{
+    require(file_ != nullptr, "cannot open output file: " + path);
+}
+
+FileByteSink::~FileByteSink()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);  // best effort; close() reports errors
+}
+
+void
+FileByteSink::write(std::span<const uint8_t> data)
+{
+    require(file_ != nullptr, "write to closed sink");
+    if (data.empty())
+        return;
+    size_t n = std::fwrite(data.data(), 1, data.size(), file_);
+    require(n == data.size(), "short write");
+    written_ += n;
+}
+
+void
+FileByteSink::close()
+{
+    if (file_ == nullptr)
+        return;
+    int rc = std::fflush(file_);
+    rc |= std::fclose(file_);
+    file_ = nullptr;
+    require(rc == 0, "error closing output file");
+}
+
+// ---- factory -------------------------------------------------------
+
+std::unique_ptr<ByteSource>
+openByteSource(const std::string &path, bool preferMmap)
+{
+    if (preferMmap && MmapByteSource::supported()) {
+        try {
+            return std::make_unique<MmapByteSource>(path);
+        } catch (const Error &) {
+            // Fall through: special files (pipes, /proc) reject mmap
+            // but read fine through stdio.
+        }
+    }
+    return std::make_unique<FileByteSource>(path);
+}
+
+} // namespace fcc::util

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Pull-style byte streams — the bottom layer of the streaming trace
+ * I/O subsystem.
+ *
+ * A ByteSource yields bytes in caller-sized chunks so record parsers
+ * above it (TSH, pcap, pcapng) never materialize a whole file. The
+ * concrete sources are a memory-mapped file reader (with madvise-based
+ * residency trimming so multi-GB inputs stay at a bounded RSS), a
+ * buffered stdio fallback, an in-memory span, and a generator adapter
+ * used to synthesize arbitrarily large test inputs. openByteSource()
+ * picks mmap when the platform supports it and silently falls back to
+ * stdio otherwise.
+ */
+
+#ifndef FCC_UTIL_IO_HPP
+#define FCC_UTIL_IO_HPP
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fcc::util {
+
+/**
+ * Pull interface for a finite byte stream.
+ *
+ * read() fills up to @p maxLen bytes and returns how many were
+ * produced; 0 means end of stream (and every later call returns 0).
+ * Short reads before the end are allowed — callers that need exact
+ * counts should loop (see readFully()).
+ */
+class ByteSource
+{
+  public:
+    virtual ~ByteSource() = default;
+
+    /** Produce up to @p maxLen bytes into @p out ; 0 = end. */
+    virtual size_t read(uint8_t *out, size_t maxLen) = 0;
+
+    /**
+     * Whole remaining content as one contiguous span, when the
+     * implementation holds it anyway (memory buffer, mmap). Empty
+     * span = not available; callers must then stream via read().
+     * The span is invalidated by read() and by destruction.
+     */
+    virtual std::span<const uint8_t> contiguous() const { return {}; }
+};
+
+/**
+ * Fill exactly @p len bytes from @p src unless the stream ends first.
+ *
+ * @returns the number of bytes read: @p len normally, 0 on a clean
+ *          end-of-stream at a read boundary.
+ * @throws fcc::util::Error tagged with @p what when the stream ends
+ *         mid-way (a truncated record).
+ */
+size_t readFully(ByteSource &src, uint8_t *out, size_t len,
+                 const char *what);
+
+/** Non-owning (or owning, via the vector overload) memory source. */
+class BufferByteSource : public ByteSource
+{
+  public:
+    /** View @p data ; the memory must outlive the source. */
+    explicit BufferByteSource(std::span<const uint8_t> data)
+        : view_(data)
+    {}
+
+    /** Take ownership of @p data. */
+    explicit BufferByteSource(std::vector<uint8_t> data)
+        : owned_(std::move(data)),
+          view_(owned_.data(), owned_.size())
+    {}
+
+    size_t read(uint8_t *out, size_t maxLen) override;
+
+    std::span<const uint8_t> contiguous() const override
+    {
+        return view_.subspan(pos_);
+    }
+
+  private:
+    std::vector<uint8_t> owned_;
+    std::span<const uint8_t> view_;
+    size_t pos_ = 0;
+};
+
+/** Buffered stdio file source — the portable fallback. */
+class FileByteSource : public ByteSource
+{
+  public:
+    /** @throws fcc::util::Error when the file cannot be opened. */
+    explicit FileByteSource(const std::string &path);
+
+    size_t read(uint8_t *out, size_t maxLen) override;
+
+  private:
+    struct Closer
+    {
+        void operator()(std::FILE *f) const
+        {
+            if (f)
+                std::fclose(f);
+        }
+    };
+    std::unique_ptr<std::FILE, Closer> file_;
+};
+
+/**
+ * Memory-mapped file source.
+ *
+ * The mapping is advised for sequential access, and the consumed
+ * prefix is released (MADV_DONTNEED) every ~64 MiB so reading a
+ * multi-GB trace keeps resident memory bounded instead of paging the
+ * whole file in. contiguous() exposes the remaining mapping, which
+ * lets zero-copy consumers (the gzip decorator, whole-buffer parsers)
+ * skip the memcpy.
+ */
+class MmapByteSource : public ByteSource
+{
+  public:
+    /** True when this platform supports mmap at all. */
+    static bool supported();
+
+    /** @throws fcc::util::Error when the file cannot be mapped. */
+    explicit MmapByteSource(const std::string &path);
+    ~MmapByteSource() override;
+
+    MmapByteSource(const MmapByteSource &) = delete;
+    MmapByteSource &operator=(const MmapByteSource &) = delete;
+
+    size_t read(uint8_t *out, size_t maxLen) override;
+
+    std::span<const uint8_t> contiguous() const override;
+
+  private:
+    void *map_ = nullptr;
+    size_t size_ = 0;
+    size_t pos_ = 0;
+    size_t released_ = 0;  ///< bytes already MADV_DONTNEED'd
+};
+
+/**
+ * Adapter that pulls bytes from a callback — used to synthesize
+ * arbitrarily large logical streams (bounded-memory tests, load
+ * generators) without touching the disk. The callback fills up to
+ * maxLen bytes and returns the count; 0 ends the stream.
+ */
+class GeneratorByteSource : public ByteSource
+{
+  public:
+    using Generator = std::function<size_t(uint8_t *out, size_t maxLen)>;
+
+    explicit GeneratorByteSource(Generator gen) : gen_(std::move(gen)) {}
+
+    size_t read(uint8_t *out, size_t maxLen) override;
+
+  private:
+    Generator gen_;
+    bool done_ = false;
+};
+
+/**
+ * Replays an already-read prefix (format sniffing) before delegating
+ * to the underlying source for the rest of the stream.
+ */
+class PrefixedByteSource : public ByteSource
+{
+  public:
+    PrefixedByteSource(std::vector<uint8_t> prefix,
+                       std::unique_ptr<ByteSource> rest)
+        : prefix_(std::move(prefix)), rest_(std::move(rest))
+    {}
+
+    size_t read(uint8_t *out, size_t maxLen) override;
+
+  private:
+    std::vector<uint8_t> prefix_;
+    size_t pos_ = 0;
+    std::unique_ptr<ByteSource> rest_;
+};
+
+/**
+ * Push interface for a finite byte stream — the write-side twin of
+ * ByteSource. close() finalizes the stream (flush, error check) and
+ * is idempotent; destruction without close() is best-effort.
+ */
+class ByteSink
+{
+  public:
+    virtual ~ByteSink() = default;
+
+    /** Append @p data. @throws fcc::util::Error on I/O failure. */
+    virtual void write(std::span<const uint8_t> data) = 0;
+
+    /** Flush and finalize. @throws fcc::util::Error on I/O failure. */
+    virtual void close() = 0;
+
+    /** Total bytes accepted so far. */
+    virtual uint64_t bytesWritten() const = 0;
+};
+
+/** Buffered stdio file sink. */
+class FileByteSink : public ByteSink
+{
+  public:
+    /** @throws fcc::util::Error when the file cannot be opened. */
+    explicit FileByteSink(const std::string &path);
+    ~FileByteSink() override;
+
+    void write(std::span<const uint8_t> data) override;
+    void close() override;
+    uint64_t bytesWritten() const override { return written_; }
+
+  private:
+    std::FILE *file_ = nullptr;
+    uint64_t written_ = 0;
+};
+
+/** Sink that accumulates into an in-memory vector. */
+class VectorByteSink : public ByteSink
+{
+  public:
+    void write(std::span<const uint8_t> data) override
+    {
+        buf_.insert(buf_.end(), data.begin(), data.end());
+    }
+    void close() override {}
+    uint64_t bytesWritten() const override { return buf_.size(); }
+
+    /** Move the accumulated bytes out. */
+    std::vector<uint8_t> take() { return std::move(buf_); }
+
+  private:
+    std::vector<uint8_t> buf_;
+};
+
+/**
+ * Open @p path for streaming reads: memory-mapped when the platform
+ * allows (and @p preferMmap is set), buffered stdio otherwise.
+ *
+ * @throws fcc::util::Error when the file cannot be opened.
+ */
+std::unique_ptr<ByteSource>
+openByteSource(const std::string &path, bool preferMmap = true);
+
+} // namespace fcc::util
+
+#endif // FCC_UTIL_IO_HPP
