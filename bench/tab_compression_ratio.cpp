@@ -3,9 +3,17 @@
  * E2 — the §5 compression-ratio table: measured ratio of every
  * method against its analytical model (equations 5-8) evaluated on
  * the workload's own flow-length distribution.
+ *
+ * With --json the binary also emits compression *factors*
+ * (uncompressed/compressed, higher = better) for the FCC containers
+ * on the deterministic seed-2005 workload; the CI ratio-regression
+ * gate compares them against bench/ratio_baseline.json so a codec
+ * change cannot silently lose ratio (see scripts/perf_check.py).
  */
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench_common.hpp"
 
@@ -13,8 +21,14 @@
 #include "experiments/experiments.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string jsonPath;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            jsonPath = argv[++i];
+    fcc::bench::JsonMetrics metrics;
+
     fcc::trace::WebGenConfig cfg;
     cfg.seed = 2005;
     cfg.durationSec = 40.0;
@@ -44,15 +58,38 @@ main()
     // Extension: hybrid mode deflates the serialized datasets.
     fcc::trace::WebTrafficGenerator gen(cfg);
     auto trace = gen.generate();
+    double tshBytes = static_cast<double>(trace.size() * 44);
     {
         fcc::codec::fcc::FccConfig hybridCfg;
         hybridCfg.deflateDatasets = true;
         fcc::codec::fcc::FccTraceCompressor hybrid(hybridCfg);
         double ratio =
             static_cast<double>(hybrid.compress(trace).size()) /
-            static_cast<double>(trace.size() * 44);
+            tshBytes;
         std::printf("%-10s %11.2f%% %12s %10s\n", "fcc+deflate",
                     100.0 * ratio, "-", "(ours)");
+    }
+
+    // Extension: the columnar FCC3 container, per-column codecs +
+    // deflate backend.
+    {
+        fcc::codec::fcc::FccConfig cfg3;
+        cfg3.container = fcc::codec::fcc::ContainerFormat::Fcc3;
+        fcc::codec::fcc::FccTraceCompressor fcc3(cfg3);
+        size_t bytes = fcc3.compress(trace).size();
+        double ratio = static_cast<double>(bytes) / tshBytes;
+        std::printf("%-10s %11.2f%% %12s %10s\n", "fcc3",
+                    100.0 * ratio, "-", "(ours)");
+        metrics.add("fcc3_deflate_ratio_factor",
+                    tshBytes / static_cast<double>(bytes));
+    }
+
+    // The FCC2 baseline factor the CI ratio gate tracks.
+    {
+        fcc::codec::fcc::FccTraceCompressor fcc2;
+        size_t bytes = fcc2.compress(trace).size();
+        metrics.add("fcc_ratio_factor",
+                    tshBytes / static_cast<double>(bytes));
     }
 
     // Dataset-level accounting of the proposed method (§5: "8 bytes
@@ -90,5 +127,14 @@ main()
                     stats.shortTemplatesCreated),
                 static_cast<unsigned long long>(stats.shortFlows),
                 100.0 * stats.hitRate());
+
+    if (!jsonPath.empty()) {
+        if (!metrics.writeTo(jsonPath)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         jsonPath.c_str());
+            return 1;
+        }
+        std::printf("# metrics written to %s\n", jsonPath.c_str());
+    }
     return 0;
 }

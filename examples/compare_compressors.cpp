@@ -4,13 +4,17 @@
  * study as a command-line tool.
  *
  * Usage:
- *   ./build/examples/compare_compressors [--threads N]  (synthetic)
- *   ./build/examples/compare_compressors capture.file   (any format)
+ *   ./build/examples/compare_compressors [--threads N]
+ *       [--container fcc1|fcc2|fcc3] [--backend store|deflate|range]
+ *       [capture.file]
  *
  * The input format (TSH, pcap, pcapng, each optionally gzip'd) is
  * auto-detected from magic bytes via the trace I/O subsystem;
  * --threads sets the FCC pipeline's worker count (0 = all cores,
  * the default — the compressed bytes are identical either way).
+ * --container/--backend pick the FCC wire container for the "fcc"
+ * row; independent of that, extra rows report the columnar FCC3
+ * container under every entropy backend, next to the FCC2 baseline.
  */
 
 #include <cstdio>
@@ -68,10 +72,32 @@ main(int argc, char **argv)
             }
             fccCfg.threads = static_cast<uint32_t>(threads);
             arg += 2;
+        } else if (std::strcmp(argv[arg], "--container") == 0 &&
+                   arg + 1 < argc) {
+            try {
+                fccCfg.container =
+                    codec::fcc::parseContainerName(argv[arg + 1]);
+            } catch (const util::Error &error) {
+                std::fprintf(stderr, "error: %s\n", error.what());
+                return 2;
+            }
+            arg += 2;
+        } else if (std::strcmp(argv[arg], "--backend") == 0 &&
+                   arg + 1 < argc) {
+            try {
+                fccCfg.backend =
+                    codec::backend::parseBackendName(argv[arg + 1]);
+            } catch (const util::Error &error) {
+                std::fprintf(stderr, "error: %s\n", error.what());
+                return 2;
+            }
+            arg += 2;
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--threads N] [trace.pcap|"
-                         "trace.tsh]\n",
+                         "usage: %s [--threads N] "
+                         "[--container fcc1|fcc2|fcc3] "
+                         "[--backend store|deflate|range] "
+                         "[trace.pcap|trace.tsh]\n",
                          argv[0]);
             return 2;
         }
@@ -93,7 +119,7 @@ main(int argc, char **argv)
                                     trace::tshRecordBytes) /
                     1e6);
 
-    std::printf("%-10s %14s %9s %9s %s\n", "method", "bytes",
+    std::printf("%-12s %14s %9s %9s %s\n", "method", "bytes",
                 "ratio", "lossless", "notes");
     for (const auto &codec : codec::makeAllCodecs(fccCfg)) {
         auto report = codec::measure(*codec, input);
@@ -106,12 +132,35 @@ main(int argc, char **argv)
             note = "flow table + per-packet records";
         else if (report.codec == "fcc")
             note = "flow clustering (this paper)";
-        std::printf("%-10s %14llu %8.2f%% %9s %s\n",
+        std::printf("%-12s %14llu %8.2f%% %9s %s\n",
                     report.codec.c_str(),
                     static_cast<unsigned long long>(
                         report.compressedBytes),
                     100.0 * report.ratio(),
                     codec->lossless() ? "yes" : "no", note);
+    }
+
+    // The columnar container under each entropy backend, against
+    // the same denominator as the rows above.
+    const codec::backend::EntropyBackend backends[] = {
+        codec::backend::EntropyBackend::Store,
+        codec::backend::EntropyBackend::Deflate,
+        codec::backend::EntropyBackend::Range,
+    };
+    for (auto backend : backends) {
+        codec::fcc::FccConfig cfg = fccCfg;
+        cfg.container = codec::fcc::ContainerFormat::Fcc3;
+        cfg.backend = backend;
+        codec::fcc::FccTraceCompressor fcc3(cfg);
+        auto report = codec::measure(fcc3, input);
+        std::string name =
+            std::string("fcc3+") + codec::backend::backendName(
+                                       backend);
+        std::printf("%-12s %14llu %8.2f%% %9s %s\n", name.c_str(),
+                    static_cast<unsigned long long>(
+                        report.compressedBytes),
+                    100.0 * report.ratio(), "no",
+                    "columnar container, per-column codecs");
     }
     return 0;
 }

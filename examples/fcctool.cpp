@@ -17,9 +17,19 @@
  *   --threshold <pct>    similarity threshold (default 2.0, eq. 4)
  *   --cutoff <n>         short/long split (default 50)
  *   --threads <n>        pipeline workers (0 = all cores, default)
+ *   --container <fmt>    fcc1|fcc2|fcc3 (default fcc3, the columnar
+ *                        container; decompression auto-detects)
+ *   --backend <name>     store|deflate|range — FCC3 per-column
+ *                        entropy backend (default deflate)
  *   --in-format <fmt>    auto|tsh|pcap|pcapng[.gz]  (default auto)
  *   --out-format <fmt>   auto|tsh|pcap|pcapng       (default auto:
  *                        decompress/convert pick by extension)
+ *
+ * `info` on an .fcc file prints the container version; for FCC3 it
+ * adds the per-column table (field codec, entropy backend, encoded
+ * and stored bytes) and the per-dataset *compressed* sizes — where
+ * the file's bytes actually go, not the pre-backend serialized
+ * sizes.
  */
 
 #include <cstdio>
@@ -29,7 +39,9 @@
 #include <string>
 #include <vector>
 
+#include "codec/deflate/deflate.hpp"
 #include "codec/fcc/datasets.hpp"
+#include "codec/fcc/fcc_codec.hpp"
 #include "codec/fcc/stream.hpp"
 #include "flow/flow_stats.hpp"
 #include "flow/flow_table.hpp"
@@ -46,6 +58,8 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s [--threshold PCT] [--cutoff N] [--threads N]\n"
+        "          [--container fcc1|fcc2|fcc3] "
+        "[--backend store|deflate|range]\n"
         "          [--in-format auto|tsh|pcap|pcapng[.gz]]\n"
         "          [--out-format auto|tsh|pcap|pcapng] "
         "<command> ...\n"
@@ -73,7 +87,22 @@ isFccFile(const std::string &path)
     char head[4] = {};
     in.read(head, sizeof(head));
     return in.gcount() == 4 && head[0] == 'F' && head[1] == 'C' &&
-           head[2] == 'C' && (head[3] == '1' || head[3] == '2');
+           head[2] == 'C' && head[3] >= '1' && head[3] <= '3';
+}
+
+/**
+ * True when @p path starts like a zlib stream (CMF 0x78) — possibly
+ * the hybrid whole-blob-deflated FCC container, but 0x78 is only a
+ * guess ('x', or a TSH timestamp from 2033), so callers must be
+ * ready to fall back.
+ */
+bool
+isZlibStart(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    char head[1] = {};
+    in.read(head, sizeof(head));
+    return in.gcount() == 1 && head[0] == 0x78;
 }
 
 void
@@ -110,13 +139,23 @@ infoFcc(const std::string &path)
     std::vector<uint8_t> bytes(
         (std::istreambuf_iterator<char>(in)),
         std::istreambuf_iterator<char>());
-    auto d = codec::fcc::deserialize(bytes);
-    std::printf("FCC compressed trace (%zu bytes)\n", bytes.size());
-    if (d.chunkSizes.empty())
-        std::printf("container:        FCC1 (single stream)\n");
-    else
+    size_t fileBytes = bytes.size();
+    bool hybrid = !bytes.empty() && bytes[0] == 0x78;
+    if (hybrid)
+        bytes = codec::deflate::zlibDecompress(bytes);
+
+    codec::fcc::ContainerStat stat;
+    auto d = codec::fcc::deserialize(bytes, nullptr, &stat);
+    std::printf("FCC compressed trace (%zu bytes%s)\n", fileBytes,
+                hybrid ? ", whole-blob deflate" : "");
+    if (stat.version == 3)
+        std::printf("container:        FCC3 columnar (%zu chunks)\n",
+                    d.chunkSizes.size());
+    else if (stat.version == 2)
         std::printf("container:        FCC2 (%zu chunks)\n",
                     d.chunkSizes.size());
+    else
+        std::printf("container:        FCC1 (single stream)\n");
     std::printf("weights:          {%u, %u, %u}\n", d.weights.w1,
                 d.weights.w2, d.weights.w3);
     std::printf("flows (time-seq): %zu\n", d.timeSeq.size());
@@ -130,6 +169,47 @@ infoFcc(const std::string &path)
             : d.shortTemplates[rec.templateIndex].size();
     std::printf("packets encoded:  %llu\n",
                 static_cast<unsigned long long>(packets));
+
+    // Where the container's bytes actually go. For FCC3 these are
+    // the post-backend (compressed) sizes; for FCC1/FCC2 the stream
+    // is its own serialization, optionally deflated as one blob.
+    std::printf("\n%-22s %10s\n", "dataset",
+                stat.version == 3 ? "stored B" : "bytes");
+    std::printf("%-22s %10llu\n", "short-flows-template",
+                static_cast<unsigned long long>(
+                    stat.sizes.shortTemplateBytes));
+    std::printf("%-22s %10llu\n", "long-flows-template",
+                static_cast<unsigned long long>(
+                    stat.sizes.longTemplateBytes));
+    std::printf("%-22s %10llu\n", "address",
+                static_cast<unsigned long long>(
+                    stat.sizes.addressBytes));
+    std::printf("%-22s %10llu\n", "time-seq",
+                static_cast<unsigned long long>(
+                    stat.sizes.timeSeqBytes));
+    std::printf("%-22s %10llu\n", "header",
+                static_cast<unsigned long long>(
+                    stat.sizes.headerBytes));
+    if (hybrid)
+        std::printf("(whole-blob deflate: %zu serialized -> %zu "
+                    "file bytes)\n",
+                    bytes.size(), fileBytes);
+
+    if (stat.version == 3) {
+        std::printf("\n%-12s %-7s %-8s %10s %10s %10s\n", "column",
+                    "codec", "backend", "values", "encoded B",
+                    "stored B");
+        for (const auto &col : stat.columns)
+            std::printf("%-12s %-7s %-8s %10llu %10llu %10llu\n",
+                        col.name.c_str(),
+                        codec::field::fieldCodecName(col.codec),
+                        codec::backend::backendName(col.backend),
+                        static_cast<unsigned long long>(col.values),
+                        static_cast<unsigned long long>(
+                            col.encodedBytes),
+                        static_cast<unsigned long long>(
+                            col.storedBytes));
+    }
 }
 
 } // namespace
@@ -138,6 +218,10 @@ int
 main(int argc, char **argv)
 {
     codec::fcc::FccConfig cfg;
+    // The tool writes the columnar container by default; the library
+    // default stays FCC2 (the paper's layout). --container fcc1|fcc2
+    // keeps the row formats fully writable.
+    cfg.container = codec::fcc::ContainerFormat::Fcc3;
     trace::TraceFormatSpec inFormat, outFormat;
     int arg = 1;
     try {
@@ -160,6 +244,16 @@ main(int argc, char **argv)
                     return 2;
                 }
                 cfg.threads = static_cast<uint32_t>(threads);
+                arg += 2;
+            } else if (std::strcmp(argv[arg], "--container") == 0 &&
+                       arg + 1 < argc) {
+                cfg.container =
+                    codec::fcc::parseContainerName(argv[arg + 1]);
+                arg += 2;
+            } else if (std::strcmp(argv[arg], "--backend") == 0 &&
+                       arg + 1 < argc) {
+                cfg.backend =
+                    codec::backend::parseBackendName(argv[arg + 1]);
                 arg += 2;
             } else if (std::strcmp(argv[arg], "--in-format") == 0 &&
                        arg + 1 < argc) {
@@ -211,10 +305,19 @@ main(int argc, char **argv)
         }
         if (command == "info" && arg < argc) {
             std::string path = argv[arg];
-            if (hasSuffix(path, ".fcc") || isFccFile(path))
+            if (hasSuffix(path, ".fcc") || isFccFile(path)) {
                 infoFcc(path);
-            else
+            } else if (isZlibStart(path)) {
+                // Could be a whole-blob-deflated FCC file or just a
+                // trace whose first byte happens to be 0x78.
+                try {
+                    infoFcc(path);
+                } catch (const util::Error &) {
+                    infoTrace(path, inFormat);
+                }
+            } else {
                 infoTrace(path, inFormat);
+            }
             return 0;
         }
         if (command == "convert" && arg + 1 < argc) {

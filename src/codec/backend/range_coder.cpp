@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Witten–Neal–Cleary binary arithmetic coder with an adaptive
+ * bit-tree byte model (see range_coder.hpp). Probabilities are
+ * 12-bit (P(bit == 0) out of 4096) with shift-by-5 adaptation — the
+ * LZMA rate, a good fit for the mid-size columns the FCC3 container
+ * feeds through it.
+ */
+
+#include "codec/backend/range_coder.hpp"
+
+#include "util/bitstream.hpp"
+#include "util/error.hpp"
+
+namespace fcc::codec::backend {
+
+namespace {
+
+constexpr uint32_t kTop = 0xffffffffu;
+constexpr uint32_t kHalf = 0x80000000u;
+constexpr uint32_t kQuarter = 0x40000000u;
+constexpr uint32_t kThreeQuarters = 0xc0000000u;
+
+constexpr int kProbBits = 12;
+constexpr uint16_t kProbOne = 1u << kProbBits;
+constexpr int kAdaptShift = 5;
+
+/**
+ * Bit-tree model: node i holds P(bit == 0) after the prefix whose
+ * binary representation (with a leading 1) is i. 256 nodes cover
+ * all 255 contexts of one byte.
+ */
+struct ByteModel
+{
+    uint16_t p[256];
+
+    ByteModel()
+    {
+        for (uint16_t &v : p)
+            v = kProbOne / 2;
+    }
+};
+
+class Encoder
+{
+  public:
+    void
+    encodeBit(uint16_t &prob, int bit)
+    {
+        // Split [low, high] at the probability boundary; the zero
+        // branch keeps the low interval.
+        uint32_t mid =
+            low_ + static_cast<uint32_t>(
+                       (static_cast<uint64_t>(high_ - low_) * prob) >>
+                       kProbBits);
+        if (bit == 0) {
+            high_ = mid;
+            prob += (kProbOne - prob) >> kAdaptShift;
+        } else {
+            low_ = mid + 1;
+            prob -= prob >> kAdaptShift;
+        }
+        for (;;) {
+            if (high_ < kHalf) {
+                emit(0);
+            } else if (low_ >= kHalf) {
+                emit(1);
+                low_ -= kHalf;
+                high_ -= kHalf;
+            } else if (low_ >= kQuarter && high_ < kThreeQuarters) {
+                ++pending_;
+                low_ -= kQuarter;
+                high_ -= kQuarter;
+            } else {
+                break;
+            }
+            low_ <<= 1;
+            high_ = (high_ << 1) | 1;
+        }
+    }
+
+    void
+    encodeByte(ByteModel &model, uint8_t byte)
+    {
+        uint32_t ctx = 1;
+        for (int i = 7; i >= 0; --i) {
+            int bit = (byte >> i) & 1;
+            encodeBit(model.p[ctx], bit);
+            ctx = (ctx << 1) | static_cast<uint32_t>(bit);
+        }
+    }
+
+    std::vector<uint8_t>
+    finish()
+    {
+        // One disambiguating bit (plus pending underflow bits) pins
+        // the final interval; the decoder zero-pads past the end.
+        ++pending_;
+        emit(low_ >= kQuarter ? 1 : 0);
+        return bits_.take();
+    }
+
+  private:
+    void
+    emit(int bit)
+    {
+        bits_.put(static_cast<uint32_t>(bit), 1);
+        for (; pending_ > 0; --pending_)
+            bits_.put(static_cast<uint32_t>(bit ^ 1), 1);
+    }
+
+    util::BitWriter bits_;
+    uint32_t low_ = 0;
+    uint32_t high_ = kTop;
+    uint64_t pending_ = 0;
+};
+
+class Decoder
+{
+  public:
+    explicit Decoder(std::span<const uint8_t> data)
+        : bits_(data), bitsLeft_(data.size() * 8)
+    {
+        for (int i = 0; i < 32; ++i)
+            value_ = (value_ << 1) | nextBit();
+    }
+
+    int
+    decodeBit(uint16_t &prob)
+    {
+        uint32_t mid =
+            low_ + static_cast<uint32_t>(
+                       (static_cast<uint64_t>(high_ - low_) * prob) >>
+                       kProbBits);
+        int bit;
+        if (value_ <= mid) {
+            bit = 0;
+            high_ = mid;
+            prob += (kProbOne - prob) >> kAdaptShift;
+        } else {
+            bit = 1;
+            low_ = mid + 1;
+            prob -= prob >> kAdaptShift;
+        }
+        for (;;) {
+            if (high_ < kHalf) {
+                // nothing to subtract
+            } else if (low_ >= kHalf) {
+                low_ -= kHalf;
+                high_ -= kHalf;
+                value_ -= kHalf;
+            } else if (low_ >= kQuarter && high_ < kThreeQuarters) {
+                low_ -= kQuarter;
+                high_ -= kQuarter;
+                value_ -= kQuarter;
+            } else {
+                break;
+            }
+            low_ <<= 1;
+            high_ = (high_ << 1) | 1;
+            value_ = (value_ << 1) | nextBit();
+        }
+        return bit;
+    }
+
+    uint8_t
+    decodeByte(ByteModel &model)
+    {
+        uint32_t ctx = 1;
+        for (int i = 0; i < 8; ++i)
+            ctx = (ctx << 1) |
+                  static_cast<uint32_t>(decodeBit(model.p[ctx]));
+        return static_cast<uint8_t>(ctx & 0xff);
+    }
+
+  private:
+    uint32_t
+    nextBit()
+    {
+        // The encoder's flush leaves up to 32 conceptual zero bits
+        // unwritten; reads past the physical end supply them.
+        if (bitsLeft_ == 0)
+            return 0;
+        --bitsLeft_;
+        uint32_t bit = bits_.peek(1);
+        bits_.consume(1);
+        return bit;
+    }
+
+    util::BitReader bits_;
+    size_t bitsLeft_;
+    uint32_t value_ = 0;
+    uint32_t low_ = 0;
+    uint32_t high_ = kTop;
+};
+
+} // namespace
+
+std::vector<uint8_t>
+rangeCompress(std::span<const uint8_t> data)
+{
+    if (data.empty())
+        return {};
+    Encoder enc;
+    ByteModel model;
+    for (uint8_t byte : data)
+        enc.encodeByte(model, byte);
+    return enc.finish();
+}
+
+std::vector<uint8_t>
+rangeDecompress(std::span<const uint8_t> data, size_t rawSize)
+{
+    std::vector<uint8_t> out;
+    if (rawSize == 0) {
+        util::require(data.empty(),
+                      "range: trailing bytes after empty stream");
+        return out;
+    }
+    out.reserve(rawSize);
+    Decoder dec(data);
+    ByteModel model;
+    for (size_t i = 0; i < rawSize; ++i)
+        out.push_back(dec.decodeByte(model));
+    return out;
+}
+
+} // namespace fcc::codec::backend

@@ -1,23 +1,31 @@
 /**
  * @file
- * Wire format of the four §3 datasets (short/long templates,
- * addresses, time-seq): varint-heavy serialization with a per-
- * dataset SizeBreakdown, behind one magic-tagged container.
+ * Wire formats of the four §3 datasets (short/long templates,
+ * addresses, time-seq) behind three magic-tagged containers:
  *
- * Two containers share the template/address encodings:
- *  - FCC1 (legacy): one delta-encoded time-seq stream;
- *  - FCC2 (chunked): the time-seq dataset framed into
- *    independently decodable chunks (record count + byte length
- *    prefix, per-chunk timestamp delta restart) so a reader can
- *    expand chunks on multiple threads.
+ *  - FCC1 (legacy): one row-interleaved, delta-encoded varint
+ *    stream;
+ *  - FCC2 (chunked): the time-seq dataset framed into independently
+ *    decodable chunks (record count + byte length prefix, per-chunk
+ *    timestamp delta restart) so a reader can expand chunks on
+ *    multiple threads;
+ *  - FCC3 (columnar): the datasets decomposed into typed columns,
+ *    each run through a field codec (codec/field) picked by exact
+ *    cost and an entropy backend (codec/backend) with per-column
+ *    Store fallback. Column encode/decode jobs are independent, so
+ *    they parallelize on a thread pool without changing a byte of
+ *    output.
  */
 
 #include "codec/fcc/datasets.hpp"
 
 #include <algorithm>
+#include <array>
+#include <new>
 
 #include "util/bytes.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace fcc::codec::fcc {
 
@@ -25,6 +33,7 @@ namespace {
 
 constexpr uint32_t magicV1 = 0x31434346u;  // "FCC1"
 constexpr uint32_t magicV2 = 0x32434346u;  // "FCC2"
+constexpr uint32_t magicV3 = 0x33434346u;  // "FCC3"
 
 /** Header plus the three shared datasets (everything but time-seq). */
 void
@@ -107,9 +116,14 @@ serializeInto(const Datasets &d, util::ByteWriter &w,
     sizes.timeSeqBytes = w.size() - mark;
 }
 
-/** Shared header/template/address parse; returns the reader cursor. */
+/**
+ * Shared header/template/address parse; returns the partly filled
+ * datasets. @p sizes, when non-null, receives per-section byte
+ * counts (header bytes include the magic already consumed by the
+ * caller).
+ */
 Datasets
-readShared(util::ByteReader &r)
+readShared(util::ByteReader &r, SizeBreakdown *sizes)
 {
     Datasets d;
     d.weights.w1 = r.u16();
@@ -117,7 +131,10 @@ readShared(util::ByteReader &r)
     d.weights.w3 = r.u16();
     util::require(d.weights.decodable(),
                   "fcc: stored weights are not decodable");
+    if (sizes != nullptr)
+        sizes->headerBytes = r.position();
 
+    size_t mark = r.position();
     uint64_t shortCount = r.varint();
     // Reservations are capped by the bytes actually present so a
     // corrupt count cannot trigger a huge allocation.
@@ -134,7 +151,10 @@ readShared(util::ByteReader &r)
             sf.values.push_back(r.u8());
         d.shortTemplates.push_back(std::move(sf));
     }
+    if (sizes != nullptr)
+        sizes->shortTemplateBytes = r.position() - mark;
 
+    mark = r.position();
     uint64_t longCount = r.varint();
     d.longTemplates.reserve(
         std::min<uint64_t>(longCount, r.remaining()));
@@ -152,12 +172,17 @@ readShared(util::ByteReader &r)
         }
         d.longTemplates.push_back(std::move(tmpl));
     }
+    if (sizes != nullptr)
+        sizes->longTemplateBytes = r.position() - mark;
 
+    mark = r.position();
     uint64_t addrCount = r.varint();
     d.addresses.reserve(
         std::min<uint64_t>(addrCount, r.remaining()));
     for (uint64_t i = 0; i < addrCount; ++i)
         d.addresses.push_back(r.u32());
+    if (sizes != nullptr)
+        sizes->addressBytes = r.position() - mark;
     return d;
 }
 
@@ -183,6 +208,380 @@ readRecord(util::ByteReader &r, const Datasets &d, uint64_t &prevUs)
     util::require(rec.addressIndex < d.addresses.size(),
                   "fcc: address index out of range");
     return rec;
+}
+
+// ---------------------------------------------------------------------------
+// FCC3: columnar container
+// ---------------------------------------------------------------------------
+
+/**
+ * The fixed column set of the FCC3 container, in wire order. The
+ * column count is written to the file, so adding a column bumps the
+ * format observably instead of silently misparsing.
+ */
+enum ColumnId : size_t
+{
+    ColShortLen = 0,   ///< short-template lengths
+    ColShortS,         ///< concatenated short-template S values
+    ColLongLen,        ///< long-template lengths
+    ColLongS,          ///< concatenated long-template S values
+    ColLongIpt,        ///< concatenated inter-packet times
+    ColAddr,           ///< unique server addresses
+    ColTsTime,         ///< per-flow first timestamps (absolute)
+    ColTsIsLong,       ///< per-flow S/L identifier
+    ColTsTemplate,     ///< per-flow template index
+    ColTsRtt,          ///< per-SHORT-flow RTT (one value per short)
+    ColTsAddr,         ///< per-flow address index
+    ColChunkLen,       ///< records per chunk (empty = unchunked)
+    columnCount
+};
+
+constexpr const char *columnNames[columnCount] = {
+    "short_len", "short_s",     "long_len", "long_s",
+    "long_ipt",  "addr",        "ts_time",  "ts_islong",
+    "ts_template", "ts_rtt",    "ts_addr",  "chunk_len",
+};
+
+/**
+ * Hard value ceiling on decode, per column and across all columns:
+ * bounds the memory a corrupt count can demand before anything is
+ * allocated (run-length columns break the one-byte-per-value floor
+ * the row formats rely on, so the count itself must be capped —
+ * 2^27 values is ~1 GiB of u64s, far above any dataset the
+ * in-memory model handles).
+ */
+constexpr uint64_t maxColumnValues = uint64_t{1} << 27;
+
+using ColumnValues = std::array<std::vector<uint64_t>, columnCount>;
+
+/** Decompose the datasets into the twelve FCC3 columns. */
+ColumnValues
+splitColumns(const Datasets &d, uint32_t recordsPerChunk)
+{
+    ColumnValues cols;
+
+    for (const auto &tmpl : d.shortTemplates) {
+        util::require(tmpl.size() >= 1, "fcc: empty short template");
+        cols[ColShortLen].push_back(tmpl.size());
+        for (uint16_t s : tmpl.values) {
+            util::require(s <= 0xff,
+                          "fcc: S value exceeds one byte; use "
+                          "smaller weights");
+            cols[ColShortS].push_back(s);
+        }
+    }
+
+    for (const auto &tmpl : d.longTemplates) {
+        util::require(tmpl.sValues.size() == tmpl.iptUs.size(),
+                      "fcc: long template S/ipt size mismatch");
+        util::require(tmpl.sValues.size() >= 1,
+                      "fcc: empty long template");
+        cols[ColLongLen].push_back(tmpl.sValues.size());
+        for (uint16_t s : tmpl.sValues) {
+            util::require(s <= 0xff, "fcc: S value exceeds one byte");
+            cols[ColLongS].push_back(s);
+        }
+        cols[ColLongIpt].insert(cols[ColLongIpt].end(),
+                                tmpl.iptUs.begin(),
+                                tmpl.iptUs.end());
+    }
+
+    for (uint32_t addr : d.addresses)
+        cols[ColAddr].push_back(addr);
+
+    uint64_t prevUs = 0;
+    for (const auto &rec : d.timeSeq) {
+        util::require(rec.firstTimestampUs >= prevUs,
+                      "fcc: time-seq records not sorted");
+        prevUs = rec.firstTimestampUs;
+        cols[ColTsTime].push_back(rec.firstTimestampUs);
+        cols[ColTsIsLong].push_back(rec.isLong ? 1 : 0);
+        cols[ColTsTemplate].push_back(rec.templateIndex);
+        if (!rec.isLong)
+            cols[ColTsRtt].push_back(rec.rttUs);
+        cols[ColTsAddr].push_back(rec.addressIndex);
+    }
+
+    if (!d.chunkSizes.empty()) {
+        uint64_t total = 0;
+        for (uint32_t c : d.chunkSizes) {
+            util::require(c >= 1, "fcc: empty chunk");
+            cols[ColChunkLen].push_back(c);
+            total += c;
+        }
+        util::require(total == d.timeSeq.size(),
+                      "fcc: chunk sizes disagree with time-seq");
+    } else if (recordsPerChunk > 0) {
+        size_t records = d.timeSeq.size();
+        for (size_t begin = 0; begin < records;
+             begin += recordsPerChunk)
+            cols[ColChunkLen].push_back(std::min<size_t>(
+                recordsPerChunk, records - begin));
+    }
+    return cols;
+}
+
+/** One encoded-and-squeezed column, ready for framing. */
+struct EncodedColumn
+{
+    field::FieldCodec codec = field::FieldCodec::Plain;
+    backend::EntropyBackend backend =
+        backend::EntropyBackend::Store;
+    uint64_t values = 0;
+    uint64_t encodedBytes = 0;
+    std::vector<uint8_t> payload;
+};
+
+/** Field-codec + entropy-backend pipeline of one column. */
+EncodedColumn
+encodeOneColumn(std::span<const uint64_t> values,
+                backend::EntropyBackend requested)
+{
+    EncodedColumn out;
+    out.values = values.size();
+    out.codec = field::chooseCodec(values);
+    std::vector<uint8_t> encoded =
+        field::encodeColumn(values, out.codec);
+    out.encodedBytes = encoded.size();
+    if (requested != backend::EntropyBackend::Store) {
+        std::vector<uint8_t> squeezed =
+            backend::entropyCompress(encoded, requested);
+        if (squeezed.size() < encoded.size()) {
+            out.backend = requested;
+            out.payload = std::move(squeezed);
+            return out;
+        }
+        // The backend did not pay for this column; store it raw so
+        // the container never loses to its own serialization.
+    }
+    out.payload = std::move(encoded);
+    return out;
+}
+
+/** Dataset bucket of a column, for the §5-style size accounting. */
+uint64_t &
+breakdownBucket(SizeBreakdown &sizes, size_t col)
+{
+    switch (col) {
+      case ColShortLen:
+      case ColShortS:
+        return sizes.shortTemplateBytes;
+      case ColLongLen:
+      case ColLongS:
+      case ColLongIpt:
+        return sizes.longTemplateBytes;
+      case ColAddr:
+        return sizes.addressBytes;
+      default:
+        return sizes.timeSeqBytes;
+    }
+}
+
+Datasets
+deserializeColumnar(util::ByteReader &r, util::ThreadPool *pool,
+                    ContainerStat *stat)
+{
+    Datasets d;
+    d.weights.w1 = r.u16();
+    d.weights.w2 = r.u16();
+    d.weights.w3 = r.u16();
+    util::require(d.weights.decodable(),
+                  "fcc: stored weights are not decodable");
+    uint8_t cols = r.u8();
+    util::require(cols == columnCount,
+                  "fcc3: unexpected column count");
+    uint64_t headerBytes = r.position();
+
+    // Sequential framing scan: cheap, and it leaves one independent
+    // (decompress + decode) job per column for the pool.
+    struct Frame
+    {
+        field::FieldCodec codec = field::FieldCodec::Plain;
+        backend::EntropyBackend backend =
+            backend::EntropyBackend::Store;
+        uint64_t values = 0;
+        uint64_t encodedBytes = 0;
+        uint64_t storedBytes = 0;
+        std::vector<uint8_t> payload;
+    };
+    std::array<Frame, columnCount> frames;
+    uint64_t totalValues = 0;
+    for (auto &frame : frames) {
+        size_t mark = r.position();
+        frame.values = r.varint();
+        util::require(frame.values <= maxColumnValues,
+                      "fcc3: column too large");
+        totalValues += frame.values;
+        util::require(totalValues <= maxColumnValues,
+                      "fcc3: columns too large");
+        uint8_t codecTag = r.u8();
+        util::require(codecTag < field::fieldCodecCount,
+                      "fcc3: bad field codec tag");
+        frame.codec = static_cast<field::FieldCodec>(codecTag);
+        uint8_t backendTag = r.u8();
+        util::require(backendTag < backend::entropyBackendCount,
+                      "fcc3: bad entropy backend tag");
+        frame.backend =
+            static_cast<backend::EntropyBackend>(backendTag);
+        frame.encodedBytes = r.varint();
+        // No codec stores more than ~20 bytes per value (dict:
+        // one max varint each for entry and reference), so a wild
+        // encoded size is corruption, not data — reject it before
+        // the decompressor allocates for it.
+        util::require(frame.encodedBytes <=
+                          (frame.values + 1) * 20,
+                      "fcc3: encoded size out of range");
+        frame.payload = r.blob();
+        frame.storedBytes = r.position() - mark;
+    }
+    util::require(r.exhausted(), "fcc: trailing bytes");
+
+    ColumnValues values;
+    auto decodeOne = [&](size_t c) {
+        const Frame &frame = frames[c];
+        std::vector<uint8_t> encoded = backend::entropyDecompress(
+            frame.payload, frame.backend,
+            static_cast<size_t>(frame.encodedBytes));
+        values[c] = field::decodeColumn(
+            encoded, frame.codec,
+            static_cast<size_t>(frame.values));
+    };
+    try {
+        if (pool != nullptr)
+            pool->parallelFor(columnCount, decodeOne);
+        else
+            for (size_t c = 0; c < columnCount; ++c)
+                decodeOne(c);
+    } catch (const std::bad_alloc &) {
+        // A corrupt (but cap-passing) count exhausted memory —
+        // report it as bad input, like every other malformed
+        // construct, instead of escaping as bad_alloc.
+        throw util::Error("fcc3: column sizes exhaust memory");
+    }
+
+    // ---- Reassemble and validate the datasets ----
+    auto take32 = [](uint64_t v, const char *what) {
+        util::require(v <= 0xffffffffu, what);
+        return static_cast<uint32_t>(v);
+    };
+
+    size_t cursor = 0;
+    d.shortTemplates.reserve(values[ColShortLen].size());
+    for (uint64_t n : values[ColShortLen]) {
+        util::require(n >= 1, "fcc: empty short template");
+        util::require(cursor + n <= values[ColShortS].size(),
+                      "fcc3: short_s column too short");
+        flow::SfVector sf;
+        sf.values.reserve(n);
+        for (uint64_t k = 0; k < n; ++k) {
+            uint64_t s = values[ColShortS][cursor++];
+            util::require(s <= 0xff, "fcc: S value exceeds one byte");
+            sf.values.push_back(static_cast<uint16_t>(s));
+        }
+        d.shortTemplates.push_back(std::move(sf));
+    }
+    util::require(cursor == values[ColShortS].size(),
+                  "fcc3: short_s column too long");
+
+    util::require(values[ColLongS].size() ==
+                      values[ColLongIpt].size(),
+                  "fcc3: long_s/long_ipt length mismatch");
+    cursor = 0;
+    d.longTemplates.reserve(values[ColLongLen].size());
+    for (uint64_t n : values[ColLongLen]) {
+        util::require(n >= 1, "fcc: empty long template");
+        util::require(cursor + n <= values[ColLongS].size(),
+                      "fcc3: long_s column too short");
+        LongTemplate tmpl;
+        tmpl.sValues.reserve(n);
+        tmpl.iptUs.reserve(n);
+        for (uint64_t k = 0; k < n; ++k) {
+            uint64_t s = values[ColLongS][cursor];
+            util::require(s <= 0xff, "fcc: S value exceeds one byte");
+            tmpl.sValues.push_back(static_cast<uint16_t>(s));
+            tmpl.iptUs.push_back(values[ColLongIpt][cursor]);
+            ++cursor;
+        }
+        d.longTemplates.push_back(std::move(tmpl));
+    }
+    util::require(cursor == values[ColLongS].size(),
+                  "fcc3: long_s column too long");
+
+    d.addresses.reserve(values[ColAddr].size());
+    for (uint64_t addr : values[ColAddr])
+        d.addresses.push_back(
+            take32(addr, "fcc3: address exceeds 32 bits"));
+
+    size_t flows = values[ColTsTime].size();
+    util::require(values[ColTsIsLong].size() == flows &&
+                      values[ColTsTemplate].size() == flows &&
+                      values[ColTsAddr].size() == flows,
+                  "fcc3: time-seq column length mismatch");
+    size_t rttCursor = 0;
+    uint64_t prevUs = 0;
+    d.timeSeq.reserve(flows);
+    for (size_t i = 0; i < flows; ++i) {
+        TimeSeqRecord rec;
+        rec.firstTimestampUs = values[ColTsTime][i];
+        util::require(rec.firstTimestampUs >= prevUs,
+                      "fcc: time-seq records not sorted");
+        prevUs = rec.firstTimestampUs;
+        uint64_t id = values[ColTsIsLong][i];
+        util::require(id <= 1, "fcc: bad dataset identifier");
+        rec.isLong = id == 1;
+        rec.templateIndex = take32(
+            values[ColTsTemplate][i],
+            "fcc3: template index exceeds 32 bits");
+        size_t limit = rec.isLong ? d.longTemplates.size()
+                                  : d.shortTemplates.size();
+        util::require(rec.templateIndex < limit,
+                      "fcc: template index out of range");
+        if (!rec.isLong) {
+            util::require(rttCursor < values[ColTsRtt].size(),
+                          "fcc3: ts_rtt column too short");
+            rec.rttUs =
+                take32(values[ColTsRtt][rttCursor++],
+                       "fcc3: RTT exceeds 32 bits");
+        }
+        rec.addressIndex = take32(
+            values[ColTsAddr][i],
+            "fcc3: address index exceeds 32 bits");
+        util::require(rec.addressIndex < d.addresses.size(),
+                      "fcc: address index out of range");
+        d.timeSeq.push_back(rec);
+    }
+    util::require(rttCursor == values[ColTsRtt].size(),
+                  "fcc3: ts_rtt column too long");
+
+    if (!values[ColChunkLen].empty()) {
+        uint64_t total = 0;
+        d.chunkSizes.reserve(values[ColChunkLen].size());
+        for (uint64_t c : values[ColChunkLen]) {
+            util::require(c >= 1, "fcc: empty chunk");
+            total += c;
+            d.chunkSizes.push_back(
+                take32(c, "fcc3: chunk size exceeds 32 bits"));
+        }
+        util::require(total == d.timeSeq.size(),
+                      "fcc: chunk sizes disagree with time-seq");
+    }
+
+    if (stat != nullptr) {
+        stat->version = 3;
+        stat->sizes = SizeBreakdown{};
+        stat->sizes.headerBytes = headerBytes;
+        stat->columns.clear();
+        stat->columns.reserve(columnCount);
+        for (size_t c = 0; c < columnCount; ++c) {
+            const Frame &frame = frames[c];
+            breakdownBucket(stat->sizes, c) += frame.storedBytes;
+            stat->columns.push_back({columnNames[c], frame.codec,
+                                     frame.backend, frame.values,
+                                     frame.encodedBytes,
+                                     frame.storedBytes});
+        }
+    }
+    return d;
 }
 
 } // namespace
@@ -236,16 +635,76 @@ serializeChunked(const Datasets &datasets, uint32_t recordsPerChunk,
     return w.take();
 }
 
+std::vector<uint8_t>
+serializeColumnar(const Datasets &datasets, uint32_t recordsPerChunk,
+                  backend::EntropyBackend backend,
+                  SizeBreakdown &breakdown, util::ThreadPool *pool,
+                  std::vector<ColumnStat> *columns)
+{
+    ColumnValues values = splitColumns(datasets, recordsPerChunk);
+
+    // One encode job per column; results land in fixed slots, so
+    // the output is byte-identical at any thread count.
+    std::array<EncodedColumn, columnCount> encoded;
+    auto encodeOne = [&](size_t c) {
+        encoded[c] = encodeOneColumn(values[c], backend);
+    };
+    if (pool != nullptr)
+        pool->parallelFor(columnCount, encodeOne);
+    else
+        for (size_t c = 0; c < columnCount; ++c)
+            encodeOne(c);
+
+    util::ByteWriter w;
+    breakdown = SizeBreakdown{};
+    w.u32(magicV3);
+    w.u16(datasets.weights.w1);
+    w.u16(datasets.weights.w2);
+    w.u16(datasets.weights.w3);
+    w.u8(static_cast<uint8_t>(columnCount));
+    breakdown.headerBytes = w.size();
+
+    if (columns != nullptr)
+        columns->clear();
+    for (size_t c = 0; c < columnCount; ++c) {
+        const EncodedColumn &col = encoded[c];
+        size_t mark = w.size();
+        w.varint(col.values);
+        w.u8(static_cast<uint8_t>(col.codec));
+        w.u8(static_cast<uint8_t>(col.backend));
+        w.varint(col.encodedBytes);
+        w.blob(col.payload);
+        uint64_t storedBytes = w.size() - mark;
+        breakdownBucket(breakdown, c) += storedBytes;
+        if (columns != nullptr)
+            columns->push_back({columnNames[c], col.codec,
+                                col.backend, col.values,
+                                col.encodedBytes, storedBytes});
+    }
+    return w.take();
+}
+
 Datasets
-deserialize(std::span<const uint8_t> data)
+deserialize(std::span<const uint8_t> data, util::ThreadPool *pool,
+            ContainerStat *stat)
 {
     util::ByteReader r(data);
     util::require(r.remaining() >= 10, "fcc: truncated header");
     uint32_t magic = r.u32();
-    util::require(magic == magicV1 || magic == magicV2,
+    util::require(magic == magicV1 || magic == magicV2 ||
+                      magic == magicV3,
                   "fcc: bad magic");
-    Datasets d = readShared(r);
+    if (magic == magicV3)
+        return deserializeColumnar(r, pool, stat);
 
+    SizeBreakdown *sizes = stat != nullptr ? &stat->sizes : nullptr;
+    if (stat != nullptr) {
+        *stat = ContainerStat{};
+        stat->version = magic == magicV1 ? 1 : 2;
+    }
+    Datasets d = readShared(r, sizes);
+
+    size_t mark = r.position();
     if (magic == magicV1) {
         uint64_t flowCount = r.varint();
         d.timeSeq.reserve(
@@ -280,8 +739,16 @@ deserialize(std::span<const uint8_t> data)
                 static_cast<uint32_t>(recordCount));
         }
     }
+    if (sizes != nullptr)
+        sizes->timeSeqBytes = r.position() - mark;
     util::require(r.exhausted(), "fcc: trailing bytes");
     return d;
+}
+
+Datasets
+deserialize(std::span<const uint8_t> data)
+{
+    return deserialize(data, nullptr, nullptr);
 }
 
 } // namespace fcc::codec::fcc

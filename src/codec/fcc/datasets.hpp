@@ -1,7 +1,7 @@
 /**
  * @file
  * The four compressed datasets of the proposed method (paper §3) and
- * their wire format:
+ * their wire formats:
  *
  *  - short-flows-template: for each cluster centre, the number of
  *    packets n followed by the n S-values;
@@ -11,6 +11,16 @@
  *  - time-seq: one record per flow, sorted by first-packet
  *    timestamp — dataset identifier (S/L), template index, the RTT
  *    (short flows only) and an index into the address dataset.
+ *
+ * Three containers carry them:
+ *  - FCC1 (legacy): one row-interleaved varint stream;
+ *  - FCC2 (chunked): FCC1's encoding with the time-seq dataset
+ *    framed into independently decodable chunks;
+ *  - FCC3 (columnar): every dataset decomposed into typed columns,
+ *    each column encoded by a field codec (codec/field) and squeezed
+ *    by an entropy backend (codec/backend) — both chosen per column
+ *    and recorded in one-byte tags, so a reader needs no out-of-band
+ *    configuration.
  */
 
 #ifndef FCC_CODEC_FCC_DATASETS_HPP
@@ -18,9 +28,16 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "codec/backend/backend.hpp"
+#include "codec/field/field_codec.hpp"
 #include "flow/characterize.hpp"
+
+namespace fcc::util {
+class ThreadPool;
+}
 
 namespace fcc::codec::fcc {
 
@@ -30,6 +47,8 @@ struct LongTemplate
     std::vector<uint16_t> sValues;
     /** ipt[0] == 0; ipt[i] = t_i - t_{i-1} in microseconds. */
     std::vector<uint64_t> iptUs;
+
+    bool operator==(const LongTemplate &) const = default;
 };
 
 /** One record of the time-seq dataset (≈ 8 bytes per flow, §5). */
@@ -40,6 +59,8 @@ struct TimeSeqRecord
     uint32_t templateIndex = 0;   ///< position in its template dataset
     uint32_t rttUs = 0;           ///< short flows only (§3)
     uint32_t addressIndex = 0;    ///< into the address dataset
+
+    bool operator==(const TimeSeqRecord &) const = default;
 };
 
 /** In-memory form of a compressed trace. */
@@ -52,12 +73,12 @@ struct Datasets
     std::vector<TimeSeqRecord> timeSeq;  ///< sorted by timestamp
 
     /**
-     * Chunk layout of the FCC2 container: element c is the number of
-     * consecutive timeSeq records in chunk c (summing to
+     * Chunk layout of the FCC2/FCC3 containers: element c is the
+     * number of consecutive timeSeq records in chunk c (summing to
      * timeSeq.size()). Empty for the legacy FCC1 container. Chunks
-     * decode and expand independently — each restarts the timestamp
-     * delta and owns one RNG stream — which is what lets
-     * decompression run multi-threaded yet byte-deterministic.
+     * expand independently — each owns one RNG stream — which is
+     * what lets decompression run multi-threaded yet
+     * byte-deterministic.
      */
     std::vector<uint32_t> chunkSizes;
 };
@@ -77,6 +98,35 @@ struct SizeBreakdown
         return shortTemplateBytes + longTemplateBytes + addressBytes +
                timeSeqBytes + headerBytes;
     }
+};
+
+/**
+ * Per-column accounting of an FCC3 container: which field codec and
+ * entropy backend the column chose, and how many bytes it occupies
+ * before (encodedBytes) and after (storedBytes, including the
+ * per-column framing) the entropy stage.
+ */
+struct ColumnStat
+{
+    std::string name;
+    field::FieldCodec codec = field::FieldCodec::Plain;
+    backend::EntropyBackend backend = backend::EntropyBackend::Store;
+    uint64_t values = 0;
+    uint64_t encodedBytes = 0;
+    uint64_t storedBytes = 0;
+};
+
+/** What a container parse learned about the bytes on the wire. */
+struct ContainerStat
+{
+    uint8_t version = 0;  ///< 1, 2 or 3
+    /**
+     * On-wire bytes per dataset. For FCC3 these are the *compressed*
+     * column sizes (framing included), i.e. where the file's bytes
+     * actually go — not the pre-backend serialized sizes.
+     */
+    SizeBreakdown sizes;
+    std::vector<ColumnStat> columns;  ///< FCC3 only
 };
 
 /** Serialize to the legacy (single-stream) FCC1 wire format. */
@@ -99,10 +149,39 @@ std::vector<uint8_t> serializeChunked(const Datasets &datasets,
                                       SizeBreakdown &breakdown);
 
 /**
- * Parse the FCC1 or FCC2 wire format (auto-detected by magic);
- * FCC2 fills Datasets::chunkSizes.
+ * Serialize to the columnar FCC3 wire format: the datasets are
+ * decomposed into typed columns (template lengths, concatenated S
+ * values, inter-packet times, timestamps, flags, indices, chunk
+ * layout), each encoded by the cost-cheapest field codec and then
+ * squeezed by @p backend — per column, with an automatic fallback
+ * to Store whenever the backend would expand the column. Column
+ * encode jobs run on @p pool when given (results are byte-identical
+ * with or without it). @p breakdown receives the on-wire
+ * (post-backend) bytes per dataset; @p columns, when non-null, the
+ * per-column accounting. The chunk layout is taken from
+ * datasets.chunkSizes when present, else derived from
+ * @p recordsPerChunk (0 keeps the time-seq dataset unchunked, which
+ * expands on the legacy sequential path).
+ */
+std::vector<uint8_t>
+serializeColumnar(const Datasets &datasets, uint32_t recordsPerChunk,
+                  backend::EntropyBackend backend,
+                  SizeBreakdown &breakdown,
+                  util::ThreadPool *pool = nullptr,
+                  std::vector<ColumnStat> *columns = nullptr);
+
+/**
+ * Parse the FCC1, FCC2 or FCC3 wire format (auto-detected by magic);
+ * FCC2/FCC3 fill Datasets::chunkSizes. FCC3 column decode jobs run
+ * on @p pool when given; @p stat, when non-null, receives the
+ * container version and on-wire size accounting.
  * @throws fcc::util::Error on malformed input.
  */
+Datasets deserialize(std::span<const uint8_t> data,
+                     util::ThreadPool *pool,
+                     ContainerStat *stat = nullptr);
+
+/** deserialize() without a thread pool. */
 Datasets deserialize(std::span<const uint8_t> data);
 
 } // namespace fcc::codec::fcc

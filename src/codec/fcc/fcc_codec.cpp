@@ -84,6 +84,87 @@ drawClassBOrC(util::Rng &rng)
 
 } // namespace
 
+const char *
+containerFormatName(ContainerFormat container)
+{
+    switch (container) {
+      case ContainerFormat::Fcc1:
+        return "fcc1";
+      case ContainerFormat::Fcc2:
+        return "fcc2";
+      case ContainerFormat::Fcc3:
+        return "fcc3";
+    }
+    return "?";
+}
+
+ContainerFormat
+parseContainerName(const std::string &name)
+{
+    const ContainerFormat all[] = {ContainerFormat::Fcc1,
+                                   ContainerFormat::Fcc2,
+                                   ContainerFormat::Fcc3};
+    for (ContainerFormat container : all)
+        if (name == containerFormatName(container))
+            return container;
+    throw util::Error("unknown container format: " + name);
+}
+
+std::vector<uint8_t>
+serializeDatasets(const Datasets &datasets, const FccConfig &cfg,
+                  SizeBreakdown &breakdown,
+                  std::vector<ColumnStat> *columns)
+{
+    if (columns != nullptr)
+        columns->clear();
+    std::vector<uint8_t> bytes;
+    switch (cfg.container) {
+      case ContainerFormat::Fcc1:
+        bytes = serialize(datasets, breakdown);
+        break;
+      case ContainerFormat::Fcc2:
+        bytes = serializeChunked(datasets, cfg.chunkRecords,
+                                 breakdown);
+        break;
+      case ContainerFormat::Fcc3: {
+        unsigned threads = resolveThreads(cfg.threads);
+        std::unique_ptr<util::ThreadPool> pool;
+        if (threads > 1)
+            pool = std::make_unique<util::ThreadPool>(threads);
+        // The per-column backends supersede the whole-blob squeeze.
+        return serializeColumnar(datasets, cfg.chunkRecords,
+                                 cfg.backend, breakdown, pool.get(),
+                                 columns);
+      }
+      default:
+        throw util::Error("fcc: bad container format");
+    }
+    if (cfg.deflateDatasets)
+        bytes = deflate::zlibCompress(bytes);
+    return bytes;
+}
+
+Datasets
+deserializeAuto(std::span<const uint8_t> data, uint32_t threads,
+                ContainerStat *stat)
+{
+    // The hybrid container wraps a row stream in zlib: CMF 0x78;
+    // the plain formats start with 'F' of "FCC".
+    std::vector<uint8_t> inflated;
+    if (!data.empty() && data[0] == 0x78) {
+        inflated = deflate::zlibDecompress(data);
+        data = inflated;
+    }
+    // Only the columnar container has parallel decode jobs; the
+    // pool is scoped here so it is gone before any expansion pool
+    // spins up.
+    std::unique_ptr<util::ThreadPool> pool;
+    unsigned workers = resolveThreads(threads);
+    if (workers > 1 && data.size() >= 4 && data[3] == '3')
+        pool = std::make_unique<util::ThreadPool>(workers);
+    return deserialize(data, pool.get(), stat);
+}
+
 FccTraceCompressor::FccTraceCompressor(const FccConfig &cfg)
     : cfg_(cfg)
 {
@@ -261,10 +342,7 @@ FccTraceCompressor::compressWithStats(const trace::Trace &trace,
                                       FccCompressStats &stats) const
 {
     Datasets d = buildDatasets(trace, stats);
-    auto bytes = serializeChunked(d, cfg_.chunkRecords, stats.sizes);
-    if (cfg_.deflateDatasets)
-        bytes = deflate::zlibCompress(bytes);
-    return bytes;
+    return serializeDatasets(d, cfg_, stats.sizes);
 }
 
 std::vector<uint8_t>
@@ -463,13 +541,7 @@ FccTraceCompressor::expandChunk(
 trace::Trace
 FccTraceCompressor::decompress(std::span<const uint8_t> data) const
 {
-    // Auto-detect the hybrid container: a zlib stream starts with
-    // CMF 0x78; the plain format starts with 'F' of "FCC1".
-    if (!data.empty() && data[0] == 0x78) {
-        auto inflated = deflate::zlibDecompress(data);
-        return expand(deserialize(inflated));
-    }
-    return expand(deserialize(data));
+    return expand(deserializeAuto(data, cfg_.threads));
 }
 
 } // namespace fcc::codec::fcc

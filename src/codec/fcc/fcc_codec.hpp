@@ -38,6 +38,21 @@
 
 namespace fcc::codec::fcc {
 
+/** Which wire container compress() writes (decompression always
+ *  auto-detects all three by magic). */
+enum class ContainerFormat : uint8_t
+{
+    Fcc1 = 1,  ///< legacy single-stream
+    Fcc2 = 2,  ///< chunked time-seq (default; the paper's layout)
+    Fcc3 = 3,  ///< columnar, per-column field codecs + backends
+};
+
+/** "fcc1" / "fcc2" / "fcc3". */
+const char *containerFormatName(ContainerFormat container);
+
+/** Parse a name accepted by containerFormatName(). @throws Error */
+ContainerFormat parseContainerName(const std::string &name);
+
 /** Tunables of the proposed method (paper defaults). */
 struct FccConfig
 {
@@ -57,11 +72,29 @@ struct FccConfig
     uint32_t threads = 0;
 
     /**
-     * Time-seq records per FCC2 chunk. Chunks are the unit of
-     * parallel decompression (each owns an RNG stream); 0 writes the
-     * legacy single-stream FCC1 container instead.
+     * Time-seq records per FCC2/FCC3 chunk. Chunks are the unit of
+     * parallel decompression (each owns an RNG stream); 0 leaves the
+     * time-seq dataset unchunked — under FCC2 that degrades to the
+     * legacy FCC1 container, under FCC3 the records expand on the
+     * sequential single-RNG path.
      */
     uint32_t chunkRecords = 4096;
+
+    /**
+     * Wire container compress() writes. The library default stays
+     * FCC2 so the §5 accounting benches keep measuring the paper's
+     * layout; fcctool defaults to FCC3 (see --container).
+     */
+    ContainerFormat container = ContainerFormat::Fcc2;
+
+    /**
+     * Entropy backend of the FCC3 columnar container, applied per
+     * column after the field codec (with automatic per-column Store
+     * fallback when it does not pay). Ignored by FCC1/FCC2, which
+     * only know whole-blob hybrid deflate (deflateDatasets).
+     */
+    backend::EntropyBackend backend =
+        backend::EntropyBackend::Deflate;
 
     /**
      * Address assignment on decompression. The paper (§4) writes the
@@ -74,10 +107,12 @@ struct FccConfig
     bool directionAwareAddresses = false;
 
     /**
-     * Hybrid mode (extension): run the serialized datasets through
-     * the built-in zlib/deflate. The template datasets are highly
-     * repetitive, so this roughly halves the compressed size again;
-     * decompress() auto-detects either container.
+     * Hybrid mode (extension, FCC1/FCC2 only): run the serialized
+     * datasets through the built-in zlib/deflate as one blob. The
+     * template datasets are highly repetitive, so this roughly
+     * halves the compressed size again; decompress() auto-detects
+     * the wrapper. FCC3 ignores it — its per-column backends
+     * supersede the whole-blob squeeze.
      */
     bool deflateDatasets = false;
 
@@ -134,11 +169,14 @@ class FccTraceCompressor : public TraceCompressor
                   FccCompressStats &stats) const;
 
     /**
-     * Expand in-memory datasets into a reconstructed trace. FCC2
-     * chunked datasets expand one chunk per task on cfg.threads
+     * Expand in-memory datasets into a reconstructed trace. Chunked
+     * datasets (FCC2/FCC3) expand one chunk per task on cfg.threads
      * workers, each chunk drawing from its own RNG stream seeded
-     * from (decompressSeed, chunk index); FCC1 datasets replay the
-     * legacy single sequential stream.
+     * from (decompressSeed, chunk index); unchunked datasets (FCC1,
+     * or FCC3 with chunkRecords == 0) replay the legacy single
+     * sequential stream. Expansion depends only on the chunk
+     * layout, never on the container that carried it — equal
+     * layouts reconstruct identical packets.
      */
     trace::Trace expand(const Datasets &datasets) const;
 
@@ -155,7 +193,7 @@ class FccTraceCompressor : public TraceCompressor
                std::vector<trace::PacketRecord> &out) const;
 
     /**
-     * Expand every record of FCC2 chunk @p chunk (index into
+     * Expand every record of chunk @p chunk (index into
      * Datasets::chunkSizes) into @p out, drawing from the chunk's
      * own RNG stream. Chunks may be expanded in any order or
      * concurrently; expand() and the streaming decompressor share
@@ -169,6 +207,35 @@ class FccTraceCompressor : public TraceCompressor
   private:
     FccConfig cfg_;
 };
+
+/**
+ * Serialize @p datasets into the container cfg.container selects,
+ * honouring cfg.chunkRecords, cfg.backend, cfg.threads (FCC3
+ * column jobs run on a pool when threads allow; output is
+ * byte-identical at any thread count) and cfg.deflateDatasets (the
+ * whole-blob zlib wrapper of the row containers — FCC3 skips it,
+ * its per-column backends supersede the blob squeeze). Both the
+ * in-memory and the streaming compressor write through this one
+ * entry point. @p breakdown reports the serialized (pre-wrapper)
+ * sizes; @p columns, when non-null, receives the FCC3 per-column
+ * accounting (cleared for FCC1/FCC2).
+ */
+std::vector<uint8_t>
+serializeDatasets(const Datasets &datasets, const FccConfig &cfg,
+                  SizeBreakdown &breakdown,
+                  std::vector<ColumnStat> *columns = nullptr);
+
+/**
+ * Decode any FCC artifact: unwraps the optional whole-blob zlib
+ * hybrid wrapper, auto-detects the container by magic, and runs
+ * FCC3 column decode jobs on up to @p threads workers (0 = all
+ * cores; the row formats parse sequentially either way). The
+ * in-memory decompressor, the streaming decompressor and fcctool
+ * all decode through this one entry point.
+ */
+Datasets deserializeAuto(std::span<const uint8_t> data,
+                         uint32_t threads,
+                         ContainerStat *stat = nullptr);
 
 } // namespace fcc::codec::fcc
 

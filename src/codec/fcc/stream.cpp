@@ -202,7 +202,9 @@ compressSource(trace::TraceSource &src, const std::string &fccPath,
 
     Datasets datasets = builder.finish();
     SizeBreakdown sizes;
-    auto bytes = serializeChunked(datasets, cfg.chunkRecords, sizes);
+    // Container dispatch (FCC1/FCC2/FCC3) shared with the in-memory
+    // codec; FCC3 runs its per-column encode jobs on cfg.threads.
+    auto bytes = serializeDatasets(datasets, cfg, sizes);
 
     util::FileByteSink out(fccPath);
     out.write(bytes);
@@ -226,7 +228,8 @@ namespace {
 
 /** Load and decode an FCC container, reporting its on-disk size. */
 Datasets
-loadDatasets(const std::string &fccPath, uint64_t &inputBytes)
+loadDatasets(const std::string &fccPath, uint64_t &inputBytes,
+             const FccConfig &cfg)
 {
     // The compressed artifact is read via mmap when possible — the
     // Datasets it decodes to live in memory by design; the
@@ -242,7 +245,9 @@ loadDatasets(const std::string &fccPath, uint64_t &inputBytes)
         bytes = {owned.data(), owned.size()};
     }
     inputBytes = bytes.size();
-    return deserialize(bytes);
+    // One shared decode entry point: zlib-hybrid unwrap, container
+    // auto-detection, pooled FCC3 column decode.
+    return deserializeAuto(bytes, cfg.threads);
 }
 
 /** The §4 expansion of already-decoded datasets into a sink. */
@@ -355,7 +360,7 @@ decompressToSink(const std::string &fccPath, trace::TraceSink &sink,
                  const FccConfig &cfg)
 {
     uint64_t inputBytes = 0;
-    Datasets datasets = loadDatasets(fccPath, inputBytes);
+    Datasets datasets = loadDatasets(fccPath, inputBytes, cfg);
     return expandToSink(datasets, sink, cfg, inputBytes);
 }
 
@@ -367,7 +372,7 @@ decompressTraceFile(const std::string &fccPath,
     // Decode the input fully before opening (and truncating) the
     // output path: a corrupt .fcc must not clobber an existing file.
     uint64_t inputBytes = 0;
-    Datasets datasets = loadDatasets(fccPath, inputBytes);
+    Datasets datasets = loadDatasets(fccPath, inputBytes, cfg);
     auto sink = trace::openTraceSink(outPath, format);
     return expandToSink(datasets, *sink, cfg, inputBytes);
 }

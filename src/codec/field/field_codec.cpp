@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Field-codec implementations (plain varint, zigzag-delta,
+ * first-appearance dictionary, run-length) plus the analytical
+ * cost model behind chooseCodec().
+ */
+
+#include "codec/field/field_codec.hpp"
+
+#include <unordered_map>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace fcc::codec::field {
+
+namespace {
+
+/** Byte length of v's LEB128 varint encoding (1-10). */
+uint64_t
+varintLen(uint64_t v)
+{
+    uint64_t n = 1;
+    while (v >= 0x80) {
+        v >>= 7;
+        ++n;
+    }
+    return n;
+}
+
+uint64_t
+plainSize(std::span<const uint64_t> values)
+{
+    uint64_t bytes = 0;
+    for (uint64_t v : values)
+        bytes += varintLen(v);
+    return bytes;
+}
+
+uint64_t
+zigzagDeltaSize(std::span<const uint64_t> values)
+{
+    uint64_t bytes = 0;
+    uint64_t prev = 0;
+    for (uint64_t v : values) {
+        bytes += varintLen(
+            zigzagEncode(static_cast<int64_t>(v - prev)));
+        prev = v;
+    }
+    return bytes;
+}
+
+uint64_t
+dictSize(std::span<const uint64_t> values)
+{
+    std::unordered_map<uint64_t, uint64_t> index;
+    index.reserve(values.size());
+    uint64_t bytes = 0;
+    for (uint64_t v : values) {
+        auto [it, isNew] = index.try_emplace(v, index.size());
+        if (isNew)
+            bytes += varintLen(v);
+        bytes += varintLen(it->second);
+    }
+    return bytes + varintLen(index.size());
+}
+
+uint64_t
+rleSize(std::span<const uint64_t> values)
+{
+    uint64_t bytes = 0;
+    size_t i = 0;
+    while (i < values.size()) {
+        size_t run = 1;
+        while (i + run < values.size() &&
+               values[i + run] == values[i])
+            ++run;
+        bytes += varintLen(values[i]) + varintLen(run);
+        i += run;
+    }
+    return bytes;
+}
+
+} // namespace
+
+const char *
+fieldCodecName(FieldCodec codec)
+{
+    switch (codec) {
+      case FieldCodec::Plain:
+        return "plain";
+      case FieldCodec::ZigzagDelta:
+        return "zigzag";
+      case FieldCodec::Dict:
+        return "dict";
+      case FieldCodec::Rle:
+        return "rle";
+    }
+    return "?";
+}
+
+FieldCodec
+parseFieldCodecName(const std::string &name)
+{
+    for (uint8_t t = 0; t < fieldCodecCount; ++t)
+        if (name == fieldCodecName(static_cast<FieldCodec>(t)))
+            return static_cast<FieldCodec>(t);
+    throw util::Error("unknown field codec: " + name);
+}
+
+uint64_t
+encodedSize(std::span<const uint64_t> values, FieldCodec codec)
+{
+    switch (codec) {
+      case FieldCodec::Plain:
+        return plainSize(values);
+      case FieldCodec::ZigzagDelta:
+        return zigzagDeltaSize(values);
+      case FieldCodec::Dict:
+        return dictSize(values);
+      case FieldCodec::Rle:
+        return rleSize(values);
+    }
+    throw util::Error("field: bad codec tag");
+}
+
+FieldCodec
+chooseCodec(std::span<const uint64_t> values)
+{
+    FieldCodec best = FieldCodec::Plain;
+    uint64_t bestSize = plainSize(values);
+    const FieldCodec rest[] = {FieldCodec::ZigzagDelta,
+                               FieldCodec::Dict, FieldCodec::Rle};
+    for (FieldCodec codec : rest) {
+        uint64_t size = encodedSize(values, codec);
+        if (size < bestSize) {
+            best = codec;
+            bestSize = size;
+        }
+    }
+    return best;
+}
+
+std::vector<uint8_t>
+encodeColumn(std::span<const uint64_t> values, FieldCodec codec)
+{
+    util::ByteWriter w;
+    switch (codec) {
+      case FieldCodec::Plain:
+        for (uint64_t v : values)
+            w.varint(v);
+        break;
+
+      case FieldCodec::ZigzagDelta: {
+        uint64_t prev = 0;
+        for (uint64_t v : values) {
+            w.varint(zigzagEncode(static_cast<int64_t>(v - prev)));
+            prev = v;
+        }
+        break;
+      }
+
+      case FieldCodec::Dict: {
+        std::unordered_map<uint64_t, uint64_t> index;
+        index.reserve(values.size());
+        std::vector<uint64_t> dict;
+        std::vector<uint64_t> refs;
+        refs.reserve(values.size());
+        for (uint64_t v : values) {
+            auto [it, isNew] = index.try_emplace(v, dict.size());
+            if (isNew)
+                dict.push_back(v);
+            refs.push_back(it->second);
+        }
+        w.varint(dict.size());
+        for (uint64_t v : dict)
+            w.varint(v);
+        for (uint64_t r : refs)
+            w.varint(r);
+        break;
+      }
+
+      case FieldCodec::Rle: {
+        size_t i = 0;
+        while (i < values.size()) {
+            size_t run = 1;
+            while (i + run < values.size() &&
+                   values[i + run] == values[i])
+                ++run;
+            w.varint(values[i]);
+            w.varint(run);
+            i += run;
+        }
+        break;
+      }
+
+      default:
+        throw util::Error("field: bad codec tag");
+    }
+    return w.take();
+}
+
+std::vector<uint64_t>
+decodeColumn(std::span<const uint8_t> data, FieldCodec codec,
+             size_t count)
+{
+    util::ByteReader r(data);
+    std::vector<uint64_t> values;
+    values.reserve(count);
+    switch (codec) {
+      case FieldCodec::Plain:
+        for (size_t i = 0; i < count; ++i)
+            values.push_back(r.varint());
+        break;
+
+      case FieldCodec::ZigzagDelta: {
+        uint64_t prev = 0;
+        for (size_t i = 0; i < count; ++i) {
+            prev += static_cast<uint64_t>(zigzagDecode(r.varint()));
+            values.push_back(prev);
+        }
+        break;
+      }
+
+      case FieldCodec::Dict: {
+        uint64_t dictCount = r.varint();
+        // Every distinct value appears at least once, so a valid
+        // dictionary is never larger than the column.
+        util::require(dictCount <= count,
+                      "field: dictionary larger than column");
+        std::vector<uint64_t> dict;
+        dict.reserve(dictCount);
+        for (uint64_t i = 0; i < dictCount; ++i)
+            dict.push_back(r.varint());
+        for (size_t i = 0; i < count; ++i) {
+            uint64_t ref = r.varint();
+            util::require(ref < dictCount,
+                          "field: dictionary index out of range");
+            values.push_back(dict[ref]);
+        }
+        break;
+      }
+
+      case FieldCodec::Rle: {
+        while (values.size() < count) {
+            uint64_t v = r.varint();
+            uint64_t run = r.varint();
+            util::require(run >= 1 &&
+                              run <= count - values.size(),
+                          "field: run length out of range");
+            values.insert(values.end(), run, v);
+        }
+        break;
+      }
+
+      default:
+        throw util::Error("field: bad codec tag");
+    }
+    util::require(r.exhausted(),
+                  "field: trailing bytes after column");
+    return values;
+}
+
+} // namespace fcc::codec::field

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 
 #include "codec/fcc/fcc_codec.hpp"
 #include "codec/fcc/stream.hpp"
@@ -176,6 +177,150 @@ TEST(Stream, FullFileRoundTrip)
     trace::Trace restored = trace::readTshFile(tshOut);
     EXPECT_EQ(restored.size(), original.size());
     EXPECT_TRUE(restored.isTimeOrdered());
+
+    std::remove(tshIn.c_str());
+    std::remove(fccMid.c_str());
+    std::remove(tshOut.c_str());
+}
+
+TEST(Stream, CrossContainerMatrixDecodesIdentically)
+{
+    // One trace, compressed as FCC1, FCC2 and FCC3, must decompress
+    // to the identical TSH bytes. Expansion is driven by the chunk
+    // layout (one RNG stream per chunk, or the sequential legacy
+    // stream when unchunked), so equal layouts mean equal bytes:
+    // unchunked, all three containers agree; chunked, FCC2 and FCC3
+    // agree.
+    trace::Trace original = webTrace(35, 5.0);
+    std::string tshIn = tempPath("matrix_in.tsh");
+    trace::writeTshFile(original, tshIn);
+
+    auto compressAs = [&](fccc::ContainerFormat container,
+                          uint32_t chunkRecords,
+                          const char *name) {
+        fccc::FccConfig cfg;
+        cfg.container = container;
+        cfg.chunkRecords = chunkRecords;
+        std::string fcc = tempPath(name) + ".fcc";
+        fccc::compressTraceFile(tshIn, fcc, cfg);
+        std::string tsh = tempPath(name) + ".tsh";
+        fccc::decompressToTshFile(fcc, tsh, cfg);
+        std::ifstream in(tsh, std::ios::binary);
+        std::vector<uint8_t> bytes(
+            (std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+        EXPECT_FALSE(bytes.empty()) << name;
+        std::remove(fcc.c_str());
+        std::remove(tsh.c_str());
+        return bytes;
+    };
+
+    // Unchunked: all three containers, one sequential RNG stream.
+    auto v1 = compressAs(fccc::ContainerFormat::Fcc1, 0, "mx1");
+    auto v2 = compressAs(fccc::ContainerFormat::Fcc2, 0, "mx2");
+    auto v3 = compressAs(fccc::ContainerFormat::Fcc3, 0, "mx3");
+    EXPECT_EQ(v1, v2);
+    EXPECT_EQ(v1, v3);
+
+    // Chunked: FCC2 and FCC3 share the chunk layout and RNG streams.
+    auto c2 = compressAs(fccc::ContainerFormat::Fcc2, 256, "mc2");
+    auto c3 = compressAs(fccc::ContainerFormat::Fcc3, 256, "mc3");
+    EXPECT_EQ(c2, c3);
+
+    std::remove(tshIn.c_str());
+}
+
+TEST(Stream, Fcc3DeflateNoLargerThanFcc2)
+{
+    // The acceptance bar of the columnar refactor: on the reference
+    // seed-2005 trace, FCC3 with the deflate backend must not lose
+    // to the FCC2 whole-blob baseline.
+    trace::Trace original = webTrace(2005, 8.0);
+    std::string tshIn = tempPath("sz_in.tsh");
+    trace::writeTshFile(original, tshIn);
+
+    fccc::FccConfig cfg2;
+    cfg2.container = fccc::ContainerFormat::Fcc2;
+    std::string f2 = tempPath("sz2.fcc");
+    auto s2 = fccc::compressTraceFile(tshIn, f2, cfg2);
+
+    fccc::FccConfig cfg3;
+    cfg3.container = fccc::ContainerFormat::Fcc3;
+    cfg3.backend = codec::backend::EntropyBackend::Deflate;
+    std::string f3 = tempPath("sz3.fcc");
+    auto s3 = fccc::compressTraceFile(tshIn, f3, cfg3);
+
+    EXPECT_LE(s3.outputBytes, s2.outputBytes);
+    EXPECT_GT(s3.outputBytes, 0u);
+
+    std::remove(tshIn.c_str());
+    std::remove(f2.c_str());
+    std::remove(f3.c_str());
+}
+
+TEST(Stream, Fcc3ByteIdenticalAcrossThreadCounts)
+{
+    // FCC3 with the deflate backend round-trips byte-identically at
+    // 1/2/4/8 threads, both directions.
+    trace::Trace original = webTrace(36, 5.0);
+    std::string tshIn = tempPath("thr_in.tsh");
+    trace::writeTshFile(original, tshIn);
+
+    std::vector<uint8_t> refFcc, refTsh;
+    for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+        fccc::FccConfig cfg;
+        cfg.container = fccc::ContainerFormat::Fcc3;
+        cfg.threads = threads;
+        cfg.chunkRecords = 64;  // span several chunks
+        std::string fcc = tempPath("thr.fcc");
+        fccc::compressTraceFile(tshIn, fcc, cfg);
+        std::ifstream in(fcc, std::ios::binary);
+        std::vector<uint8_t> fccBytes(
+            (std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+        auto tshBytes = trace::writeTsh(
+            fccc::FccTraceCompressor(cfg).decompress(fccBytes));
+        if (threads == 1) {
+            refFcc = fccBytes;
+            refTsh = tshBytes;
+            EXPECT_FALSE(refFcc.empty());
+        } else {
+            EXPECT_EQ(fccBytes, refFcc) << threads << " threads";
+            EXPECT_EQ(tshBytes, refTsh) << threads << " threads";
+        }
+        std::remove(fcc.c_str());
+    }
+    std::remove(tshIn.c_str());
+}
+
+TEST(Stream, HybridDeflateRoundTripsViaStreaming)
+{
+    // The whole-blob hybrid deflate must work file-to-file in both
+    // directions: streaming compression writes the zlib wrapper
+    // (same single serializeDatasets entry point as the in-memory
+    // codec) and streaming decompression unwraps it before
+    // container detection.
+    trace::Trace original = webTrace(37, 4.0);
+    std::string tshIn = tempPath("hybrid_in.tsh");
+    trace::writeTshFile(original, tshIn);
+
+    fccc::FccConfig cfg;
+    cfg.deflateDatasets = true;
+    std::string fccMid = tempPath("hybrid.fcc");
+    std::string tshOut = tempPath("hybrid.tsh");
+    auto cstats = fccc::compressTraceFile(tshIn, fccMid, cfg);
+
+    std::ifstream in(fccMid, std::ios::binary);
+    std::vector<uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    ASSERT_FALSE(bytes.empty());
+    EXPECT_EQ(bytes[0], 0x78);  // zlib CMF
+    EXPECT_EQ(cstats.outputBytes, bytes.size());
+
+    auto stats = fccc::decompressToTshFile(fccMid, tshOut, cfg);
+    EXPECT_EQ(stats.packets, original.size());
+    EXPECT_EQ(stats.inputBytes, bytes.size());
 
     std::remove(tshIn.c_str());
     std::remove(fccMid.c_str());
