@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Random-access microbenchmark: what does the chunk/flow index of a
+ * seekable FCC3 archive save on the seed-2005 reference trace?
+ *
+ * Compresses the trace once as an indexed archive, then compares a
+ * full decompression against indexed queries (single-flow
+ * extraction, a time window): chunks decoded, archive bytes read
+ * and wall time, plus the index's size overhead.
+ *
+ * Run: ./build/bench/micro_query [--smoke] [--json out.json]
+ *
+ * The JSON output feeds the CI perf-regression gate; see
+ * scripts/perf_check.py and bench/perf_baseline.json. The
+ * chunk/byte reductions are structural (deterministic given the
+ * seed), so their floors trip on planner regressions, not on
+ * machine noise.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "codec/fcc/datasets.hpp"
+#include "codec/fcc/stream.hpp"
+#include "query/query.hpp"
+#include "trace/packet.hpp"
+#include "trace/tsh.hpp"
+#include "trace/web_gen.hpp"
+
+using namespace fcc;
+namespace fccc = fcc::codec::fcc;
+
+namespace {
+
+double
+secondsOf(const std::function<void()> &fn, int reps)
+{
+    double best = 1e100;
+    for (int r = 0; r < reps; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        fn();
+        auto t1 = std::chrono::steady_clock::now();
+        best = std::min(
+            best, std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+}
+
+void
+printRow(const char *mode, const query::QueryStats &stats,
+         double seconds, double fullSeconds)
+{
+    std::printf("%-14s %8llu/%-6llu %10.3f %8.1f%% %9.2f %8.2fx\n",
+                mode,
+                static_cast<unsigned long long>(stats.chunksDecoded),
+                static_cast<unsigned long long>(stats.chunksTotal),
+                static_cast<double>(stats.bytesRead) / 1e6,
+                stats.fileBytes
+                    ? 100.0 * static_cast<double>(stats.bytesRead) /
+                          static_cast<double>(stats.fileBytes)
+                    : 0.0,
+                seconds * 1e3,
+                seconds > 0 ? fullSeconds / seconds : 0.0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = bench::smokeMode();
+    std::string jsonPath;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            jsonPath = argv[++i];
+    }
+    bench::JsonMetrics metrics;
+    const int reps = smoke ? 2 : 5;
+
+    trace::WebGenConfig cfg;
+    cfg.seed = 2005;
+    cfg.durationSec = smoke ? 3.0 : 60.0;
+    cfg.flowsPerSec = smoke ? 60.0 : 200.0;
+    trace::WebTrafficGenerator gen(cfg);
+    trace::Trace trace = gen.generate();
+
+    std::string tshPath = "micro_query_tmp.tsh";
+    std::string fccPath = "micro_query_tmp.fcc";
+    trace::writeTshFile(trace, tshPath);
+
+    fccc::FccConfig fcfg;
+    fcfg.container = fccc::ContainerFormat::Fcc3;
+    fcfg.chunkRecords = smoke ? 32 : 256;
+    fcfg.threads = 1;
+    fcfg.index = true;
+    auto cstats = fccc::compressTraceFile(tshPath, fccPath, fcfg);
+
+    fccc::ContainerStat stat;
+    query::FccArchive archive(fccPath, fcfg);
+
+    std::printf("# random access vs full decode, seed=2005, "
+                "%zu packets, %llu flows, %u-record chunks%s\n",
+                trace.size(),
+                static_cast<unsigned long long>(cstats.flows),
+                fcfg.chunkRecords, smoke ? " (smoke mode)" : "");
+    std::printf("# archive: %llu bytes (index included)\n\n",
+                static_cast<unsigned long long>(
+                    cstats.outputBytes));
+
+    // Decode the datasets once to build predicates. The flow to
+    // extract uses a server from the Zipf tail (the last address
+    // is among the least popular — discovered, not hard-coded, so
+    // the workload stays meaningful if the generator's popularity
+    // model changes).
+    fccc::Datasets d;
+    {
+        auto src = util::openByteSource(fccPath);
+        std::vector<uint8_t> owned;
+        d = fccc::deserialize(util::readAllBytes(*src, owned),
+                              nullptr, &stat);
+    }
+    uint32_t rareIp = d.addresses.back();
+    uint64_t midUs = d.timeSeq[d.timeSeq.size() / 2].firstTimestampUs;
+
+    std::printf("%-14s %15s %10s %9s %9s %9s\n", "mode",
+                "chunks dec/tot", "MB read", "% read", "ms",
+                "speedup");
+
+    query::Predicate all;
+    query::QueryStats fullStats;
+    double fullSec = secondsOf(
+        [&] {
+            query::NullTraceSink sink;
+            fullStats = archive.run(all, sink,
+                                    /*forceFullDecode=*/true);
+        },
+        reps);
+    printRow("full decode", fullStats, fullSec, fullSec);
+
+    query::Predicate flowPred;
+    flowPred.serverIp = rareIp;
+    query::QueryStats flowStats;
+    double flowSec = secondsOf(
+        [&] {
+            query::NullTraceSink sink;
+            flowStats = archive.run(flowPred, sink);
+        },
+        reps);
+    printRow("--flow", flowStats, flowSec, fullSec);
+
+    query::Predicate timePred;
+    timePred.timeUs = {midUs, midUs + 1'000'000};
+    query::QueryStats timeStats;
+    double timeSec = secondsOf(
+        [&] {
+            query::NullTraceSink sink;
+            timeStats = archive.run(timePred, sink);
+        },
+        reps);
+    printRow("--time (1s)", timeStats, timeSec, fullSec);
+
+    std::printf("\nindex overhead: %llu bytes (%.2f%% of "
+                "archive)\n",
+                static_cast<unsigned long long>(stat.sizes.indexBytes),
+                cstats.outputBytes
+                    ? 100.0 * static_cast<double>(stat.sizes.indexBytes) /
+                          static_cast<double>(cstats.outputBytes)
+                    : 0.0);
+
+    // Gate metrics (higher = better). The reductions are
+    // deterministic properties of the planner on the seed workload;
+    // the floors in bench/perf_baseline.json trip when a change
+    // makes queries touch more chunks or bytes than they must.
+    double chunkReduction = flowStats.chunksDecoded
+        ? static_cast<double>(flowStats.chunksTotal) /
+            static_cast<double>(flowStats.chunksDecoded)
+        : 0.0;
+    double bytesReduction = flowStats.bytesRead
+        ? static_cast<double>(flowStats.fileBytes) /
+            static_cast<double>(flowStats.bytesRead)
+        : 0.0;
+    metrics.add("query_flow_chunk_reduction", chunkReduction);
+    metrics.add("query_flow_bytes_reduction", bytesReduction);
+    metrics.add("query_flow_speedup",
+                flowSec > 0 ? fullSec / flowSec : 0.0);
+
+    std::remove(tshPath.c_str());
+    std::remove(fccPath.c_str());
+
+    if (flowStats.chunksDecoded >= flowStats.chunksTotal ||
+        flowStats.bytesRead >= flowStats.fileBytes) {
+        std::fprintf(stderr,
+                     "FAIL: single-flow query did not beat the "
+                     "full decode\n");
+        return 1;
+    }
+
+    if (!jsonPath.empty()) {
+        if (!metrics.writeTo(jsonPath)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         jsonPath.c_str());
+            return 1;
+        }
+        std::printf("\n# metrics written to %s\n", jsonPath.c_str());
+    }
+    return 0;
+}

@@ -54,6 +54,30 @@ loadTrace(const char *file)
     return trace::readAllPackets(*src);
 }
 
+int
+usage(const char *argv0, bool failed)
+{
+    std::fprintf(
+        failed ? stderr : stdout,
+        "usage: %s [options] [trace.pcap|trace.tsh]\n"
+        "\n"
+        "Compare the paper's four compression methods (§5) on a\n"
+        "trace; with no input file, a deterministic synthetic web\n"
+        "trace is used. Input format (TSH, pcap, pcapng, each\n"
+        "optionally gzip'd) is auto-detected.\n"
+        "\n"
+        "  --threads N       FCC pipeline workers, 0 = all cores\n"
+        "                    (default; compressed bytes never\n"
+        "                    depend on it)\n"
+        "  --container FMT   fcc1|fcc2|fcc3 wire container of the\n"
+        "                    \"fcc\" row (default fcc2)\n"
+        "  --backend NAME    store|deflate|range — FCC3 per-column\n"
+        "                    entropy backend (default deflate)\n"
+        "  --help            this text\n",
+        argv0);
+    return failed ? 2 : 0;
+}
+
 } // namespace
 
 int
@@ -62,8 +86,10 @@ main(int argc, char **argv)
     codec::fcc::FccConfig fccCfg;
     int arg = 1;
     while (arg < argc && std::strncmp(argv[arg], "--", 2) == 0) {
-        if (std::strcmp(argv[arg], "--threads") == 0 &&
-            arg + 1 < argc) {
+        if (std::strcmp(argv[arg], "--help") == 0) {
+            return usage(argv[0], false);
+        } else if (std::strcmp(argv[arg], "--threads") == 0 &&
+                   arg + 1 < argc) {
             int threads = std::atoi(argv[arg + 1]);
             if (threads < 0) {
                 std::fprintf(stderr,
@@ -93,13 +119,7 @@ main(int argc, char **argv)
             }
             arg += 2;
         } else {
-            std::fprintf(stderr,
-                         "usage: %s [--threads N] "
-                         "[--container fcc1|fcc2|fcc3] "
-                         "[--backend store|deflate|range] "
-                         "[trace.pcap|trace.tsh]\n",
-                         argv[0]);
-            return 2;
+            return usage(argv[0], true);
         }
     }
 

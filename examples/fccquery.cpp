@@ -1,0 +1,210 @@
+/**
+ * @file
+ * fccquery — random access into seekable FCC archives: extract one
+ * flow or one time window without inflating the whole file.
+ *
+ *   fccquery [options] <in.fcc> [<out>]
+ *
+ * Predicates (AND-combined; no predicate = everything):
+ *   --flow A.B.C.D       flows whose stored server (destination)
+ *                        address matches — the 5-tuple component
+ *                        the lossy codec preserves
+ *   --time T0:T1         packets inside [T0, T1] seconds (floats,
+ *                        absolute trace time)
+ *   --min-packets N      flows of at least N packets
+ *
+ * Modes and options:
+ *   --count              print match counts only (no output file)
+ *   --no-index           force the full-decode path (comparison /
+ *                        troubleshooting)
+ *   --threads N          worker threads (0 = all cores, default)
+ *   --out-format F       auto|tsh|pcap|pcapng (default: auto — by
+ *                        output extension)
+ *   --help               this text
+ *
+ * On an indexed archive (fcctool --index compress) the tool reads
+ * the index block from the file's tail, rules chunks out via the
+ * per-chunk summaries (Bloom server fingerprints, timestamp
+ * bounds, flow-size maxima) and decodes only the surviving chunks —
+ * the "chunks decoded" / "bytes read" lines show the saving. On
+ * un-indexed files (FCC1/FCC2/plain FCC3) it falls back to a full
+ * decode with identical results. Extracted packets are bit-exact
+ * with a full `fcctool decompress` filtered the same way: chunk
+ * RNG streams are seeded by original chunk index. See
+ * docs/QUERY.md.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "query/query.hpp"
+#include "trace/packet.hpp"
+#include "util/error.hpp"
+
+using namespace fcc;
+
+namespace {
+
+int
+usage(const char *argv0, bool failed)
+{
+    std::fprintf(
+        failed ? stderr : stdout,
+        "usage: %s [--flow A.B.C.D] [--time T0:T1] "
+        "[--min-packets N]\n"
+        "          [--count] [--no-index] [--threads N]\n"
+        "          [--out-format auto|tsh|pcap|pcapng] "
+        "<in.fcc> [<out>]\n"
+        "\n"
+        "Extract flows/packets from an FCC archive by predicate\n"
+        "(all given predicates must hold):\n"
+        "  --flow A.B.C.D    flows with this server (destination)\n"
+        "                    address\n"
+        "  --time T0:T1      packets between T0 and T1 seconds\n"
+        "                    (absolute trace time, floats)\n"
+        "  --min-packets N   flows of at least N packets\n"
+        "  --count           print counts only; no <out> needed\n"
+        "  --no-index        ignore the chunk index (full decode)\n"
+        "  --threads N       workers, 0 = all cores (default)\n"
+        "  --out-format F    auto|tsh|pcap|pcapng (default auto:\n"
+        "                    picked from the <out> extension)\n"
+        "  --help            show this text\n",
+        argv0);
+    return failed ? 2 : 0;
+}
+
+/** Parse "T0:T1" in (float) seconds to inclusive microseconds. */
+std::pair<uint64_t, uint64_t>
+parseTimeWindow(const char *text)
+{
+    const char *colon = std::strchr(text, ':');
+    util::require(colon != nullptr && colon != text &&
+                      colon[1] != '\0',
+                  "--time expects T0:T1 (seconds)");
+    char *end = nullptr;
+    double t0 = std::strtod(text, &end);
+    util::require(end == colon, "--time: bad T0");
+    double t1 = std::strtod(colon + 1, &end);
+    util::require(*end == '\0', "--time: bad T1");
+    util::require(t0 >= 0 && t1 >= t0,
+                  "--time: window must be 0 <= T0 <= T1");
+    return {static_cast<uint64_t>(t0 * 1e6),
+            static_cast<uint64_t>(t1 * 1e6)};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    codec::fcc::FccConfig cfg;
+    query::Predicate pred;
+    trace::TraceFormatSpec outFormat;
+    bool countOnly = false;
+    bool noIndex = false;
+    int arg = 1;
+    try {
+        while (arg < argc && std::strncmp(argv[arg], "--", 2) == 0) {
+            if (std::strcmp(argv[arg], "--help") == 0) {
+                return usage(argv[0], false);
+            } else if (std::strcmp(argv[arg], "--flow") == 0 &&
+                       arg + 1 < argc) {
+                pred.serverIp = trace::parseIp(argv[arg + 1]);
+                arg += 2;
+            } else if (std::strcmp(argv[arg], "--time") == 0 &&
+                       arg + 1 < argc) {
+                pred.timeUs = parseTimeWindow(argv[arg + 1]);
+                arg += 2;
+            } else if (std::strcmp(argv[arg], "--min-packets") == 0 &&
+                       arg + 1 < argc) {
+                int n = std::atoi(argv[arg + 1]);
+                if (n < 1) {
+                    std::fprintf(
+                        stderr,
+                        "error: --min-packets must be >= 1\n");
+                    return 2;
+                }
+                pred.minFlowPackets = static_cast<uint32_t>(n);
+                arg += 2;
+            } else if (std::strcmp(argv[arg], "--count") == 0) {
+                countOnly = true;
+                ++arg;
+            } else if (std::strcmp(argv[arg], "--no-index") == 0) {
+                noIndex = true;
+                ++arg;
+            } else if (std::strcmp(argv[arg], "--threads") == 0 &&
+                       arg + 1 < argc) {
+                int threads = std::atoi(argv[arg + 1]);
+                if (threads < 0) {
+                    std::fprintf(stderr,
+                                 "error: --threads must be >= 0\n");
+                    return 2;
+                }
+                cfg.threads = static_cast<uint32_t>(threads);
+                arg += 2;
+            } else if (std::strcmp(argv[arg], "--out-format") == 0 &&
+                       arg + 1 < argc) {
+                outFormat =
+                    trace::parseTraceFormatSpec(argv[arg + 1]);
+                arg += 2;
+            } else {
+                return usage(argv[0], true);
+            }
+        }
+    } catch (const util::Error &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 2;
+    }
+    if (arg >= argc || (!countOnly && arg + 1 >= argc))
+        return usage(argv[0], true);
+    std::string inPath = argv[arg];
+
+    try {
+        query::FccArchive archive(inPath, cfg);
+        if (archive.indexCorrupt())
+            std::fprintf(stderr,
+                         "warning: %s: index block is corrupt; "
+                         "falling back to full decode\n",
+                         inPath.c_str());
+
+        query::QueryStats stats;
+        if (countOnly) {
+            query::NullTraceSink sink;
+            stats = archive.run(pred, sink, noIndex);
+        } else {
+            auto sink =
+                trace::openTraceSink(argv[arg + 1], outFormat);
+            stats = archive.run(pred, *sink, noIndex);
+        }
+
+        std::printf("matched:        %llu packets in %llu flows\n",
+                    static_cast<unsigned long long>(
+                        stats.packetsMatched),
+                    static_cast<unsigned long long>(
+                        stats.flowsMatched));
+        std::printf("index:          %s\n",
+                    stats.usedIndex ? "used"
+                                    : (archive.hasIndex()
+                                           ? "bypassed (--no-index)"
+                                           : "none (full decode)"));
+        std::printf("chunks decoded: %llu / %llu\n",
+                    static_cast<unsigned long long>(
+                        stats.chunksDecoded),
+                    static_cast<unsigned long long>(
+                        stats.chunksTotal));
+        std::printf("bytes read:     %llu / %llu (%.1f%%)\n",
+                    static_cast<unsigned long long>(stats.bytesRead),
+                    static_cast<unsigned long long>(stats.fileBytes),
+                    stats.fileBytes
+                        ? 100.0 * static_cast<double>(
+                                      stats.bytesRead) /
+                              static_cast<double>(stats.fileBytes)
+                        : 0.0);
+        return 0;
+    } catch (const util::Error &error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+}

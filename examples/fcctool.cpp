@@ -17,19 +17,28 @@
  *   --threshold <pct>    similarity threshold (default 2.0, eq. 4)
  *   --cutoff <n>         short/long split (default 50)
  *   --threads <n>        pipeline workers (0 = all cores, default)
+ *   --chunk-records <n>  time-seq records per chunk (default 4096;
+ *                        the unit of parallel decode and random
+ *                        access, 0 = unchunked)
  *   --container <fmt>    fcc1|fcc2|fcc3 (default fcc3, the columnar
  *                        container; decompression auto-detects)
  *   --backend <name>     store|deflate|range — FCC3 per-column
  *                        entropy backend (default deflate)
+ *   --index              compress: write a seekable archive (FCC3
+ *                        chunk/flow index for fccquery);
+ *                        info: also print the per-chunk index table
  *   --in-format <fmt>    auto|tsh|pcap|pcapng[.gz]  (default auto)
  *   --out-format <fmt>   auto|tsh|pcap|pcapng       (default auto:
  *                        decompress/convert pick by extension)
+ *   --help               full flag reference
  *
- * `info` on an .fcc file prints the container version; for FCC3 it
- * adds the per-column table (field codec, entropy backend, encoded
- * and stored bytes) and the per-dataset *compressed* sizes — where
- * the file's bytes actually go, not the pre-backend serialized
- * sizes.
+ * `info` on an .fcc file prints the container version and whether
+ * the file carries a chunk/flow index (an explicit "none" when it
+ * does not — absence is a property, not an empty table); for FCC3
+ * it adds the per-column table (field codec, entropy backend,
+ * encoded and stored bytes) and the per-dataset *compressed*
+ * sizes — where the file's bytes actually go, not the pre-backend
+ * serialized sizes.
  */
 
 #include <cstdio>
@@ -42,6 +51,7 @@
 #include "codec/deflate/deflate.hpp"
 #include "codec/fcc/datasets.hpp"
 #include "codec/fcc/fcc_codec.hpp"
+#include "codec/fcc/index.hpp"
 #include "codec/fcc/stream.hpp"
 #include "flow/flow_stats.hpp"
 #include "flow/flow_table.hpp"
@@ -53,22 +63,46 @@ using namespace fcc;
 namespace {
 
 int
-usage(const char *argv0)
+usage(const char *argv0, bool failed = true)
 {
     std::fprintf(
-        stderr,
-        "usage: %s [--threshold PCT] [--cutoff N] [--threads N]\n"
-        "          [--container fcc1|fcc2|fcc3] "
-        "[--backend store|deflate|range]\n"
-        "          [--in-format auto|tsh|pcap|pcapng[.gz]]\n"
-        "          [--out-format auto|tsh|pcap|pcapng] "
-        "<command> ...\n"
+        failed ? stderr : stdout,
+        "usage: %s [options] <command> ...\n"
+        "\n"
+        "commands:\n"
         "  compress   <in>      <out.fcc>   (in: any trace format)\n"
         "  decompress <in.fcc>  <out>\n"
-        "  info       <file>\n"
-        "  convert    <in> <out>            (any format to any)\n",
+        "  info       <file>                (trace or .fcc)\n"
+        "  convert    <in> <out>            (any format to any)\n"
+        "\n"
+        "options (before the command):\n"
+        "  --threshold PCT   similarity threshold of eq. 4\n"
+        "                    (default 2.0)\n"
+        "  --cutoff N        short/long flow split in packets\n"
+        "                    (default 50)\n"
+        "  --threads N       pipeline workers, 0 = all cores\n"
+        "                    (default; output bytes never depend\n"
+        "                    on it)\n"
+        "  --chunk-records N time-seq records per chunk (default\n"
+        "                    4096; the unit of parallel decode and\n"
+        "                    of random access — see --index; 0 =\n"
+        "                    unchunked legacy layout)\n"
+        "  --container FMT   fcc1|fcc2|fcc3 wire container\n"
+        "                    (default fcc3; decompression\n"
+        "                    auto-detects all three)\n"
+        "  --backend NAME    store|deflate|range — FCC3 per-column\n"
+        "                    entropy backend (default deflate)\n"
+        "  --index           compress: write a seekable archive\n"
+        "                    (chunk/flow index; fcc3 only, see\n"
+        "                    fccquery); info: print the per-chunk\n"
+        "                    index table\n"
+        "  --in-format FMT   auto|tsh|pcap|pcapng[.gz]\n"
+        "                    (default auto: detect by magic bytes)\n"
+        "  --out-format FMT  auto|tsh|pcap|pcapng (default auto:\n"
+        "                    pick by output extension)\n"
+        "  --help            this text\n",
         argv0);
-    return 2;
+    return failed ? 2 : 0;
 }
 
 bool
@@ -132,7 +166,7 @@ infoTrace(const std::string &path,
 }
 
 void
-infoFcc(const std::string &path)
+infoFcc(const std::string &path, bool showIndex)
 {
     std::ifstream in(path, std::ios::binary);
     util::require(in.good(), "cannot open " + path);
@@ -149,13 +183,30 @@ infoFcc(const std::string &path)
     std::printf("FCC compressed trace (%zu bytes%s)\n", fileBytes,
                 hybrid ? ", whole-blob deflate" : "");
     if (stat.version == 3)
-        std::printf("container:        FCC3 columnar (%zu chunks)\n",
-                    d.chunkSizes.size());
+        std::printf("container:        FCC3 columnar (%zu chunks%s)\n",
+                    d.chunkSizes.size(),
+                    stat.hasIndex ? ", indexed" : "");
     else if (stat.version == 2)
         std::printf("container:        FCC2 (%zu chunks)\n",
                     d.chunkSizes.size());
     else
         std::printf("container:        FCC1 (single stream)\n");
+    // Index absence is a property of the file, not an empty table:
+    // say it explicitly either way.
+    if (stat.hasIndex)
+        std::printf("index:            %zu chunks, %llu bytes "
+                    "(%.1f%% of file)\n",
+                    d.chunkSizes.size(),
+                    static_cast<unsigned long long>(
+                        stat.sizes.indexBytes),
+                    fileBytes ? 100.0 *
+                                    static_cast<double>(
+                                        stat.sizes.indexBytes) /
+                                    static_cast<double>(fileBytes)
+                              : 0.0);
+    else
+        std::printf("index:            none (random access needs "
+                    "a full decode; write with --index)\n");
     std::printf("weights:          {%u, %u, %u}\n", d.weights.w1,
                 d.weights.w2, d.weights.w3);
     std::printf("flows (time-seq): %zu\n", d.timeSeq.size());
@@ -209,6 +260,36 @@ infoFcc(const std::string &path)
                             col.encodedBytes),
                         static_cast<unsigned long long>(
                             col.storedBytes));
+        if (stat.hasIndex)
+            std::printf("(indexed archive: ts_* rows aggregate the "
+                        "per-chunk frames;\n tags show chunk 0's "
+                        "choice)\n");
+    }
+
+    if (showIndex && stat.hasIndex) {
+        auto index = codec::fcc::readArchiveIndex(bytes);
+        util::require(index.has_value(),
+                      "fcc index: footer vanished mid-info");
+        std::printf("\nindex (gap %u us):\n", index->gapUs);
+        std::printf("%6s %10s %10s %8s %8s %12s %12s %8s\n",
+                    "chunk", "offset", "bytes", "flows", "packets",
+                    "first (s)", "last <= (s)", "bloom b");
+        for (size_t c = 0; c < index->chunks.size(); ++c) {
+            const auto &s = index->chunks[c];
+            std::printf(
+                "%6zu %10llu %10llu %8llu %8llu %12.3f %12.3f "
+                "%8u\n",
+                c, static_cast<unsigned long long>(s.byteOffset),
+                static_cast<unsigned long long>(s.byteLength),
+                static_cast<unsigned long long>(s.records),
+                static_cast<unsigned long long>(s.packets),
+                static_cast<double>(s.minFirstUs) * 1e-6,
+                static_cast<double>(s.maxEndUs) * 1e-6,
+                s.bloomBits);
+        }
+    } else if (showIndex) {
+        std::printf("\n(no index table: the file has no index "
+                    "block)\n");
     }
 }
 
@@ -223,11 +304,20 @@ main(int argc, char **argv)
     // keeps the row formats fully writable.
     cfg.container = codec::fcc::ContainerFormat::Fcc3;
     trace::TraceFormatSpec inFormat, outFormat;
+    bool showIndex = false;
     int arg = 1;
     try {
         while (arg < argc && std::strncmp(argv[arg], "--", 2) == 0) {
-            if (std::strcmp(argv[arg], "--threshold") == 0 &&
-                arg + 1 < argc) {
+            if (std::strcmp(argv[arg], "--help") == 0) {
+                return usage(argv[0], false);
+            } else if (std::strcmp(argv[arg], "--index") == 0) {
+                // Compress: write the chunk/flow index; info: show
+                // the per-chunk table.
+                cfg.index = true;
+                showIndex = true;
+                ++arg;
+            } else if (std::strcmp(argv[arg], "--threshold") == 0 &&
+                       arg + 1 < argc) {
                 cfg.rule.percent = std::atof(argv[arg + 1]);
                 arg += 2;
             } else if (std::strcmp(argv[arg], "--cutoff") == 0 &&
@@ -244,6 +334,18 @@ main(int argc, char **argv)
                     return 2;
                 }
                 cfg.threads = static_cast<uint32_t>(threads);
+                arg += 2;
+            } else if (std::strcmp(argv[arg], "--chunk-records") ==
+                           0 &&
+                       arg + 1 < argc) {
+                int records = std::atoi(argv[arg + 1]);
+                if (records < 0) {
+                    std::fprintf(
+                        stderr,
+                        "error: --chunk-records must be >= 0\n");
+                    return 2;
+                }
+                cfg.chunkRecords = static_cast<uint32_t>(records);
                 arg += 2;
             } else if (std::strcmp(argv[arg], "--container") == 0 &&
                        arg + 1 < argc) {
@@ -306,12 +408,12 @@ main(int argc, char **argv)
         if (command == "info" && arg < argc) {
             std::string path = argv[arg];
             if (hasSuffix(path, ".fcc") || isFccFile(path)) {
-                infoFcc(path);
+                infoFcc(path, showIndex);
             } else if (isZlibStart(path)) {
                 // Could be a whole-blob-deflated FCC file or just a
                 // trace whose first byte happens to be 0x78.
                 try {
-                    infoFcc(path);
+                    infoFcc(path, showIndex);
                 } catch (const util::Error &) {
                     infoTrace(path, inFormat);
                 }

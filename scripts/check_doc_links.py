@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""CI link checker for the repository's Markdown docs.
+
+Scans every tracked .md file for relative Markdown links/images
+(`[text](path)`, `![alt](path)`) and fails when a target does not
+exist relative to the file. External links (http/https/mailto),
+pure in-page anchors (#...) and badge/workflow URLs are skipped;
+an anchor suffix on a relative link (FILE.md#section) is checked
+against the file only.
+
+Usage: scripts/check_doc_links.py [root-dir]
+"""
+
+import os
+import re
+import sys
+
+# [text](target) — target up to the first unescaped ')'; tolerates
+# an optional "title" part which we strip below.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in {".git", "build", "build-asan", "build-tsan",
+                         "build-strict", ".github"}
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    failures = []
+    checked = 0
+    for path in sorted(md_files(root)):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        for match in LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            # Badge-style repo-relative links (../../actions/...)
+            # point at the forge, not the tree.
+            if "/actions/" in target:
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            checked += 1
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target))
+            if not os.path.exists(resolved):
+                failures.append(f"{path}: broken link -> {target}")
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    print(f"checked {checked} relative links"
+          f" ({'FAIL' if failures else 'ok'})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,10 @@
  *    cost and an entropy backend (codec/backend) with per-column
  *    Store fallback. Column encode/decode jobs are independent, so
  *    they parallelize on a thread pool without changing a byte of
- *    output.
+ *    output. The indexed variant (high bit of the column-count
+ *    byte) frames the five time-seq columns per chunk and appends
+ *    the chunk/flow index block of codec/fcc/index.hpp, making
+ *    every chunk an independently seekable byte range.
  */
 
 #include "codec/fcc/datasets.hpp"
@@ -23,6 +26,7 @@
 #include <array>
 #include <new>
 
+#include "codec/fcc/index.hpp"
 #include "util/bytes.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -214,27 +218,10 @@ readRecord(util::ByteReader &r, const Datasets &d, uint64_t &prevUs)
 // FCC3: columnar container
 // ---------------------------------------------------------------------------
 
-/**
- * The fixed column set of the FCC3 container, in wire order. The
- * column count is written to the file, so adding a column bumps the
- * format observably instead of silently misparsing.
- */
-enum ColumnId : size_t
-{
-    ColShortLen = 0,   ///< short-template lengths
-    ColShortS,         ///< concatenated short-template S values
-    ColLongLen,        ///< long-template lengths
-    ColLongS,          ///< concatenated long-template S values
-    ColLongIpt,        ///< concatenated inter-packet times
-    ColAddr,           ///< unique server addresses
-    ColTsTime,         ///< per-flow first timestamps (absolute)
-    ColTsIsLong,       ///< per-flow S/L identifier
-    ColTsTemplate,     ///< per-flow template index
-    ColTsRtt,          ///< per-SHORT-flow RTT (one value per short)
-    ColTsAddr,         ///< per-flow address index
-    ColChunkLen,       ///< records per chunk (empty = unchunked)
-    columnCount
-};
+// The column ids live in the header (Fcc3ColumnId) — the
+// random-access reader shares them; short aliases here.
+constexpr size_t columnCount = fcc3ColumnCount;
+using ColumnValues = Fcc3Columns;
 
 constexpr const char *columnNames[columnCount] = {
     "short_len", "short_s",     "long_len", "long_s",
@@ -251,8 +238,6 @@ constexpr const char *columnNames[columnCount] = {
  * in-memory model handles).
  */
 constexpr uint64_t maxColumnValues = uint64_t{1} << 27;
-
-using ColumnValues = std::array<std::vector<uint64_t>, columnCount>;
 
 /** Decompose the datasets into the twelve FCC3 columns. */
 ColumnValues
@@ -377,89 +362,34 @@ breakdownBucket(SizeBreakdown &sizes, size_t col)
     }
 }
 
-Datasets
-deserializeColumnar(util::ByteReader &r, util::ThreadPool *pool,
-                    ContainerStat *stat)
+/**
+ * Run @p count column-decode jobs (on @p pool when given), mapping a
+ * corrupt-count bad_alloc to Error like every other malformed
+ * construct instead of letting it escape.
+ */
+void
+runDecodeJobs(size_t count, util::ThreadPool *pool,
+              const std::function<void(size_t)> &decodeOne)
 {
-    Datasets d;
-    d.weights.w1 = r.u16();
-    d.weights.w2 = r.u16();
-    d.weights.w3 = r.u16();
-    util::require(d.weights.decodable(),
-                  "fcc: stored weights are not decodable");
-    uint8_t cols = r.u8();
-    util::require(cols == columnCount,
-                  "fcc3: unexpected column count");
-    uint64_t headerBytes = r.position();
-
-    // Sequential framing scan: cheap, and it leaves one independent
-    // (decompress + decode) job per column for the pool.
-    struct Frame
-    {
-        field::FieldCodec codec = field::FieldCodec::Plain;
-        backend::EntropyBackend backend =
-            backend::EntropyBackend::Store;
-        uint64_t values = 0;
-        uint64_t encodedBytes = 0;
-        uint64_t storedBytes = 0;
-        std::vector<uint8_t> payload;
-    };
-    std::array<Frame, columnCount> frames;
-    uint64_t totalValues = 0;
-    for (auto &frame : frames) {
-        size_t mark = r.position();
-        frame.values = r.varint();
-        util::require(frame.values <= maxColumnValues,
-                      "fcc3: column too large");
-        totalValues += frame.values;
-        util::require(totalValues <= maxColumnValues,
-                      "fcc3: columns too large");
-        uint8_t codecTag = r.u8();
-        util::require(codecTag < field::fieldCodecCount,
-                      "fcc3: bad field codec tag");
-        frame.codec = static_cast<field::FieldCodec>(codecTag);
-        uint8_t backendTag = r.u8();
-        util::require(backendTag < backend::entropyBackendCount,
-                      "fcc3: bad entropy backend tag");
-        frame.backend =
-            static_cast<backend::EntropyBackend>(backendTag);
-        frame.encodedBytes = r.varint();
-        // No codec stores more than ~20 bytes per value (dict:
-        // one max varint each for entry and reference), so a wild
-        // encoded size is corruption, not data — reject it before
-        // the decompressor allocates for it.
-        util::require(frame.encodedBytes <=
-                          (frame.values + 1) * 20,
-                      "fcc3: encoded size out of range");
-        frame.payload = r.blob();
-        frame.storedBytes = r.position() - mark;
-    }
-    util::require(r.exhausted(), "fcc: trailing bytes");
-
-    ColumnValues values;
-    auto decodeOne = [&](size_t c) {
-        const Frame &frame = frames[c];
-        std::vector<uint8_t> encoded = backend::entropyDecompress(
-            frame.payload, frame.backend,
-            static_cast<size_t>(frame.encodedBytes));
-        values[c] = field::decodeColumn(
-            encoded, frame.codec,
-            static_cast<size_t>(frame.values));
-    };
     try {
-        if (pool != nullptr)
-            pool->parallelFor(columnCount, decodeOne);
+        if (pool != nullptr && count > 1)
+            pool->parallelFor(count, decodeOne);
         else
-            for (size_t c = 0; c < columnCount; ++c)
-                decodeOne(c);
+            for (size_t i = 0; i < count; ++i)
+                decodeOne(i);
     } catch (const std::bad_alloc &) {
-        // A corrupt (but cap-passing) count exhausted memory —
-        // report it as bad input, like every other malformed
-        // construct, instead of escaping as bad_alloc.
         throw util::Error("fcc3: column sizes exhaust memory");
     }
+}
 
-    // ---- Reassemble and validate the datasets ----
+} // namespace
+
+Datasets
+assembleFcc3Columns(const flow::Weights &weights,
+                    Fcc3Columns &values)
+{
+    Datasets d;
+    d.weights = weights;
     auto take32 = [](uint64_t v, const char *what) {
         util::require(v <= 0xffffffffu, what);
         return static_cast<uint32_t>(v);
@@ -566,20 +496,187 @@ deserializeColumnar(util::ByteReader &r, util::ThreadPool *pool,
                       "fcc: chunk sizes disagree with time-seq");
     }
 
+    return d;
+}
+
+namespace {
+
+/**
+ * Fold one frame into a column's stat entry. Indexed archives store
+ * several frames per time-seq column (one per chunk): byte and
+ * value counts sum, the codec/backend tags record the first frame's
+ * choice. Shared by the serializer and the parser so the accounting
+ * rule cannot drift between them.
+ */
+void
+accumulateColumnStat(ColumnStat &s, field::FieldCodec codec,
+                     backend::EntropyBackend backend,
+                     uint64_t values, uint64_t encodedBytes,
+                     uint64_t storedBytes, bool first)
+{
+    if (first) {
+        s.codec = codec;
+        s.backend = backend;
+    }
+    s.values += values;
+    s.encodedBytes += encodedBytes;
+    s.storedBytes += storedBytes;
+}
+
+/** Guard against per-frame value counts overflowing the global cap. */
+void
+capTotalValues(uint64_t &total, const ColumnFrame &frame)
+{
+    total += frame.values;
+    util::require(total <= maxColumnValues,
+                  "fcc3: columns too large");
+}
+
+/**
+ * Parse the FCC3 container (either layout) from @p data, whose first
+ * four bytes are the already-validated magic.
+ */
+Datasets
+deserializeColumnar(std::span<const uint8_t> data,
+                    util::ThreadPool *pool, ContainerStat *stat)
+{
+    flow::Weights weights;
+    uint8_t colByte;
+    size_t headerBytes;
+    {
+        util::ByteReader h(data);
+        h.u32();  // magic, validated by the caller
+        weights.w1 = h.u16();
+        weights.w2 = h.u16();
+        weights.w3 = h.u16();
+        util::require(weights.decodable(),
+                      "fcc: stored weights are not decodable");
+        colByte = h.u8();
+        headerBytes = h.position();
+    }
+    bool indexed = (colByte & indexedLayoutFlag) != 0;
+    util::require((colByte & ~indexedLayoutFlag) == columnCount,
+                  "fcc3: unexpected column count");
+
+    // An indexed layout ends with the index block; the column frames
+    // occupy exactly the region before it.
+    uint64_t indexBytes = 0;
+    size_t regionEnd = data.size();
+    if (indexed) {
+        indexBytes = indexRegionBytes(data);
+        util::require(data.size() - indexBytes >= headerBytes,
+                      "fcc3: index block overlaps the header");
+        regionEnd = data.size() - static_cast<size_t>(indexBytes);
+    }
+    util::ByteReader r(data.data(), regionEnd);
+    r.skip(headerBytes);
+
+    ColumnValues values;
+    std::array<ColumnStat, columnCount> colStats;
+    for (size_t c = 0; c < columnCount; ++c)
+        colStats[c].name = columnNames[c];
+
+    auto recordStat = [&](size_t c, const ColumnFrame &frame,
+                          bool first) {
+        accumulateColumnStat(colStats[c], frame.codec, frame.backend,
+                             frame.values, frame.encodedBytes,
+                             frame.storedBytes, first);
+    };
+
+    uint64_t totalValues = 0;
+    if (!indexed) {
+        std::array<ColumnFrame, columnCount> frames;
+        for (size_t c = 0; c < columnCount; ++c) {
+            frames[c] = readColumnFrame(r);
+            capTotalValues(totalValues, frames[c]);
+            recordStat(c, frames[c], true);
+        }
+        util::require(r.exhausted(), "fcc: trailing bytes");
+        runDecodeJobs(columnCount, pool, [&](size_t c) {
+            values[c] = decodeColumnFrame(frames[c]);
+        });
+    } else {
+        // Shared frames, then the chunk layout (decoded inline — it
+        // determines how many per-chunk frames follow), then five
+        // frames per chunk.
+        std::array<ColumnFrame, ColAddr + 1> sharedFrames;
+        for (size_t c = 0; c <= ColAddr; ++c) {
+            sharedFrames[c] = readColumnFrame(r);
+            capTotalValues(totalValues, sharedFrames[c]);
+            recordStat(c, sharedFrames[c], true);
+        }
+        ColumnFrame chunkLenFrame = readColumnFrame(r);
+        capTotalValues(totalValues, chunkLenFrame);
+        recordStat(ColChunkLen, chunkLenFrame, true);
+        runDecodeJobs(1, nullptr, [&](size_t) {
+            values[ColChunkLen] = decodeColumnFrame(chunkLenFrame);
+        });
+
+        size_t chunks = values[ColChunkLen].size();
+        // Five frames of >= 5 bytes each per chunk: a chunk count
+        // the remaining bytes cannot possibly hold is corruption —
+        // reject it before sizing the frame tables by it.
+        util::require(chunks <= r.remaining() / 25,
+                      "fcc3: chunk count exceeds stream");
+        std::vector<std::array<ColumnFrame, 5>> chunkFrames(chunks);
+        for (size_t c = 0; c < chunks; ++c) {
+            uint64_t records = values[ColChunkLen][c];
+            util::require(records >= 1, "fcc: empty chunk");
+            for (size_t k = 0; k < 5; ++k) {
+                ColumnFrame frame = readColumnFrame(r);
+                capTotalValues(totalValues, frame);
+                // Four of the five columns hold one value per
+                // record; ts_rtt (k == 3) holds one per short flow.
+                util::require(k == 3 || frame.values == records,
+                              "fcc3: chunk frame record mismatch");
+                util::require(k != 3 || frame.values <= records,
+                              "fcc3: ts_rtt frame too long");
+                recordStat(ColTsTime + k, frame, c == 0);
+                chunkFrames[c][k] = frame;
+            }
+        }
+        util::require(r.exhausted(), "fcc: trailing bytes");
+
+        std::vector<std::array<std::vector<uint64_t>, 5>>
+            chunkValues(chunks);
+        runDecodeJobs(ColAddr + 1 + chunks * 5, pool, [&](size_t i) {
+            if (i <= ColAddr) {
+                values[i] = decodeColumnFrame(sharedFrames[i]);
+            } else {
+                size_t c = (i - (ColAddr + 1)) / 5;
+                size_t k = (i - (ColAddr + 1)) % 5;
+                chunkValues[c][k] =
+                    decodeColumnFrame(chunkFrames[c][k]);
+            }
+        });
+        for (size_t c = 0; c < chunks; ++c) {
+            // The RTT column must split exactly at the chunk
+            // boundaries, or random access would hand later chunks
+            // the wrong RTTs while the concatenation still added up.
+            size_t shorts = 0;
+            for (uint64_t id : chunkValues[c][1])
+                shorts += id == 0 ? 1 : 0;
+            util::require(chunkValues[c][3].size() == shorts,
+                          "fcc3: ts_rtt chunk frame mismatch");
+            for (size_t k = 0; k < 5; ++k) {
+                auto &dst = values[ColTsTime + k];
+                dst.insert(dst.end(), chunkValues[c][k].begin(),
+                           chunkValues[c][k].end());
+            }
+        }
+    }
+
+    Datasets d = assembleFcc3Columns(weights, values);
     if (stat != nullptr) {
         stat->version = 3;
         stat->sizes = SizeBreakdown{};
         stat->sizes.headerBytes = headerBytes;
-        stat->columns.clear();
-        stat->columns.reserve(columnCount);
-        for (size_t c = 0; c < columnCount; ++c) {
-            const Frame &frame = frames[c];
-            breakdownBucket(stat->sizes, c) += frame.storedBytes;
-            stat->columns.push_back({columnNames[c], frame.codec,
-                                     frame.backend, frame.values,
-                                     frame.encodedBytes,
-                                     frame.storedBytes});
-        }
+        stat->sizes.indexBytes = indexBytes;
+        stat->hasIndex = indexed;
+        stat->columns.assign(colStats.begin(), colStats.end());
+        for (size_t c = 0; c < columnCount; ++c)
+            breakdownBucket(stat->sizes, c) +=
+                colStats[c].storedBytes;
     }
     return d;
 }
@@ -635,52 +732,163 @@ serializeChunked(const Datasets &datasets, uint32_t recordsPerChunk,
     return w.take();
 }
 
+namespace {
+
+/** Write one encoded column as a wire frame; returns stored bytes. */
+uint64_t
+writeFrame(util::ByteWriter &w, const EncodedColumn &col)
+{
+    size_t mark = w.size();
+    w.varint(col.values);
+    w.u8(static_cast<uint8_t>(col.codec));
+    w.u8(static_cast<uint8_t>(col.backend));
+    w.varint(col.encodedBytes);
+    w.blob(col.payload);
+    return w.size() - mark;
+}
+
+} // namespace
+
 std::vector<uint8_t>
 serializeColumnar(const Datasets &datasets, uint32_t recordsPerChunk,
                   backend::EntropyBackend backend,
                   SizeBreakdown &breakdown, util::ThreadPool *pool,
-                  std::vector<ColumnStat> *columns)
+                  std::vector<ColumnStat> *columns,
+                  const IndexOptions *index)
 {
     ColumnValues values = splitColumns(datasets, recordsPerChunk);
-
-    // One encode job per column; results land in fixed slots, so
-    // the output is byte-identical at any thread count.
-    std::array<EncodedColumn, columnCount> encoded;
-    auto encodeOne = [&](size_t c) {
-        encoded[c] = encodeOneColumn(values[c], backend);
-    };
-    if (pool != nullptr)
-        pool->parallelFor(columnCount, encodeOne);
-    else
-        for (size_t c = 0; c < columnCount; ++c)
-            encodeOne(c);
-
-    util::ByteWriter w;
     breakdown = SizeBreakdown{};
-    w.u32(magicV3);
-    w.u16(datasets.weights.w1);
-    w.u16(datasets.weights.w2);
-    w.u16(datasets.weights.w3);
-    w.u8(static_cast<uint8_t>(columnCount));
-    breakdown.headerBytes = w.size();
-
     if (columns != nullptr)
         columns->clear();
-    for (size_t c = 0; c < columnCount; ++c) {
-        const EncodedColumn &col = encoded[c];
-        size_t mark = w.size();
-        w.varint(col.values);
-        w.u8(static_cast<uint8_t>(col.codec));
-        w.u8(static_cast<uint8_t>(col.backend));
-        w.varint(col.encodedBytes);
-        w.blob(col.payload);
-        uint64_t storedBytes = w.size() - mark;
-        breakdownBucket(breakdown, c) += storedBytes;
-        if (columns != nullptr)
-            columns->push_back({columnNames[c], col.codec,
-                                col.backend, col.values,
-                                col.encodedBytes, storedBytes});
+
+    auto runEncodeJobs = [&](size_t count,
+                             const std::function<void(size_t)> &job) {
+        // Results land in fixed slots, so the output is
+        // byte-identical at any thread count.
+        if (pool != nullptr && count > 1)
+            pool->parallelFor(count, job);
+        else
+            for (size_t c = 0; c < count; ++c)
+                job(c);
+    };
+
+    auto writeHeader = [&](util::ByteWriter &w, uint8_t colByte) {
+        w.u32(magicV3);
+        w.u16(datasets.weights.w1);
+        w.u16(datasets.weights.w2);
+        w.u16(datasets.weights.w3);
+        w.u8(colByte);
+        breakdown.headerBytes = w.size();
+    };
+
+    if (index == nullptr) {
+        // ---- plain layout: twelve global column frames ----
+        std::array<EncodedColumn, columnCount> encoded;
+        runEncodeJobs(columnCount, [&](size_t c) {
+            encoded[c] = encodeOneColumn(values[c], backend);
+        });
+
+        util::ByteWriter w;
+        writeHeader(w, static_cast<uint8_t>(columnCount));
+        for (size_t c = 0; c < columnCount; ++c) {
+            const EncodedColumn &col = encoded[c];
+            uint64_t storedBytes = writeFrame(w, col);
+            breakdownBucket(breakdown, c) += storedBytes;
+            if (columns != nullptr)
+                columns->push_back({columnNames[c], col.codec,
+                                    col.backend, col.values,
+                                    col.encodedBytes, storedBytes});
+        }
+        return w.take();
     }
+
+    // ---- indexed layout: chunk-framed time-seq + index block ----
+    util::require(!values[ColChunkLen].empty() ||
+                      datasets.timeSeq.empty(),
+                  "fcc3: the index requires a chunked time-seq "
+                  "layout (chunkRecords > 0)");
+    size_t chunks = values[ColChunkLen].size();
+    std::vector<uint32_t> chunkSizes;
+    chunkSizes.reserve(chunks);
+    for (uint64_t c : values[ColChunkLen])
+        chunkSizes.push_back(static_cast<uint32_t>(c));
+
+    // Record and RTT offsets of every chunk into the time-seq
+    // columns (RTTs exist only for short flows).
+    std::vector<size_t> recOff(chunks + 1, 0);
+    std::vector<size_t> rttOff(chunks + 1, 0);
+    for (size_t c = 0; c < chunks; ++c) {
+        recOff[c + 1] = recOff[c] + chunkSizes[c];
+        size_t shorts = 0;
+        for (size_t i = recOff[c]; i < recOff[c + 1]; ++i)
+            shorts += values[ColTsIsLong][i] == 0 ? 1 : 0;
+        rttOff[c + 1] = rttOff[c] + shorts;
+    }
+
+    // One encode job per shared column plus five per chunk.
+    std::array<EncodedColumn, ColAddr + 2> sharedEnc;  // + chunk_len
+    std::vector<std::array<EncodedColumn, 5>> chunkEnc(chunks);
+    auto tsSlice = [&](size_t c, size_t k) {
+        const std::vector<uint64_t> &col = values[ColTsTime + k];
+        if (k == 3)  // ts_rtt
+            return std::span<const uint64_t>(col).subspan(
+                rttOff[c], rttOff[c + 1] - rttOff[c]);
+        return std::span<const uint64_t>(col).subspan(
+            recOff[c], recOff[c + 1] - recOff[c]);
+    };
+    runEncodeJobs(ColAddr + 2 + chunks * 5, [&](size_t i) {
+        if (i <= ColAddr)
+            sharedEnc[i] = encodeOneColumn(values[i], backend);
+        else if (i == ColAddr + 1)
+            sharedEnc[i] =
+                encodeOneColumn(values[ColChunkLen], backend);
+        else {
+            size_t c = (i - (ColAddr + 2)) / 5;
+            size_t k = (i - (ColAddr + 2)) % 5;
+            chunkEnc[c][k] = encodeOneColumn(tsSlice(c, k), backend);
+        }
+    });
+
+    util::ByteWriter w;
+    writeHeader(w, static_cast<uint8_t>(columnCount) |
+                       indexedLayoutFlag);
+
+    std::array<ColumnStat, columnCount> colStats;
+    for (size_t c = 0; c < columnCount; ++c)
+        colStats[c].name = columnNames[c];
+    auto accountFrame = [&](size_t c, const EncodedColumn &col,
+                            uint64_t storedBytes, bool first) {
+        breakdownBucket(breakdown, c) += storedBytes;
+        accumulateColumnStat(colStats[c], col.codec, col.backend,
+                             col.values, col.encodedBytes,
+                             storedBytes, first);
+    };
+
+    for (size_t c = 0; c <= ColAddr; ++c)
+        accountFrame(c, sharedEnc[c], writeFrame(w, sharedEnc[c]),
+                     true);
+    accountFrame(ColChunkLen, sharedEnc[ColAddr + 1],
+                 writeFrame(w, sharedEnc[ColAddr + 1]), true);
+
+    ArchiveIndex archiveIndex =
+        buildArchiveIndex(datasets, chunkSizes, *index);
+    FCC_ASSERT(archiveIndex.chunks.size() == chunks,
+               "index chunk count drifted from the layout");
+    for (size_t c = 0; c < chunks; ++c) {
+        uint64_t offset = w.size();
+        for (size_t k = 0; k < 5; ++k)
+            accountFrame(ColTsTime + k, chunkEnc[c][k],
+                         writeFrame(w, chunkEnc[c][k]), c == 0);
+        archiveIndex.chunks[c].byteOffset = offset;
+        archiveIndex.chunks[c].byteLength = w.size() - offset;
+    }
+
+    std::vector<uint8_t> block = serializeArchiveIndex(archiveIndex);
+    w.bytes(block.data(), block.size());
+    breakdown.indexBytes = block.size();
+
+    if (columns != nullptr)
+        columns->assign(colStats.begin(), colStats.end());
     return w.take();
 }
 
@@ -695,7 +903,7 @@ deserialize(std::span<const uint8_t> data, util::ThreadPool *pool,
                       magic == magicV3,
                   "fcc: bad magic");
     if (magic == magicV3)
-        return deserializeColumnar(r, pool, stat);
+        return deserializeColumnar(data, pool, stat);
 
     SizeBreakdown *sizes = stat != nullptr ? &stat->sizes : nullptr;
     if (stat != nullptr) {
@@ -749,6 +957,44 @@ Datasets
 deserialize(std::span<const uint8_t> data)
 {
     return deserialize(data, nullptr, nullptr);
+}
+
+ColumnFrame
+readColumnFrame(util::ByteReader &r)
+{
+    ColumnFrame frame;
+    size_t mark = r.position();
+    frame.values = r.varint();
+    util::require(frame.values <= maxColumnValues,
+                  "fcc3: column too large");
+    uint8_t codecTag = r.u8();
+    util::require(codecTag < field::fieldCodecCount,
+                  "fcc3: bad field codec tag");
+    frame.codec = static_cast<field::FieldCodec>(codecTag);
+    uint8_t backendTag = r.u8();
+    util::require(backendTag < backend::entropyBackendCount,
+                  "fcc3: bad entropy backend tag");
+    frame.backend = static_cast<backend::EntropyBackend>(backendTag);
+    frame.encodedBytes = r.varint();
+    // No codec stores more than ~20 bytes per value (dict: one max
+    // varint each for entry and reference), so a wild encoded size
+    // is corruption, not data — reject it before the decompressor
+    // allocates for it.
+    util::require(frame.encodedBytes <= (frame.values + 1) * 20,
+                  "fcc3: encoded size out of range");
+    frame.payload = r.blobView();
+    frame.storedBytes = r.position() - mark;
+    return frame;
+}
+
+std::vector<uint64_t>
+decodeColumnFrame(const ColumnFrame &frame)
+{
+    std::vector<uint8_t> encoded = backend::entropyDecompress(
+        frame.payload, frame.backend,
+        static_cast<size_t>(frame.encodedBytes));
+    return field::decodeColumn(encoded, frame.codec,
+                               static_cast<size_t>(frame.values));
 }
 
 } // namespace fcc::codec::fcc

@@ -20,12 +20,18 @@
  *    each column encoded by a field codec (codec/field) and squeezed
  *    by an entropy backend (codec/backend) — both chosen per column
  *    and recorded in one-byte tags, so a reader needs no out-of-band
- *    configuration.
+ *    configuration. Optionally *indexed* (codec/fcc/index): the
+ *    time-seq columns are then framed per chunk and a chunk/flow
+ *    index block trails the frames, which is what the random-access
+ *    query subsystem (src/query) seeks by.
+ *
+ * The byte-level layouts are normative in docs/FORMAT.md.
  */
 
 #ifndef FCC_CODEC_FCC_DATASETS_HPP
 #define FCC_CODEC_FCC_DATASETS_HPP
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -36,10 +42,13 @@
 #include "flow/characterize.hpp"
 
 namespace fcc::util {
+class ByteReader;
 class ThreadPool;
 }
 
 namespace fcc::codec::fcc {
+
+struct IndexOptions;
 
 /** One long-flow template: S values plus exact inter-packet times. */
 struct LongTemplate
@@ -91,12 +100,14 @@ struct SizeBreakdown
     uint64_t addressBytes = 0;
     uint64_t timeSeqBytes = 0;
     uint64_t headerBytes = 0;
+    /** Chunk/flow index block + footer (indexed FCC3 only). */
+    uint64_t indexBytes = 0;
 
     uint64_t
     total() const
     {
         return shortTemplateBytes + longTemplateBytes + addressBytes +
-               timeSeqBytes + headerBytes;
+               timeSeqBytes + headerBytes + indexBytes;
     }
 };
 
@@ -126,7 +137,15 @@ struct ContainerStat
      * actually go — not the pre-backend serialized sizes.
      */
     SizeBreakdown sizes;
-    std::vector<ColumnStat> columns;  ///< FCC3 only
+    /**
+     * FCC3 only. In an indexed archive the five time-seq columns are
+     * chunk-framed; their entries aggregate every chunk's frame
+     * (values and bytes summed, codec/backend tags from the first
+     * chunk — later chunks may choose differently).
+     */
+    std::vector<ColumnStat> columns;
+    /** Indexed FCC3 layout; its bytes are in sizes.indexBytes. */
+    bool hasIndex = false;
 };
 
 /** Serialize to the legacy (single-stream) FCC1 wire format. */
@@ -162,13 +181,20 @@ std::vector<uint8_t> serializeChunked(const Datasets &datasets,
  * datasets.chunkSizes when present, else derived from
  * @p recordsPerChunk (0 keeps the time-seq dataset unchunked, which
  * expands on the legacy sequential path).
+ *
+ * With a non-null @p index the archive is written *seekable*: the
+ * five time-seq columns are framed per chunk (each chunk an
+ * independently decodable byte range) and a chunk/flow index block
+ * (codec/fcc/index.hpp) is appended after the frames; the layout
+ * requires a chunked time-seq dataset unless it is empty.
  */
 std::vector<uint8_t>
 serializeColumnar(const Datasets &datasets, uint32_t recordsPerChunk,
                   backend::EntropyBackend backend,
                   SizeBreakdown &breakdown,
                   util::ThreadPool *pool = nullptr,
-                  std::vector<ColumnStat> *columns = nullptr);
+                  std::vector<ColumnStat> *columns = nullptr,
+                  const IndexOptions *index = nullptr);
 
 /**
  * Parse the FCC1, FCC2 or FCC3 wire format (auto-detected by magic);
@@ -183,6 +209,74 @@ Datasets deserialize(std::span<const uint8_t> data,
 
 /** deserialize() without a thread pool. */
 Datasets deserialize(std::span<const uint8_t> data);
+
+// ---- FCC3 column frames ---------------------------------------------
+//
+// The framing shared by the monolithic parser above and the
+// random-access reader (src/query), which decodes single chunks
+// straight off an mmap'd archive.
+
+/**
+ * The fixed column set of the FCC3 container, in canonical order
+ * (docs/FORMAT.md §4). The column count is written to the file, so
+ * adding a column bumps the format observably instead of silently
+ * misparsing. In the indexed layout the five ts_* columns are
+ * framed per chunk (chunk_len precedes them on the wire).
+ */
+enum Fcc3ColumnId : size_t
+{
+    ColShortLen = 0,   ///< short-template lengths
+    ColShortS,         ///< concatenated short-template S values
+    ColLongLen,        ///< long-template lengths
+    ColLongS,          ///< concatenated long-template S values
+    ColLongIpt,        ///< concatenated inter-packet times
+    ColAddr,           ///< unique server addresses
+    ColTsTime,         ///< per-flow first timestamps (absolute)
+    ColTsIsLong,       ///< per-flow S/L identifier
+    ColTsTemplate,     ///< per-flow template index
+    ColTsRtt,          ///< per-SHORT-flow RTT (one value per short)
+    ColTsAddr,         ///< per-flow address index
+    ColChunkLen,       ///< records per chunk (empty = unchunked)
+    fcc3ColumnCount
+};
+
+/** Decoded FCC3 columns, indexed by Fcc3ColumnId. */
+using Fcc3Columns =
+    std::array<std::vector<uint64_t>, fcc3ColumnCount>;
+
+/**
+ * Reassemble and validate Datasets from decoded FCC3 columns (the
+ * inverse of the columnar decomposition); @p weights must already
+ * be validated decodable. @throws fcc::util::Error on any
+ * inconsistency between the columns.
+ */
+Datasets assembleFcc3Columns(const flow::Weights &weights,
+                             Fcc3Columns &columns);
+
+/** One parsed (not yet decoded) FCC3 column frame. */
+struct ColumnFrame
+{
+    field::FieldCodec codec = field::FieldCodec::Plain;
+    backend::EntropyBackend backend = backend::EntropyBackend::Store;
+    uint64_t values = 0;
+    uint64_t encodedBytes = 0;   ///< pre-backend (field-coded) size
+    uint64_t storedBytes = 0;    ///< on-wire size incl. framing
+    /** Zero-copy view into the source buffer. */
+    std::span<const uint8_t> payload;
+};
+
+/**
+ * Parse one column frame at @p r's cursor (tag validation and
+ * corruption caps included; the payload stays a view into the
+ * reader's buffer). @throws fcc::util::Error on malformed framing.
+ */
+ColumnFrame readColumnFrame(util::ByteReader &r);
+
+/**
+ * Entropy-decompress and field-decode @p frame back to its values.
+ * @throws fcc::util::Error on malformed input.
+ */
+std::vector<uint64_t> decodeColumnFrame(const ColumnFrame &frame);
 
 } // namespace fcc::codec::fcc
 

@@ -25,6 +25,7 @@
 #include <unordered_map>
 
 #include "codec/deflate/deflate.hpp"
+#include "codec/fcc/index.hpp"
 #include "flow/template_store.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
@@ -41,13 +42,6 @@ resolveThreads(uint32_t requested)
 {
     return requested != 0 ? requested
                           : util::ThreadPool::hardwareThreads();
-}
-
-/** Chunk c of a container decompresses from its own RNG stream. */
-uint64_t
-chunkRngSeed(uint64_t decompressSeed, size_t chunk)
-{
-    return util::hashCombine(decompressSeed, chunk);
 }
 
 /**
@@ -84,6 +78,12 @@ drawClassBOrC(util::Rng &rng)
 
 } // namespace
 
+uint64_t
+chunkRngSeed(uint64_t decompressSeed, size_t chunk)
+{
+    return util::hashCombine(decompressSeed, chunk);
+}
+
 const char *
 containerFormatName(ContainerFormat container)
 {
@@ -117,6 +117,10 @@ serializeDatasets(const Datasets &datasets, const FccConfig &cfg,
 {
     if (columns != nullptr)
         columns->clear();
+    util::require(!cfg.index ||
+                      cfg.container == ContainerFormat::Fcc3,
+                  "fcc: the chunk/flow index requires the fcc3 "
+                  "container");
     std::vector<uint8_t> bytes;
     switch (cfg.container) {
       case ContainerFormat::Fcc1:
@@ -131,10 +135,13 @@ serializeDatasets(const Datasets &datasets, const FccConfig &cfg,
         std::unique_ptr<util::ThreadPool> pool;
         if (threads > 1)
             pool = std::make_unique<util::ThreadPool>(threads);
+        IndexOptions indexOptions;
+        indexOptions.gapUs = cfg.defaultGapUs;
         // The per-column backends supersede the whole-blob squeeze.
         return serializeColumnar(datasets, cfg.chunkRecords,
                                  cfg.backend, breakdown, pool.get(),
-                                 columns);
+                                 columns,
+                                 cfg.index ? &indexOptions : nullptr);
       }
       default:
         throw util::Error("fcc: bad container format");

@@ -97,6 +97,16 @@ struct FccConfig
         backend::EntropyBackend::Deflate;
 
     /**
+     * Write a *seekable* archive: FCC3 with chunk-framed time-seq
+     * columns and the chunk/flow index block (codec/fcc/index.hpp)
+     * the random-access query subsystem (src/query) plans against.
+     * Requires container == Fcc3 and a chunked layout
+     * (chunkRecords > 0); costs a few percent of file size.
+     * Decompression auto-detects it either way.
+     */
+    bool index = false;
+
+    /**
      * Address assignment on decompression. The paper (§4) writes the
      * stored destination address and the random source on *every*
      * packet of a flow; with directionAwareAddresses the recovered
@@ -236,6 +246,15 @@ serializeDatasets(const Datasets &datasets, const FccConfig &cfg,
 Datasets deserializeAuto(std::span<const uint8_t> data,
                          uint32_t threads,
                          ContainerStat *stat = nullptr);
+
+/**
+ * RNG stream seed of chunk @p chunk under @p decompressSeed — part
+ * of the reconstruction contract: expand(), the streaming
+ * decompressor and the random-access reader (src/query) must draw a
+ * chunk's packets from the same stream to reconstruct the same
+ * bytes, whichever subset of chunks they expand.
+ */
+uint64_t chunkRngSeed(uint64_t decompressSeed, size_t chunk);
 
 } // namespace fcc::codec::fcc
 

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Chunk/flow index block of seekable FCC3 archives: summary
+ * construction (timing bounds from the reconstruction rule, Bloom
+ * fingerprints over server addresses) and the byte-exact block
+ * serialization specified in docs/FORMAT.md §5.
+ */
+
+#include "codec/fcc/index.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "codec/fcc/datasets.hpp"
+#include "util/bytes.hpp"
+#include "util/checksum.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace fcc::codec::fcc {
+
+namespace {
+
+/** Bloom double-hash streams; the constants are normative (FORMAT.md). */
+constexpr uint64_t bloomSeed1 = 0xA0761D6478BD642Full;
+constexpr uint64_t bloomSeed2 = 0xE7037ED1A0B428DBull;
+
+uint64_t
+bloomHash1(uint32_t serverIp)
+{
+    return util::mix64(bloomSeed1 ^ serverIp);
+}
+
+uint64_t
+bloomHash2(uint32_t serverIp)
+{
+    // Forced odd so the probe stride is coprime with the
+    // power-of-two filter size.
+    return util::mix64(bloomSeed2 ^ serverIp) | 1;
+}
+
+/** Smallest power-of-two filter >= 10 bits per distinct server. */
+uint32_t
+bloomSizeBits(size_t distinctServers)
+{
+    uint64_t want = std::max<uint64_t>(
+        64, uint64_t{bloomBitsPerServer} * distinctServers);
+    return static_cast<uint32_t>(std::bit_ceil(want));
+}
+
+void
+bloomInsert(std::vector<uint8_t> &bloom, uint32_t bits,
+            uint32_t serverIp)
+{
+    uint64_t h1 = bloomHash1(serverIp);
+    uint64_t h2 = bloomHash2(serverIp);
+    for (uint32_t i = 0; i < bloomProbes; ++i) {
+        uint64_t bit = (h1 + uint64_t{i} * h2) & (bits - 1);
+        bloom[bit >> 3] |= static_cast<uint8_t>(1u << (bit & 7));
+    }
+}
+
+/** Reconstruction-timing profile of one template (see §4). */
+struct TemplateSpan
+{
+    uint64_t dependentSteps = 0;  ///< steps spaced by the flow RTT
+    uint64_t otherSteps = 0;      ///< steps spaced by the fixed gap
+    uint64_t packets = 0;
+};
+
+} // namespace
+
+bool
+ChunkSummary::mayContainServer(uint32_t serverIp) const
+{
+    if (bloomBits == 0 ||
+        bloom.size() != size_t{bloomBits} / 8)
+        return true;  // unusable filter: never rule a chunk out
+    uint64_t h1 = bloomHash1(serverIp);
+    uint64_t h2 = bloomHash2(serverIp);
+    for (uint32_t i = 0; i < bloomProbes; ++i) {
+        uint64_t bit = (h1 + uint64_t{i} * h2) & (bloomBits - 1);
+        if ((bloom[bit >> 3] & (1u << (bit & 7))) == 0)
+            return false;
+    }
+    return true;
+}
+
+ArchiveIndex
+buildArchiveIndex(const Datasets &d,
+                  std::span<const uint32_t> chunkSizes,
+                  const IndexOptions &options)
+{
+    // Per-template packet counts and timing step classes, so every
+    // record's reconstructed end timestamp is O(1): the §4 expansion
+    // spaces dependent packets by the flow RTT and all others by the
+    // fixed gap, and long flows replay their exact inter-packet
+    // times.
+    flow::Characterizer chi(d.weights);
+    std::vector<TemplateSpan> shortSpan(d.shortTemplates.size());
+    for (size_t t = 0; t < d.shortTemplates.size(); ++t) {
+        const auto &values = d.shortTemplates[t].values;
+        shortSpan[t].packets = values.size();
+        for (size_t i = 1; i < values.size(); ++i) {
+            if (chi.decode(values[i]).dependent)
+                ++shortSpan[t].dependentSteps;
+            else
+                ++shortSpan[t].otherSteps;
+        }
+    }
+    std::vector<uint64_t> longEndUs(d.longTemplates.size());
+    std::vector<uint64_t> longPackets(d.longTemplates.size());
+    for (size_t t = 0; t < d.longTemplates.size(); ++t) {
+        uint64_t sum = 0;
+        for (uint64_t ipt : d.longTemplates[t].iptUs)
+            sum += ipt;
+        longEndUs[t] = sum;
+        longPackets[t] = d.longTemplates[t].sValues.size();
+    }
+
+    ArchiveIndex index;
+    index.gapUs = options.gapUs;
+    index.chunks.reserve(chunkSizes.size());
+
+    size_t rec = 0;
+    std::vector<uint32_t> servers;  // distinct servers of one chunk
+    for (uint32_t count : chunkSizes) {
+        util::require(count >= 1, "fcc index: empty chunk");
+        util::require(rec + count <= d.timeSeq.size(),
+                      "fcc index: chunk sizes disagree with time-seq");
+        ChunkSummary summary;
+        summary.records = count;
+        summary.minFirstUs = d.timeSeq[rec].firstTimestampUs;
+
+        servers.clear();
+        for (size_t i = rec; i < rec + count; ++i) {
+            const TimeSeqRecord &r = d.timeSeq[i];
+            uint64_t packets, endUs;
+            if (r.isLong) {
+                util::require(r.templateIndex < longEndUs.size(),
+                              "fcc index: template index out of "
+                              "range");
+                packets = longPackets[r.templateIndex];
+                endUs = r.firstTimestampUs + longEndUs[r.templateIndex];
+            } else {
+                util::require(r.templateIndex < shortSpan.size(),
+                              "fcc index: template index out of "
+                              "range");
+                const TemplateSpan &span = shortSpan[r.templateIndex];
+                packets = span.packets;
+                endUs = r.firstTimestampUs +
+                        span.dependentSteps * uint64_t{r.rttUs} +
+                        span.otherSteps * uint64_t{options.gapUs};
+            }
+            summary.packets += packets;
+            summary.maxFlowPackets =
+                std::max(summary.maxFlowPackets, packets);
+            summary.maxEndUs = std::max(summary.maxEndUs, endUs);
+            util::require(r.addressIndex < d.addresses.size(),
+                          "fcc index: address index out of range");
+            servers.push_back(d.addresses[r.addressIndex]);
+        }
+        std::sort(servers.begin(), servers.end());
+        servers.erase(std::unique(servers.begin(), servers.end()),
+                      servers.end());
+
+        summary.bloomBits = bloomSizeBits(servers.size());
+        summary.bloom.assign(size_t{summary.bloomBits} / 8, 0);
+        for (uint32_t ip : servers)
+            bloomInsert(summary.bloom, summary.bloomBits, ip);
+
+        index.chunks.push_back(std::move(summary));
+        rec += count;
+    }
+    util::require(rec == d.timeSeq.size(),
+                  "fcc index: chunk sizes disagree with time-seq");
+    return index;
+}
+
+std::vector<uint8_t>
+serializeArchiveIndex(const ArchiveIndex &index)
+{
+    util::ByteWriter w;
+    w.u8(indexVersion);
+    w.varint(index.chunks.size());
+    w.varint(index.gapUs);
+    for (const ChunkSummary &c : index.chunks) {
+        w.varint(c.byteOffset);
+        w.varint(c.byteLength);
+        w.varint(c.records);
+        w.varint(c.packets);
+        w.varint(c.maxFlowPackets);
+        w.varint(c.minFirstUs);
+        w.varint(c.maxEndUs);
+        w.varint(c.bloomBits);
+        w.bytes(c.bloom.data(), c.bloom.size());
+    }
+    std::vector<uint8_t> payload = w.take();
+
+    util::ByteWriter out;
+    out.bytes(payload.data(), payload.size());
+    out.u64(payload.size());
+    out.u32(util::Crc32::of(payload));
+    out.u32(indexFooterMagic);
+    return out.take();
+}
+
+uint64_t
+indexRegionBytes(std::span<const uint8_t> file)
+{
+    util::require(file.size() >= indexFooterBytes,
+                  "fcc index: file too short for the footer");
+    util::ByteReader footer(
+        file.data() + file.size() - indexFooterBytes,
+        indexFooterBytes);
+    uint64_t payloadLen = footer.u64();
+    footer.u32();  // CRC: checked by readArchiveIndex, not here
+    util::require(footer.u32() == indexFooterMagic,
+                  "fcc index: footer magic missing");
+    util::require(payloadLen <= file.size() - indexFooterBytes,
+                  "fcc index: footer length exceeds file");
+    return payloadLen + indexFooterBytes;
+}
+
+std::optional<ArchiveIndex>
+readArchiveIndex(std::span<const uint8_t> file)
+{
+    if (file.size() < indexFooterBytes)
+        return std::nullopt;
+    {
+        util::ByteReader footer(
+            file.data() + file.size() - indexFooterBytes,
+            indexFooterBytes);
+        footer.u64();
+        footer.u32();
+        if (footer.u32() != indexFooterMagic)
+            return std::nullopt;
+    }
+    uint64_t region = indexRegionBytes(file);  // validates the length
+    size_t payloadLen =
+        static_cast<size_t>(region - indexFooterBytes);
+    std::span<const uint8_t> payload =
+        file.subspan(file.size() - region, payloadLen);
+
+    util::ByteReader footer(
+        file.data() + file.size() - indexFooterBytes,
+        indexFooterBytes);
+    footer.u64();
+    uint32_t storedCrc = footer.u32();
+    util::require(util::Crc32::of(payload) == storedCrc,
+                  "fcc index: CRC mismatch");
+
+    util::ByteReader r(payload);
+    util::require(r.u8() == indexVersion,
+                  "fcc index: unknown index version");
+    ArchiveIndex index;
+    uint64_t chunks = r.varint();
+    // One summary is at least 8 one-byte varints plus 8 Bloom bytes
+    // (the 64-bit minimum filter); a count the payload cannot hold
+    // is corruption — reject it before reserving by it.
+    util::require(chunks <= payload.size() / 16,
+                  "fcc index: chunk count exceeds payload");
+    index.gapUs = static_cast<uint32_t>(r.varint());
+    index.chunks.reserve(static_cast<size_t>(chunks));
+    for (uint64_t i = 0; i < chunks; ++i) {
+        ChunkSummary c;
+        c.byteOffset = r.varint();
+        c.byteLength = r.varint();
+        c.records = r.varint();
+        c.packets = r.varint();
+        c.maxFlowPackets = r.varint();
+        c.minFirstUs = r.varint();
+        c.maxEndUs = r.varint();
+        uint64_t bits = r.varint();
+        util::require(bits >= 64 && bits <= (uint64_t{1} << 30) &&
+                          std::has_single_bit(bits),
+                      "fcc index: bad Bloom filter size");
+        util::require(c.records >= 1, "fcc index: empty chunk");
+        util::require(c.maxFlowPackets >= 1 &&
+                          c.maxFlowPackets <= c.packets &&
+                          c.records <= c.packets,
+                      "fcc index: inconsistent packet counts");
+        util::require(c.minFirstUs <= c.maxEndUs,
+                      "fcc index: inverted time range");
+        c.bloomBits = static_cast<uint32_t>(bits);
+        c.bloom.resize(static_cast<size_t>(bits / 8));
+        r.bytes(c.bloom.data(), c.bloom.size());
+        index.chunks.push_back(std::move(c));
+    }
+    util::require(r.exhausted(), "fcc index: trailing payload bytes");
+    return index;
+}
+
+} // namespace fcc::codec::fcc

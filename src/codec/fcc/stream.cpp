@@ -236,14 +236,7 @@ loadDatasets(const std::string &fccPath, uint64_t &inputBytes,
     // *reconstructed packets* never do.
     auto in = util::openByteSource(fccPath);
     std::vector<uint8_t> owned;
-    std::span<const uint8_t> bytes = in->contiguous();
-    if (bytes.empty()) {
-        uint8_t buf[1 << 16];
-        size_t got;
-        while ((got = in->read(buf, sizeof(buf))) > 0)
-            owned.insert(owned.end(), buf, buf + got);
-        bytes = {owned.data(), owned.size()};
-    }
+    std::span<const uint8_t> bytes = util::readAllBytes(*in, owned);
     inputBytes = bytes.size();
     // One shared decode entry point: zlib-hybrid unwrap, container
     // auto-detection, pooled FCC3 column decode.

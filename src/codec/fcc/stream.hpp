@@ -55,6 +55,10 @@ struct StreamStats
  * Compress any TraceSource into an FCC file without materializing
  * the packet stream: memory is bounded by open flows plus the
  * datasets, whatever the input size. Input must be time-ordered.
+ * With cfg.index set (FCC3 only) the output is a *seekable*
+ * archive: chunk-framed time-seq columns plus the chunk/flow index
+ * block the random-access query subsystem (src/query, fccquery)
+ * plans against.
  *
  * @throws fcc::util::Error on I/O failure or malformed input.
  */

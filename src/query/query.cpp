@@ -1,0 +1,390 @@
+/**
+ * @file
+ * Random-access execution over seekable FCC archives: open an
+ * mmap'd file, plan chunks against the index block's summaries,
+ * decode only the surviving chunks on the thread pool, and filter
+ * to exactly the packets a full decompression would have produced
+ * for the same predicate.
+ */
+
+#include "query/query.hpp"
+
+#include <algorithm>
+#include <array>
+#include <new>
+
+#include "codec/fcc/datasets.hpp"
+#include "trace/trace.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace fcc::query {
+
+namespace fccc = fcc::codec::fcc;
+
+namespace {
+
+constexpr uint32_t magicFcc3 = 0x33434346u;  // "FCC3"
+
+/** Matching packets + flow count of one expanded record range. */
+struct ChunkResult
+{
+    std::vector<trace::PacketRecord> packets;
+    uint64_t flows = 0;
+};
+
+/**
+ * Expand @p records (one chunk, or the whole legacy stream) from
+ * @p rngSeed, keeping only what @p pred admits. Every record is
+ * expanded even when filtered out — the RNG stream must advance
+ * exactly as a full decompression would, or the surviving flows
+ * would reconstruct different bytes.
+ */
+void
+expandFiltered(const fccc::FccTraceCompressor &codec,
+               const fccc::Datasets &shared,
+               std::span<const fccc::TimeSeqRecord> records,
+               uint64_t rngSeed, const Predicate &pred,
+               ChunkResult &out)
+{
+    util::Rng rng(rngSeed);
+    std::vector<trace::PacketRecord> flowBuf;
+    for (const fccc::TimeSeqRecord &rec : records) {
+        flowBuf.clear();
+        codec.expandFlow(shared, rec, rng, flowBuf);
+        if (pred.serverIp &&
+            shared.addresses[rec.addressIndex] != *pred.serverIp)
+            continue;
+        if (flowBuf.size() < pred.minFlowPackets)
+            continue;
+        size_t emitted = 0;
+        for (const trace::PacketRecord &pkt : flowBuf) {
+            if (pred.timeUs) {
+                uint64_t us = pkt.timestampUs();
+                if (us < pred.timeUs->first ||
+                    us > pred.timeUs->second)
+                    continue;
+            }
+            out.packets.push_back(pkt);
+            ++emitted;
+        }
+        if (emitted > 0)
+            ++out.flows;
+    }
+}
+
+/**
+ * Run @p count chunk jobs, on a pool when @p threadsCfg allows
+ * (FccConfig::threads semantics: 0 = all cores). Jobs write to
+ * fixed slots, so results never depend on the thread count.
+ */
+void
+runChunkJobs(uint32_t threadsCfg, size_t count,
+             const std::function<void(size_t)> &job)
+{
+    unsigned workers = threadsCfg != 0
+        ? threadsCfg
+        : util::ThreadPool::hardwareThreads();
+    if (workers > 1 && count > 1) {
+        util::ThreadPool pool(workers);
+        pool.parallelFor(count, job);
+    } else {
+        for (size_t i = 0; i < count; ++i)
+            job(i);
+    }
+}
+
+/** Merge per-chunk results, sort by time, and emit through @p sink. */
+void
+emitResults(std::vector<ChunkResult> &results,
+            trace::TraceSink &sink, QueryStats &stats)
+{
+    size_t total = 0;
+    for (const ChunkResult &r : results)
+        total += r.packets.size();
+    std::vector<trace::PacketRecord> merged;
+    merged.reserve(total);
+    for (ChunkResult &r : results) {
+        stats.flowsMatched += r.flows;
+        merged.insert(merged.end(), r.packets.begin(),
+                      r.packets.end());
+    }
+    trace::Trace out(std::move(merged));
+    out.sortByTime();
+    stats.packetsMatched = out.size();
+    trace::writeAllPackets(sink, out);
+}
+
+/**
+ * Build and validate one chunk's time-seq records from its five
+ * decoded columns — the chunk-local mirror of the global FCC3
+ * reassembly, validated against the already-decoded shared
+ * datasets.
+ */
+std::vector<fccc::TimeSeqRecord>
+buildChunkRecords(const fccc::Datasets &shared,
+                  std::array<std::vector<uint64_t>, 5> &cols,
+                  uint64_t expectedRecords)
+{
+    auto take32 = [](uint64_t v, const char *what) {
+        util::require(v <= 0xffffffffu, what);
+        return static_cast<uint32_t>(v);
+    };
+    const auto &time = cols[0];
+    const auto &isLong = cols[1];
+    const auto &tmpl = cols[2];
+    const auto &rtt = cols[3];
+    const auto &addr = cols[4];
+    util::require(time.size() == expectedRecords &&
+                      isLong.size() == expectedRecords &&
+                      tmpl.size() == expectedRecords &&
+                      addr.size() == expectedRecords,
+                  "fcc3: chunk frame record mismatch");
+
+    std::vector<fccc::TimeSeqRecord> records;
+    records.reserve(time.size());
+    size_t rttCursor = 0;
+    uint64_t prevUs = 0;
+    for (size_t i = 0; i < time.size(); ++i) {
+        fccc::TimeSeqRecord rec;
+        rec.firstTimestampUs = time[i];
+        util::require(rec.firstTimestampUs >= prevUs,
+                      "fcc: time-seq records not sorted");
+        prevUs = rec.firstTimestampUs;
+        util::require(isLong[i] <= 1, "fcc: bad dataset identifier");
+        rec.isLong = isLong[i] == 1;
+        rec.templateIndex = take32(
+            tmpl[i], "fcc3: template index exceeds 32 bits");
+        size_t limit = rec.isLong ? shared.longTemplates.size()
+                                  : shared.shortTemplates.size();
+        util::require(rec.templateIndex < limit,
+                      "fcc: template index out of range");
+        if (!rec.isLong) {
+            util::require(rttCursor < rtt.size(),
+                          "fcc3: ts_rtt column too short");
+            rec.rttUs = take32(rtt[rttCursor++],
+                               "fcc3: RTT exceeds 32 bits");
+        }
+        rec.addressIndex = take32(
+            addr[i], "fcc3: address index exceeds 32 bits");
+        util::require(rec.addressIndex < shared.addresses.size(),
+                      "fcc: address index out of range");
+        records.push_back(rec);
+    }
+    util::require(rttCursor == rtt.size(),
+                  "fcc3: ts_rtt column too long");
+    return records;
+}
+
+} // namespace
+
+FccArchive::FccArchive(const std::string &path,
+                       const codec::fcc::FccConfig &cfg)
+    : path_(path), cfg_(cfg), src_(util::openByteSource(path))
+{
+    bytes_ = util::readAllBytes(*src_, owned_);
+    util::require(!bytes_.empty(), "query: empty archive");
+
+    // Only the indexed FCC3 layout is seekable; everything else
+    // (row containers, unindexed FCC3, the hybrid zlib wrapper)
+    // takes the full-decode path.
+    if (bytes_.size() >= 11) {
+        util::ByteReader r(bytes_);
+        if (r.u32() == magicFcc3) {
+            r.skip(6);  // weights
+            uint8_t colByte = r.u8();
+            indexedLayout_ =
+                (colByte & fccc::indexedLayoutFlag) != 0;
+        }
+    }
+    if (indexedLayout_) {
+        try {
+            index_ = fccc::readArchiveIndex(bytes_);
+            if (!index_)
+                indexCorrupt_ = true;  // flagged but no footer
+        } catch (const util::Error &) {
+            indexCorrupt_ = true;
+        } catch (const std::bad_alloc &) {
+            // A cap-passing corrupt count exhausted memory; the
+            // index is unusable, the container may still be fine.
+            indexCorrupt_ = true;
+        }
+    }
+}
+
+std::vector<size_t>
+FccArchive::plan(const Predicate &pred) const
+{
+    util::require(hasIndex(), "query: archive has no index");
+    std::vector<size_t> out;
+    for (size_t c = 0; c < index_->chunks.size(); ++c) {
+        const fccc::ChunkSummary &s = index_->chunks[c];
+        if (pred.serverIp && !s.mayContainServer(*pred.serverIp))
+            continue;
+        if (pred.timeUs && !s.overlapsTime(pred.timeUs->first,
+                                           pred.timeUs->second))
+            continue;
+        if (pred.minFlowPackets > s.maxFlowPackets)
+            continue;
+        out.push_back(c);
+    }
+    return out;
+}
+
+QueryStats
+FccArchive::run(const Predicate &pred, trace::TraceSink &sink,
+                bool forceFullDecode)
+{
+    // The index's maxEndUs bounds assume the gap it was written
+    // with; a *larger* reconstruction gap pushes packets past them,
+    // so time-window pruning would silently drop matches — take the
+    // (always correct) full-decode path instead.
+    bool gapUnsafe = pred.timeUs && hasIndex() &&
+                     cfg_.defaultGapUs > index_->gapUs;
+    if (hasIndex() && !forceFullDecode && !gapUnsafe) {
+        try {
+            return runIndexed(pred, sink);
+        } catch (const std::bad_alloc &) {
+            // A corrupt (cap-passing) count exhausted memory —
+            // report bad input, like the container parsers do.
+            throw util::Error("query: corrupt archive exhausts "
+                              "memory");
+        }
+    }
+    return runFullDecode(pred, sink);
+}
+
+QueryStats
+FccArchive::runIndexed(const Predicate &pred, trace::TraceSink &sink)
+{
+    QueryStats stats;
+    stats.usedIndex = true;
+    stats.fileBytes = bytes_.size();
+
+    uint64_t indexBytes = fccc::indexRegionBytes(bytes_);
+    size_t regionEnd =
+        bytes_.size() - static_cast<size_t>(indexBytes);
+
+    // Header + the shared dataset frames (templates, addresses) and
+    // the chunk layout — everything a selective decode needs besides
+    // the chunks themselves.
+    util::ByteReader r(bytes_.data(), regionEnd);
+    util::require(r.u32() == magicFcc3, "fcc: bad magic");
+    flow::Weights weights;
+    weights.w1 = r.u16();
+    weights.w2 = r.u16();
+    weights.w3 = r.u16();
+    util::require(weights.decodable(),
+                  "fcc: stored weights are not decodable");
+    uint8_t colByte = r.u8();
+    util::require((colByte & ~fccc::indexedLayoutFlag) ==
+                      fccc::fcc3ColumnCount,
+                  "fcc3: unexpected column count");
+
+    std::array<fccc::ColumnFrame, fccc::ColAddr + 1> sharedFrames;
+    for (size_t c = 0; c <= fccc::ColAddr; ++c)
+        sharedFrames[c] = fccc::readColumnFrame(r);
+    fccc::ColumnFrame chunkLenFrame = fccc::readColumnFrame(r);
+    size_t sharedEnd = r.position();
+
+    fccc::Fcc3Columns columns;
+    for (size_t c = 0; c <= fccc::ColAddr; ++c)
+        columns[c] = fccc::decodeColumnFrame(sharedFrames[c]);
+    std::vector<uint64_t> chunkLen =
+        fccc::decodeColumnFrame(chunkLenFrame);
+    fccc::Datasets shared =
+        fccc::assembleFcc3Columns(weights, columns);
+
+    util::require(index_->chunks.size() == chunkLen.size(),
+                  "fcc index: chunk count disagrees with container");
+    stats.chunksTotal = chunkLen.size();
+
+    std::vector<size_t> planned = plan(pred);
+    stats.chunksDecoded = planned.size();
+    stats.bytesRead = sharedEnd + indexBytes;
+
+    for (size_t c : planned) {
+        const fccc::ChunkSummary &s = index_->chunks[c];
+        util::require(s.records == chunkLen[c],
+                      "fcc index: record count disagrees with "
+                      "container");
+        util::require(s.byteOffset >= sharedEnd &&
+                          s.byteOffset <= regionEnd &&
+                          s.byteLength <= regionEnd - s.byteOffset,
+                      "fcc index: chunk range out of bounds");
+        stats.bytesRead += s.byteLength;
+    }
+
+    fccc::FccTraceCompressor codec(cfg_);
+    std::vector<ChunkResult> results(planned.size());
+    auto decodeOne = [&](size_t i) {
+        size_t c = planned[i];
+        const fccc::ChunkSummary &s = index_->chunks[c];
+        util::ByteReader cr(bytes_.data() + s.byteOffset,
+                            static_cast<size_t>(s.byteLength));
+        std::array<std::vector<uint64_t>, 5> cols;
+        for (size_t k = 0; k < 5; ++k)
+            cols[k] =
+                fccc::decodeColumnFrame(fccc::readColumnFrame(cr));
+        util::require(cr.exhausted(),
+                      "fcc index: chunk range has trailing bytes");
+        std::vector<fccc::TimeSeqRecord> records =
+            buildChunkRecords(shared, cols, chunkLen[c]);
+        expandFiltered(codec, shared, records,
+                       fccc::chunkRngSeed(cfg_.decompressSeed, c),
+                       pred, results[i]);
+    };
+    runChunkJobs(cfg_.threads, planned.size(), decodeOne);
+
+    emitResults(results, sink, stats);
+    return stats;
+}
+
+QueryStats
+FccArchive::runFullDecode(const Predicate &pred,
+                          trace::TraceSink &sink)
+{
+    QueryStats stats;
+    stats.usedIndex = false;
+    stats.fileBytes = bytes_.size();
+    stats.bytesRead = bytes_.size();
+
+    fccc::Datasets d = fccc::deserializeAuto(bytes_, cfg_.threads);
+    fccc::FccTraceCompressor codec(cfg_);
+
+    if (d.chunkSizes.empty()) {
+        // Legacy layout: one sequential RNG stream over everything.
+        stats.chunksTotal = 1;
+        stats.chunksDecoded = 1;
+        std::vector<ChunkResult> results(1);
+        expandFiltered(codec, d, d.timeSeq, cfg_.decompressSeed,
+                       pred, results[0]);
+        emitResults(results, sink, stats);
+        return stats;
+    }
+
+    size_t chunks = d.chunkSizes.size();
+    stats.chunksTotal = chunks;
+    stats.chunksDecoded = chunks;
+    std::vector<size_t> offset(chunks + 1, 0);
+    for (size_t c = 0; c < chunks; ++c)
+        offset[c + 1] = offset[c] + d.chunkSizes[c];
+    util::require(offset[chunks] == d.timeSeq.size(),
+                  "fcc: chunk sizes disagree with time-seq");
+
+    std::vector<ChunkResult> results(chunks);
+    auto expandOne = [&](size_t c) {
+        std::span<const fccc::TimeSeqRecord> records(
+            d.timeSeq.data() + offset[c], d.chunkSizes[c]);
+        expandFiltered(codec, d, records,
+                       fccc::chunkRngSeed(cfg_.decompressSeed, c),
+                       pred, results[c]);
+    };
+    runChunkJobs(cfg_.threads, chunks, expandOne);
+    emitResults(results, sink, stats);
+    return stats;
+}
+
+} // namespace fcc::query

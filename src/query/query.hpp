@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Random-access query subsystem over seekable FCC archives.
+ *
+ * An indexed FCC3 file (codec/fcc/index.hpp) makes three-stage
+ * random access possible without inflating the whole archive:
+ *
+ *  1. open — mmap the file (util/io) and load only the index block
+ *     from its tail;
+ *  2. plan — evaluate a predicate (server address, time window,
+ *     flow-size threshold) against the per-chunk summaries: Bloom
+ *     fingerprints rule out chunks without the queried server,
+ *     timestamp bounds rule out chunks outside the window;
+ *  3. execute — decode and expand only the surviving chunks (one
+ *     thread-pool job each, every chunk drawing from its own RNG
+ *     stream), filter, and emit the time-sorted result through any
+ *     TraceSink.
+ *
+ * Reconstruction is bit-exact with a full decompression of the same
+ * archive: chunk RNG streams are seeded by original chunk index
+ * (codec::fcc::chunkRngSeed), so the packets of a selected flow are
+ * the same bytes `fcctool decompress` would have produced.
+ *
+ * Files without an index (FCC1, FCC2, unindexed FCC3, hybrid
+ * deflate) and archives whose index block is corrupt fall back to a
+ * full decode with the same filtering semantics — a query is never
+ * wrong, only slower. See docs/QUERY.md.
+ */
+
+#ifndef FCC_QUERY_QUERY_HPP
+#define FCC_QUERY_QUERY_HPP
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "codec/fcc/fcc_codec.hpp"
+#include "codec/fcc/index.hpp"
+#include "trace/source.hpp"
+#include "trace/tsh.hpp"
+#include "util/io.hpp"
+
+namespace fcc::query {
+
+/**
+ * Conjunctive flow/packet predicate. Unset members match
+ * everything; set members must all hold.
+ */
+struct Predicate
+{
+    /**
+     * Flow predicate: the flow's stored destination (server)
+     * address — the 5-tuple component the lossy codec preserves
+     * (client address/port are synthesized at decode, §4). All
+     * packets of matching flows qualify.
+     */
+    std::optional<uint32_t> serverIp;
+
+    /**
+     * Packet predicate: inclusive reconstructed-timestamp window in
+     * microseconds; only packets inside it are emitted.
+     */
+    std::optional<std::pair<uint64_t, uint64_t>> timeUs;
+
+    /** Flow predicate: only flows of at least this many packets. */
+    uint32_t minFlowPackets = 0;
+
+    /** True when every flow and packet matches. */
+    bool
+    matchAll() const
+    {
+        return !serverIp && !timeUs && minFlowPackets <= 1;
+    }
+};
+
+/** What one query run touched and produced. */
+struct QueryStats
+{
+    bool usedIndex = false;     ///< planned via the chunk index
+    uint64_t chunksTotal = 0;   ///< chunks in the archive
+    uint64_t chunksDecoded = 0; ///< chunks the plan could not rule out
+    uint64_t fileBytes = 0;     ///< archive size
+    /**
+     * Archive bytes the run needed: header, shared dataset frames,
+     * the decoded chunks' frames and the index block — the pages a
+     * cold mmap actually faults, and the number micro_query reports
+     * against a full decode.
+     */
+    uint64_t bytesRead = 0;
+    uint64_t flowsMatched = 0;
+    uint64_t packetsMatched = 0;
+};
+
+/** TraceSink that counts and discards (--count queries, benches). */
+class NullTraceSink final : public trace::TraceSink
+{
+  public:
+    void
+    write(std::span<const trace::PacketRecord> batch) override
+    {
+        packets_ += batch.size();
+    }
+    void close() override {}
+    /** Logical size: what the packets would occupy as TSH records. */
+    uint64_t bytesWritten() const override
+    {
+        return packets_ * trace::tshRecordBytes;
+    }
+    uint64_t packets() const { return packets_; }
+
+  private:
+    uint64_t packets_ = 0;
+};
+
+/**
+ * One opened .fcc archive, memory-mapped, with its index (when
+ * present) parsed and ready to plan against. The FccConfig supplies
+ * the reconstruction parameters and thread count — they must match
+ * the ones a full decompression would use for the reconstruction to
+ * be bit-identical (the defaults always do).
+ */
+class FccArchive
+{
+  public:
+    /** @throws fcc::util::Error when the file cannot be opened. */
+    explicit FccArchive(const std::string &path,
+                        const codec::fcc::FccConfig &cfg = {});
+
+    /** True when the archive carries a usable chunk/flow index. */
+    bool hasIndex() const { return index_.has_value(); }
+
+    /**
+     * True when the file advertises an index that failed to parse
+     * (CRC mismatch, truncation); queries fall back to full decode.
+     */
+    bool indexCorrupt() const { return indexCorrupt_; }
+
+    /** The parsed index. Requires hasIndex(). */
+    const codec::fcc::ArchiveIndex &
+    index() const
+    {
+        return *index_;
+    }
+
+    /** Archive size in bytes. */
+    uint64_t fileBytes() const { return bytes_.size(); }
+
+    /**
+     * Chunk ids the index cannot rule out for @p pred, in ascending
+     * order. Bloom false positives may include chunks with no
+     * matching flow (the execute stage filters them to zero
+     * packets); a chunk with a match is never excluded.
+     * Requires hasIndex().
+     */
+    std::vector<size_t> plan(const Predicate &pred) const;
+
+    /**
+     * Run @p pred over the archive and write the matching packets,
+     * globally time-sorted, to @p sink (closed before returning).
+     * Uses the index when present unless @p forceFullDecode; always
+     * produces exactly the packets a full decompression filtered by
+     * @p pred would.
+     *
+     * @throws fcc::util::Error on a malformed archive.
+     */
+    QueryStats run(const Predicate &pred, trace::TraceSink &sink,
+                   bool forceFullDecode = false);
+
+  private:
+    QueryStats runIndexed(const Predicate &pred,
+                          trace::TraceSink &sink);
+    QueryStats runFullDecode(const Predicate &pred,
+                             trace::TraceSink &sink);
+
+    std::string path_;
+    codec::fcc::FccConfig cfg_;
+    std::unique_ptr<util::ByteSource> src_;
+    std::vector<uint8_t> owned_;        ///< stdio fallback buffer
+    std::span<const uint8_t> bytes_;    ///< the whole archive
+    std::optional<codec::fcc::ArchiveIndex> index_;
+    bool indexedLayout_ = false;
+    bool indexCorrupt_ = false;
+};
+
+} // namespace fcc::query
+
+#endif // FCC_QUERY_QUERY_HPP

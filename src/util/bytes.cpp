@@ -145,6 +145,17 @@ ByteReader::blob()
     return out;
 }
 
+std::span<const uint8_t>
+ByteReader::blobView()
+{
+    uint64_t len = varint();
+    need(len);
+    std::span<const uint8_t> out(data_ + pos_,
+                                 static_cast<size_t>(len));
+    pos_ += len;
+    return out;
+}
+
 void
 ByteReader::skip(size_t len)
 {

@@ -164,6 +164,11 @@ class ByteReader
     void bytes(uint8_t *out, size_t len);
     /** Read a varint-length-prefixed byte string. @throws Error */
     std::vector<uint8_t> blob();
+    /**
+     * Like blob(), but a zero-copy view into the underlying buffer
+     * (valid for the buffer's lifetime). @throws Error
+     */
+    std::span<const uint8_t> blobView();
 
     /** Bytes not yet consumed. */
     size_t remaining() const { return len_ - pos_; }

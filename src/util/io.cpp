@@ -241,4 +241,17 @@ openByteSource(const std::string &path, bool preferMmap)
     return std::make_unique<FileByteSource>(path);
 }
 
+std::span<const uint8_t>
+readAllBytes(ByteSource &src, std::vector<uint8_t> &owned)
+{
+    std::span<const uint8_t> bytes = src.contiguous();
+    if (!bytes.empty())
+        return bytes;
+    uint8_t buf[1 << 16];
+    size_t got;
+    while ((got = src.read(buf, sizeof(buf))) > 0)
+        owned.insert(owned.end(), buf, buf + got);
+    return {owned.data(), owned.size()};
+}
+
 } // namespace fcc::util

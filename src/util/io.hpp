@@ -249,6 +249,15 @@ class VectorByteSink : public ByteSink
 std::unique_ptr<ByteSource>
 openByteSource(const std::string &path, bool preferMmap = true);
 
+/**
+ * The whole remaining stream of @p src as one span: zero-copy via
+ * contiguous() when the source is mmap'd or in-memory, otherwise
+ * drained into @p owned. The span is valid while both @p src and
+ * @p owned live (and no further read() is issued).
+ */
+std::span<const uint8_t> readAllBytes(ByteSource &src,
+                                      std::vector<uint8_t> &owned);
+
 } // namespace fcc::util
 
 #endif // FCC_UTIL_IO_HPP
