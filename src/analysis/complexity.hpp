@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Trace-complexity metrics after Avin, Ghobadi, Griner and Schmid
+ * ("On the Complexity of Traffic Traces and Implications",
+ * PAPERS.md): a packet trace is viewed as a sequence of
+ * communication-pair symbols, and its difficulty is split into
+ *
+ *  - non-temporal complexity — the empirical entropy of the pair
+ *    frequency distribution (how skewed the traffic matrix is,
+ *    independent of ordering), and
+ *  - temporal complexity — how much a real compressor gains from
+ *    the ordering of the sequence, measured as the compressed size
+ *    of the original symbol stream against a deterministically
+ *    shuffled copy of itself.
+ *
+ * The compressor used is the library's own deflate, so the numbers
+ * are reproducible without external dependencies. The scenario
+ * bench (bench/scenario_matrix.cpp) records these metrics per
+ * adversarial scenario to characterize how hostile each input is.
+ */
+
+#ifndef FCC_ANALYSIS_COMPLEXITY_HPP
+#define FCC_ANALYSIS_COMPLEXITY_HPP
+
+#include <cstdint>
+
+#include "trace/trace.hpp"
+
+namespace fcc::analysis {
+
+/** Complexity scorecard of one trace. */
+struct TraceComplexity
+{
+    uint64_t packets = 0;
+    uint64_t distinctPairs = 0;  ///< distinct (src, dst) pairs
+
+    /**
+     * Non-temporal complexity: empirical entropy of the pair
+     * distribution, in bits per packet. 0 for a single pair,
+     * log2(distinctPairs) for a uniform matrix.
+     */
+    double pairEntropyBits = 0.0;
+
+    /** Deflated size of the pair-id sequence, bits per packet. */
+    double sequenceBitsPerPacket = 0.0;
+
+    /** Same, for the deterministically shuffled sequence. */
+    double shuffledBitsPerPacket = 0.0;
+
+    /**
+     * Temporal complexity gap: shuffled minus original bits per
+     * packet. Large values mean the ordering carries structure a
+     * compressor exploits; ~0 means the trace is temporally
+     * featureless (e.g. a SYN flood of never-repeating pairs).
+     */
+    double
+    temporalBitsPerPacket() const
+    {
+        return shuffledBitsPerPacket - sequenceBitsPerPacket;
+    }
+};
+
+/**
+ * Measure the complexity of @p trace. Symbols are (srcIp, dstIp)
+ * pairs numbered by first appearance; the shuffle is a seeded
+ * Fisher–Yates, so results are exactly reproducible.
+ */
+TraceComplexity measureComplexity(const trace::Trace &trace,
+                                  uint64_t shuffleSeed = 2005);
+
+} // namespace fcc::analysis
+
+#endif // FCC_ANALYSIS_COMPLEXITY_HPP

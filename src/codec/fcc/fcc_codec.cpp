@@ -391,9 +391,13 @@ FccTraceCompressor::expand(const Datasets &d) const
         for (auto &chunk : perChunk)
             packets.insert(packets.end(), chunk.begin(), chunk.end());
     }
-    trace::Trace out(std::move(packets));
-    out.sortByTime();
-    return out;
+    // Canonical total order (not a bare time sort): every expansion
+    // path — in-memory, streaming flush, query merge — must emit
+    // equal-timestamp packets identically for reconstruction to be
+    // byte-exact across containers and thread counts.
+    std::sort(packets.begin(), packets.end(),
+              trace::packetCanonicalLess);
+    return trace::Trace(std::move(packets));
 }
 
 void

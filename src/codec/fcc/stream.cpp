@@ -259,9 +259,11 @@ expandToSink(const Datasets &datasets, trace::TraceSink &sink,
     // timestamp is flushed to the output file, so peak memory stays
     // near the concurrently active flows (plus, for FCC2, one batch
     // of chunks).
+    // Canonical total order: equal-timestamp packets must pop in a
+    // fixed order whatever the chunk batching (i.e. thread count).
     auto later = [](const trace::PacketRecord &a,
                     const trace::PacketRecord &b) {
-        return a.timestampNs > b.timestampNs;
+        return trace::packetCanonicalLess(b, a);
     };
     std::priority_queue<trace::PacketRecord,
                         std::vector<trace::PacketRecord>,

@@ -111,8 +111,11 @@ emitResults(std::vector<ChunkResult> &results,
         merged.insert(merged.end(), r.packets.begin(),
                       r.packets.end());
     }
+    // Canonical total order, matching the streaming decompressor's
+    // flush: ties must not depend on chunk order or thread count.
+    std::sort(merged.begin(), merged.end(),
+              trace::packetCanonicalLess);
     trace::Trace out(std::move(merged));
-    out.sortByTime();
     stats.packetsMatched = out.size();
     trace::writeAllPackets(sink, out);
 }

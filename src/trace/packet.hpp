@@ -80,6 +80,18 @@ struct PacketRecord
     std::string str() const;
 };
 
+/**
+ * Field-wise total order on packets, extending timestamp order with
+ * every header field as tie-breaker. Reconstruction paths that merge
+ * concurrently produced packets (codec/fcc streaming flush, the
+ * query subsystem's chunk merge) sort with this instead of a bare
+ * timestamp comparison: equal-timestamp packets would otherwise be
+ * emitted in an order that depends on batch boundaries — i.e. on the
+ * thread count — breaking byte-exact reproducibility.
+ */
+bool packetCanonicalLess(const PacketRecord &a,
+                         const PacketRecord &b);
+
 /** Render an IPv4 address in dotted-quad notation. */
 std::string formatIp(uint32_t addr);
 

@@ -766,6 +766,9 @@ TEST(TraceIo, BoundedMemoryOnMultiGigabyteInput)
     };
 
     uint64_t rssBefore = peakRssBytes();
+    if (rssBefore == 0)
+        GTEST_SKIP() << "kernel exposes no VmHWM in "
+                        "/proc/self/status; cannot measure peak RSS";
     trace::TshSource src(
         std::make_unique<util::GeneratorByteSource>(generator));
     uint64_t packets = 0;
@@ -779,7 +782,6 @@ TEST(TraceIo, BoundedMemoryOnMultiGigabyteInput)
     EXPECT_EQ(src.bytesConsumed(), logicalBytes);
 
     // The stream was multi-GB; the reader may keep only batches.
-    ASSERT_GT(rssBefore, 0u);
     const uint64_t bound =
         underSanitizer() ? 1024ull << 20 : 256ull << 20;
     EXPECT_LT(rssAfter - rssBefore, bound)

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include "trace/ops.hpp"
+#include "trace/scenario_gen.hpp"
+#include "trace/transforms.hpp"
 #include "trace/web_gen.hpp"
 #include "util/error.hpp"
 
@@ -24,6 +26,18 @@ pktAt(uint64_t tUs, uint32_t dst = 0, uint16_t dstPort = 80)
     pkt.dstIp = dst;
     pkt.dstPort = dstPort;
     return pkt;
+}
+
+/** Small adversarial trace (trace/scenario_gen.hpp). */
+Trace
+scenarioTrace(trace::ScenarioKind kind, uint64_t seed,
+              uint32_t flows)
+{
+    trace::ScenarioConfig cfg = trace::scenarioDefaults(kind, seed);
+    cfg.durationSec = 2.0;
+    cfg.flows = flows;
+    trace::ScenarioGenerator gen(cfg);
+    return gen.generate();
 }
 
 } // namespace
@@ -155,4 +169,110 @@ TEST(Ops, FilterRejectsEmptyPredicate)
 {
     EXPECT_THROW(trace::filter(Trace{}, trace::PacketPredicate{}),
                  util::Error);
+}
+
+// ---- adversarial (reordered / lossy) input ---------------------------------
+//
+// The operations were only ever exercised on clean web_gen traffic;
+// the scenario generators provide captures with scrambled direction
+// patterns (Reordering) and duplicate ACKs plus retransmitted
+// segments (LossStorm), which is what real damaged captures look
+// like.
+
+TEST(OpsAdversarial, MergeReorderedAndLossyWorkloads)
+{
+    Trace reordered =
+        scenarioTrace(trace::ScenarioKind::Reordering, 3, 60);
+    Trace lossy =
+        scenarioTrace(trace::ScenarioKind::LossStorm, 4, 30);
+    ASSERT_TRUE(reordered.isTimeOrdered());
+    ASSERT_TRUE(lossy.isTimeOrdered());
+
+    Trace m = trace::merge(reordered, lossy);
+    EXPECT_EQ(m.size(), reordered.size() + lossy.size());
+    EXPECT_TRUE(m.isTimeOrdered());
+
+    // Merging loses no packets: per-destination counts add up.
+    auto countDst = [](const Trace &t, uint32_t dst) {
+        uint64_t n = 0;
+        for (const auto &pkt : t.packets())
+            n += pkt.dstIp == dst;
+        return n;
+    };
+    uint32_t probe = reordered.packets().front().dstIp;
+    EXPECT_EQ(countDst(m, probe),
+              countDst(reordered, probe) + countDst(lossy, probe));
+}
+
+TEST(OpsAdversarial, FilterPartitionsLossyTrace)
+{
+    Trace lossy =
+        scenarioTrace(trace::ScenarioKind::LossStorm, 7, 40);
+    Trace web = trace::filter(lossy, trace::portIs(80));
+    Trace rest =
+        trace::filter(lossy, trace::notOf(trace::portIs(80)));
+    EXPECT_EQ(web.size() + rest.size(), lossy.size());
+    // Every LossStorm connection serves port 80, including the
+    // duplicate ACKs and retransmissions.
+    EXPECT_EQ(web.size(), lossy.size());
+    for (const auto &pkt : web.packets())
+        EXPECT_TRUE(pkt.srcPort == 80 || pkt.dstPort == 80);
+}
+
+TEST(OpsAdversarial, TimeWindowOnReorderedTrace)
+{
+    Trace reordered =
+        scenarioTrace(trace::ScenarioKind::Reordering, 11, 80);
+    auto window = trace::timeWindow(reordered, 0.5, 1.5);
+    Trace mid = trace::filter(reordered, window);
+    EXPECT_GT(mid.size(), 0u);
+    EXPECT_LT(mid.size(), reordered.size());
+    uint64_t t0 = reordered.packets().front().timestampNs;
+    for (const auto &pkt : mid.packets()) {
+        EXPECT_GE(pkt.timestampNs, t0 + 500000000ull);
+        EXPECT_LT(pkt.timestampNs, t0 + 1500000000ull);
+    }
+}
+
+TEST(OpsAdversarial, RebasePreservesReorderedDeltas)
+{
+    Trace reordered =
+        scenarioTrace(trace::ScenarioKind::Reordering, 13, 50);
+    Trace shifted = trace::rebaseTime(reordered, 0);
+    ASSERT_EQ(shifted.size(), reordered.size());
+    EXPECT_EQ(shifted.packets().front().timestampNs, 0u);
+    EXPECT_TRUE(shifted.isTimeOrdered());
+    uint64_t t0 = reordered.packets().front().timestampNs;
+    for (size_t i = 0; i < reordered.size(); ++i)
+        EXPECT_EQ(shifted.packets()[i].timestampNs,
+                  reordered.packets()[i].timestampNs - t0);
+}
+
+TEST(TransformsAdversarial, RandomizeAddressesOnLossyTrace)
+{
+    Trace lossy =
+        scenarioTrace(trace::ScenarioKind::LossStorm, 17, 30);
+    Trace randomized = trace::randomizeAddresses(lossy, 99);
+    ASSERT_EQ(randomized.size(), lossy.size());
+    size_t dstChanged = 0;
+    for (size_t i = 0; i < lossy.size(); ++i) {
+        const auto &a = lossy.packets()[i];
+        const auto &b = randomized.packets()[i];
+        // Timing and every non-destination field survive.
+        EXPECT_EQ(b.timestampNs, a.timestampNs);
+        EXPECT_EQ(b.srcIp, a.srcIp);
+        EXPECT_EQ(b.srcPort, a.srcPort);
+        EXPECT_EQ(b.dstPort, a.dstPort);
+        EXPECT_EQ(b.tcpFlags, a.tcpFlags);
+        EXPECT_EQ(b.payloadBytes, a.payloadBytes);
+        dstChanged += b.dstIp != a.dstIp;
+    }
+    // Uniformly random destinations: nearly all must move.
+    EXPECT_GT(dstChanged, lossy.size() * 9 / 10);
+
+    // Deterministic per seed.
+    Trace again = trace::randomizeAddresses(lossy, 99);
+    for (size_t i = 0; i < lossy.size(); ++i)
+        EXPECT_EQ(again.packets()[i].dstIp,
+                  randomized.packets()[i].dstIp);
 }
