@@ -29,6 +29,8 @@
 #include "trace/web_gen.hpp"
 #include "util/error.hpp"
 
+#include "tools/cli.hpp"
+
 using namespace fcc;
 
 namespace {
@@ -54,74 +56,47 @@ loadTrace(const char *file)
     return trace::readAllPackets(*src);
 }
 
-int
-usage(const char *argv0, bool failed)
-{
-    std::fprintf(
-        failed ? stderr : stdout,
-        "usage: %s [options] [trace.pcap|trace.tsh]\n"
-        "\n"
-        "Compare the paper's four compression methods (§5) on a\n"
-        "trace; with no input file, a deterministic synthetic web\n"
-        "trace is used. Input format (TSH, pcap, pcapng, each\n"
-        "optionally gzip'd) is auto-detected.\n"
-        "\n"
-        "  --threads N       FCC pipeline workers, 0 = all cores\n"
-        "                    (default; compressed bytes never\n"
-        "                    depend on it)\n"
-        "  --container FMT   fcc1|fcc2|fcc3 wire container of the\n"
-        "                    \"fcc\" row (default fcc2)\n"
-        "  --backend NAME    store|deflate|range — FCC3 per-column\n"
-        "                    entropy backend (default deflate)\n"
-        "  --help            this text\n",
-        argv0);
-    return failed ? 2 : 0;
-}
-
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     codec::fcc::FccConfig fccCfg;
-    int arg = 1;
-    while (arg < argc && std::strncmp(argv[arg], "--", 2) == 0) {
-        if (std::strcmp(argv[arg], "--help") == 0) {
-            return usage(argv[0], false);
-        } else if (std::strcmp(argv[arg], "--threads") == 0 &&
-                   arg + 1 < argc) {
-            int threads = std::atoi(argv[arg + 1]);
-            if (threads < 0) {
-                std::fprintf(stderr,
-                             "error: --threads must be >= 0\n");
-                return 2;
-            }
-            fccCfg.threads = static_cast<uint32_t>(threads);
-            arg += 2;
-        } else if (std::strcmp(argv[arg], "--container") == 0 &&
-                   arg + 1 < argc) {
-            try {
-                fccCfg.container =
-                    codec::fcc::parseContainerName(argv[arg + 1]);
-            } catch (const util::Error &error) {
-                std::fprintf(stderr, "error: %s\n", error.what());
-                return 2;
-            }
-            arg += 2;
-        } else if (std::strcmp(argv[arg], "--backend") == 0 &&
-                   arg + 1 < argc) {
-            try {
-                fccCfg.backend =
-                    codec::backend::parseBackendName(argv[arg + 1]);
-            } catch (const util::Error &error) {
-                std::fprintf(stderr, "error: %s\n", error.what());
-                return 2;
-            }
-            arg += 2;
-        } else {
-            return usage(argv[0], true);
-        }
-    }
+
+    cli::FlagSet flags(
+        "[options] [trace.pcap|trace.tsh]",
+        "Compare the paper's four compression methods (§5) on a\n"
+        "trace; with no input file, a deterministic synthetic web\n"
+        "trace is used. Input format (TSH, pcap, pcapng, each\n"
+        "optionally gzip'd) is auto-detected.");
+    flags.add("--threads", "N",
+              "FCC pipeline workers, 0 = all cores\n"
+              "(default; compressed bytes never depend\n"
+              "on it)",
+              [&](const char *v) {
+                  fccCfg.threads = static_cast<uint32_t>(
+                      cli::parseUnsigned("--threads", v, 0,
+                                         UINT32_MAX));
+              });
+    flags.add("--container", "FMT",
+              "fcc1|fcc2|fcc3 wire container of the\n"
+              "\"fcc\" row (default fcc2)",
+              [&](const char *v) {
+                  fccCfg.container =
+                      codec::fcc::parseContainerName(v);
+              });
+    flags.add("--backend", "NAME",
+              "store|deflate|range — FCC3 per-column\n"
+              "entropy backend (default deflate)",
+              [&](const char *v) {
+                  fccCfg.backend =
+                      codec::backend::parseBackendName(v);
+              });
+
+    cli::ParseResult parsed = flags.parse(argc, argv);
+    if (parsed.exit)
+        return parsed.code;
+    int arg = parsed.next;
 
     trace::Trace input;
     try {

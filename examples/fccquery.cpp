@@ -1,79 +1,49 @@
 /**
  * @file
  * fccquery — random access into seekable FCC archives: extract one
- * flow or one time window without inflating the whole file.
+ * flow, one time window, or any composed expression without
+ * inflating the whole file.
  *
  *   fccquery [options] <in.fcc> [<out>]
  *
- * Predicates (AND-combined; no predicate = everything):
- *   --flow A.B.C.D       flows whose stored server (destination)
- *                        address matches — the 5-tuple component
- *                        the lossy codec preserves
- *   --time T0:T1         packets inside [T0, T1] seconds (floats,
- *                        absolute trace time)
- *   --min-packets N      flows of at least N packets
+ * Two ways to say what you want:
+ *   --expr 'E'           a composed query expression (docs/QUERY.md):
+ *                        `server in 10.0.0.0/8 and time within
+ *                        [0, 60] and not port = 443`
+ *   --flow/--time/--min-packets
+ *                        the legacy AND-only predicates; they lower
+ *                        onto the same expression engine and keep
+ *                        their exact semantics
  *
- * Modes and options:
- *   --count              print match counts only (no output file)
- *   --no-index           force the full-decode path (comparison /
- *                        troubleshooting)
- *   --threads N          worker threads (0 = all cores, default)
- *   --out-format F       auto|tsh|pcap|pcapng (default: auto — by
- *                        output extension)
- *   --help               this text
+ * Aggregates (--agg) answer from the chunk index and the selected
+ * columns without reconstructing packets at all.
  *
  * On an indexed archive (fcctool --index compress) the tool reads
  * the index block from the file's tail, rules chunks out via the
- * per-chunk summaries (Bloom server fingerprints, timestamp
- * bounds, flow-size maxima) and decodes only the surviving chunks —
- * the "chunks decoded" / "bytes read" lines show the saving. On
- * un-indexed files (FCC1/FCC2/plain FCC3) it falls back to a full
- * decode with identical results. Extracted packets are bit-exact
- * with a full `fcctool decompress` filtered the same way: chunk
- * RNG streams are seeded by original chunk index. See
- * docs/QUERY.md.
+ * per-chunk summaries (Bloom server fingerprints, timestamp bounds,
+ * flow-size maxima) and decodes only the surviving chunks — the
+ * "chunks decoded" / "bytes read" lines show the saving. On
+ * un-indexed files it falls back to a full decode with identical
+ * results. Extracted packets are bit-exact with a full `fcctool
+ * decompress` filtered the same way: chunk RNG streams are seeded by
+ * original chunk index. See docs/QUERY.md.
  */
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
+#include "query/aggregate.hpp"
 #include "query/query.hpp"
 #include "trace/packet.hpp"
 #include "util/error.hpp"
 
+#include "tools/cli.hpp"
+
 using namespace fcc;
 
 namespace {
-
-int
-usage(const char *argv0, bool failed)
-{
-    std::fprintf(
-        failed ? stderr : stdout,
-        "usage: %s [--flow A.B.C.D] [--time T0:T1] "
-        "[--min-packets N]\n"
-        "          [--count] [--no-index] [--threads N]\n"
-        "          [--out-format auto|tsh|pcap|pcapng] "
-        "<in.fcc> [<out>]\n"
-        "\n"
-        "Extract flows/packets from an FCC archive by predicate\n"
-        "(all given predicates must hold):\n"
-        "  --flow A.B.C.D    flows with this server (destination)\n"
-        "                    address\n"
-        "  --time T0:T1      packets between T0 and T1 seconds\n"
-        "                    (absolute trace time, floats)\n"
-        "  --min-packets N   flows of at least N packets\n"
-        "  --count           print counts only; no <out> needed\n"
-        "  --no-index        ignore the chunk index (full decode)\n"
-        "  --threads N       workers, 0 = all cores (default)\n"
-        "  --out-format F    auto|tsh|pcap|pcapng (default auto:\n"
-        "                    picked from the <out> extension)\n"
-        "  --help            show this text\n",
-        argv0);
-    return failed ? 2 : 0;
-}
 
 /** Parse "T0:T1" in (float) seconds to inclusive microseconds. */
 std::pair<uint64_t, uint64_t>
@@ -101,67 +71,99 @@ main(int argc, char **argv)
 {
     codec::fcc::FccConfig cfg;
     query::Predicate pred;
+    std::optional<std::string> exprText;
+    std::optional<query::AggregateKind> aggKind;
+    uint32_t topK = 10;
     trace::TraceFormatSpec outFormat;
     bool countOnly = false;
     bool noIndex = false;
-    int arg = 1;
-    try {
-        while (arg < argc && std::strncmp(argv[arg], "--", 2) == 0) {
-            if (std::strcmp(argv[arg], "--help") == 0) {
-                return usage(argv[0], false);
-            } else if (std::strcmp(argv[arg], "--flow") == 0 &&
-                       arg + 1 < argc) {
-                pred.serverIp = trace::parseIp(argv[arg + 1]);
-                arg += 2;
-            } else if (std::strcmp(argv[arg], "--time") == 0 &&
-                       arg + 1 < argc) {
-                pred.timeUs = parseTimeWindow(argv[arg + 1]);
-                arg += 2;
-            } else if (std::strcmp(argv[arg], "--min-packets") == 0 &&
-                       arg + 1 < argc) {
-                int n = std::atoi(argv[arg + 1]);
-                if (n < 1) {
-                    std::fprintf(
-                        stderr,
-                        "error: --min-packets must be >= 1\n");
-                    return 2;
-                }
-                pred.minFlowPackets = static_cast<uint32_t>(n);
-                arg += 2;
-            } else if (std::strcmp(argv[arg], "--count") == 0) {
-                countOnly = true;
-                ++arg;
-            } else if (std::strcmp(argv[arg], "--no-index") == 0) {
-                noIndex = true;
-                ++arg;
-            } else if (std::strcmp(argv[arg], "--threads") == 0 &&
-                       arg + 1 < argc) {
-                int threads = std::atoi(argv[arg + 1]);
-                if (threads < 0) {
-                    std::fprintf(stderr,
-                                 "error: --threads must be >= 0\n");
-                    return 2;
-                }
-                cfg.threads = static_cast<uint32_t>(threads);
-                arg += 2;
-            } else if (std::strcmp(argv[arg], "--out-format") == 0 &&
-                       arg + 1 < argc) {
-                outFormat =
-                    trace::parseTraceFormatSpec(argv[arg + 1]);
-                arg += 2;
-            } else {
-                return usage(argv[0], true);
-            }
-        }
-    } catch (const util::Error &error) {
-        std::fprintf(stderr, "error: %s\n", error.what());
+
+    cli::FlagSet flags(
+        "[options] <in.fcc> [<out>]",
+        "Extract flows/packets from an FCC archive by predicate or\n"
+        "expression, or answer an aggregate from the index without\n"
+        "reconstructing packets.");
+    flags.add("--expr", "'E'",
+              "composed query expression (docs/QUERY.md),\n"
+              "e.g. 'server in 10.0.0.0/8 and time within\n"
+              "[0, 60]'; exclusive with the legacy\n"
+              "predicate flags below",
+              [&](const char *v) { exprText = v; });
+    flags.add("--flow", "A.B.C.D",
+              "flows with this server (destination)\n"
+              "address — the 5-tuple component the lossy\n"
+              "codec preserves",
+              [&](const char *v) {
+                  pred.serverIp = trace::parseIp(v);
+              });
+    flags.add("--time", "T0:T1",
+              "packets between T0 and T1 seconds\n"
+              "(absolute trace time, floats)",
+              [&](const char *v) {
+                  pred.timeUs = parseTimeWindow(v);
+              });
+    flags.add("--min-packets", "N",
+              "flows of at least N packets",
+              [&](const char *v) {
+                  pred.minFlowPackets = static_cast<uint32_t>(
+                      cli::parseUnsigned("--min-packets", v, 1,
+                                         UINT32_MAX));
+              });
+    flags.add("--agg", "KIND",
+              "aggregate query instead of extraction:\n"
+              "flow-counts|byte-histogram|top-talkers\n"
+              "(answered from index + selected columns,\n"
+              "no packet reconstruction; no <out>)",
+              [&](const char *v) {
+                  aggKind = query::parseAggregateKind(v);
+              });
+    flags.add("--top", "K", "row budget for --agg top-talkers\n"
+                            "(default 10)",
+              [&](const char *v) {
+                  topK = static_cast<uint32_t>(cli::parseUnsigned(
+                      "--top", v, 1, UINT32_MAX));
+              });
+    flags.add("--count", "print match counts only (no output file)",
+              [&] { countOnly = true; });
+    flags.add("--no-index",
+              "ignore the chunk index (full decode)",
+              [&] { noIndex = true; });
+    flags.add("--threads", "N", "workers, 0 = all cores (default)",
+              [&](const char *v) {
+                  cfg.threads = static_cast<uint32_t>(
+                      cli::parseUnsigned("--threads", v, 0,
+                                         UINT32_MAX));
+              });
+    flags.add("--out-format", "F",
+              "auto|tsh|pcap|pcapng (default auto:\n"
+              "picked from the <out> extension)",
+              [&](const char *v) {
+                  outFormat = trace::parseTraceFormatSpec(v);
+              });
+
+    cli::ParseResult parsed = flags.parse(argc, argv);
+    if (parsed.exit)
+        return parsed.code;
+    int arg = parsed.next;
+
+    bool needsOut = !countOnly && !aggKind.has_value();
+    if (arg >= argc || (needsOut && arg + 1 >= argc)) {
+        flags.printHelp(argv[0], stderr);
         return 2;
     }
-    if (arg >= argc || (!countOnly && arg + 1 >= argc))
-        return usage(argv[0], true);
+    if (exprText.has_value() && !pred.matchAll()) {
+        std::fprintf(stderr,
+                     "error: --expr is exclusive with "
+                     "--flow/--time/--min-packets\n");
+        return 2;
+    }
     std::string inPath = argv[arg];
 
     try {
+        query::Expr expr = exprText.has_value()
+                               ? query::parseExpr(*exprText)
+                               : pred.toExpr();
+
         query::FccArchive archive(inPath, cfg);
         if (archive.indexCorrupt())
             std::fprintf(stderr,
@@ -169,14 +171,36 @@ main(int argc, char **argv)
                          "falling back to full decode\n",
                          inPath.c_str());
 
+        if (aggKind.has_value()) {
+            query::AggregateRequest req;
+            req.kind = *aggKind;
+            req.expr = expr;
+            req.topK = topK;
+            query::AggregateResult result =
+                archive.aggregate(req);
+            std::fputs(
+                query::renderAggregate(result, req).c_str(),
+                stdout);
+            std::printf(
+                "bytes touched:  %llu / %llu (reconstruction "
+                "would read %llu)\n",
+                static_cast<unsigned long long>(
+                    result.stats.bytesTouched),
+                static_cast<unsigned long long>(
+                    result.stats.fileBytes),
+                static_cast<unsigned long long>(
+                    result.stats.reconstructBytes));
+            return 0;
+        }
+
         query::QueryStats stats;
         if (countOnly) {
             query::NullTraceSink sink;
-            stats = archive.run(pred, sink, noIndex);
+            stats = archive.run(expr, sink, noIndex);
         } else {
             auto sink =
                 trace::openTraceSink(argv[arg + 1], outFormat);
-            stats = archive.run(pred, *sink, noIndex);
+            stats = archive.run(expr, *sink, noIndex);
         }
 
         std::printf("matched:        %llu packets in %llu flows\n",

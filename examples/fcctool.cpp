@@ -58,52 +58,11 @@
 #include "trace/source.hpp"
 #include "util/error.hpp"
 
+#include "tools/cli.hpp"
+
 using namespace fcc;
 
 namespace {
-
-int
-usage(const char *argv0, bool failed = true)
-{
-    std::fprintf(
-        failed ? stderr : stdout,
-        "usage: %s [options] <command> ...\n"
-        "\n"
-        "commands:\n"
-        "  compress   <in>      <out.fcc>   (in: any trace format)\n"
-        "  decompress <in.fcc>  <out>\n"
-        "  info       <file>                (trace or .fcc)\n"
-        "  convert    <in> <out>            (any format to any)\n"
-        "\n"
-        "options (before the command):\n"
-        "  --threshold PCT   similarity threshold of eq. 4\n"
-        "                    (default 2.0)\n"
-        "  --cutoff N        short/long flow split in packets\n"
-        "                    (default 50)\n"
-        "  --threads N       pipeline workers, 0 = all cores\n"
-        "                    (default; output bytes never depend\n"
-        "                    on it)\n"
-        "  --chunk-records N time-seq records per chunk (default\n"
-        "                    4096; the unit of parallel decode and\n"
-        "                    of random access — see --index; 0 =\n"
-        "                    unchunked legacy layout)\n"
-        "  --container FMT   fcc1|fcc2|fcc3 wire container\n"
-        "                    (default fcc3; decompression\n"
-        "                    auto-detects all three)\n"
-        "  --backend NAME    store|deflate|range — FCC3 per-column\n"
-        "                    entropy backend (default deflate)\n"
-        "  --index           compress: write a seekable archive\n"
-        "                    (chunk/flow index; fcc3 only, see\n"
-        "                    fccquery); info: print the per-chunk\n"
-        "                    index table\n"
-        "  --in-format FMT   auto|tsh|pcap|pcapng[.gz]\n"
-        "                    (default auto: detect by magic bytes)\n"
-        "  --out-format FMT  auto|tsh|pcap|pcapng (default auto:\n"
-        "                    pick by output extension)\n"
-        "  --help            this text\n",
-        argv0);
-    return failed ? 2 : 0;
-}
 
 bool
 hasSuffix(const std::string &text, const char *suffix)
@@ -305,77 +264,92 @@ main(int argc, char **argv)
     cfg.container = codec::fcc::ContainerFormat::Fcc3;
     trace::TraceFormatSpec inFormat, outFormat;
     bool showIndex = false;
-    int arg = 1;
-    try {
-        while (arg < argc && std::strncmp(argv[arg], "--", 2) == 0) {
-            if (std::strcmp(argv[arg], "--help") == 0) {
-                return usage(argv[0], false);
-            } else if (std::strcmp(argv[arg], "--index") == 0) {
-                // Compress: write the chunk/flow index; info: show
-                // the per-chunk table.
-                cfg.index = true;
-                showIndex = true;
-                ++arg;
-            } else if (std::strcmp(argv[arg], "--threshold") == 0 &&
-                       arg + 1 < argc) {
-                cfg.rule.percent = std::atof(argv[arg + 1]);
-                arg += 2;
-            } else if (std::strcmp(argv[arg], "--cutoff") == 0 &&
-                       arg + 1 < argc) {
-                cfg.shortLimit = static_cast<uint32_t>(
-                    std::atoi(argv[arg + 1]));
-                arg += 2;
-            } else if (std::strcmp(argv[arg], "--threads") == 0 &&
-                       arg + 1 < argc) {
-                int threads = std::atoi(argv[arg + 1]);
-                if (threads < 0) {
-                    std::fprintf(stderr,
-                                 "error: --threads must be >= 0\n");
-                    return 2;
-                }
-                cfg.threads = static_cast<uint32_t>(threads);
-                arg += 2;
-            } else if (std::strcmp(argv[arg], "--chunk-records") ==
-                           0 &&
-                       arg + 1 < argc) {
-                int records = std::atoi(argv[arg + 1]);
-                if (records < 0) {
-                    std::fprintf(
-                        stderr,
-                        "error: --chunk-records must be >= 0\n");
-                    return 2;
-                }
-                cfg.chunkRecords = static_cast<uint32_t>(records);
-                arg += 2;
-            } else if (std::strcmp(argv[arg], "--container") == 0 &&
-                       arg + 1 < argc) {
-                cfg.container =
-                    codec::fcc::parseContainerName(argv[arg + 1]);
-                arg += 2;
-            } else if (std::strcmp(argv[arg], "--backend") == 0 &&
-                       arg + 1 < argc) {
-                cfg.backend =
-                    codec::backend::parseBackendName(argv[arg + 1]);
-                arg += 2;
-            } else if (std::strcmp(argv[arg], "--in-format") == 0 &&
-                       arg + 1 < argc) {
-                inFormat = trace::parseTraceFormatSpec(argv[arg + 1]);
-                arg += 2;
-            } else if (std::strcmp(argv[arg], "--out-format") == 0 &&
-                       arg + 1 < argc) {
-                outFormat =
-                    trace::parseTraceFormatSpec(argv[arg + 1]);
-                arg += 2;
-            } else {
-                return usage(argv[0]);
-            }
-        }
-    } catch (const util::Error &error) {
-        std::fprintf(stderr, "error: %s\n", error.what());
+
+    cli::FlagSet flags(
+        "[options] <command> ...",
+        "Streaming compression front end. Inputs may be TSH, pcap\n"
+        "or pcapng, each optionally gzip'd; the format is\n"
+        "auto-detected from magic bytes. Options come before the\n"
+        "command.");
+    flags.epilog(
+        "commands:\n"
+        "  compress   <in>      <out.fcc>   (in: any trace format)\n"
+        "  decompress <in.fcc>  <out>\n"
+        "  info       <file>                (trace or .fcc)\n"
+        "  convert    <in> <out>            (any format to any)");
+    flags.add("--threshold", "PCT",
+              "similarity threshold of eq. 4 (default 2.0)",
+              [&](const char *v) {
+                  cfg.rule.percent = std::atof(v);
+              });
+    flags.add("--cutoff", "N",
+              "short/long flow split in packets (default 50)",
+              [&](const char *v) {
+                  cfg.shortLimit = static_cast<uint32_t>(
+                      cli::parseUnsigned("--cutoff", v, 0,
+                                         UINT32_MAX));
+              });
+    flags.add("--threads", "N",
+              "pipeline workers, 0 = all cores (default;\n"
+              "output bytes never depend on it)",
+              [&](const char *v) {
+                  cfg.threads = static_cast<uint32_t>(
+                      cli::parseUnsigned("--threads", v, 0,
+                                         UINT32_MAX));
+              });
+    flags.add("--chunk-records", "N",
+              "time-seq records per chunk (default 4096;\n"
+              "the unit of parallel decode and of random\n"
+              "access — see --index; 0 = unchunked legacy\n"
+              "layout)",
+              [&](const char *v) {
+                  cfg.chunkRecords = static_cast<uint32_t>(
+                      cli::parseUnsigned("--chunk-records", v, 0,
+                                         UINT32_MAX));
+              });
+    flags.add("--container", "FMT",
+              "fcc1|fcc2|fcc3 wire container (default\n"
+              "fcc3; decompression auto-detects all three)",
+              [&](const char *v) {
+                  cfg.container =
+                      codec::fcc::parseContainerName(v);
+              });
+    flags.add("--backend", "NAME",
+              "store|deflate|range — FCC3 per-column\n"
+              "entropy backend (default deflate)",
+              [&](const char *v) {
+                  cfg.backend =
+                      codec::backend::parseBackendName(v);
+              });
+    flags.add("--index",
+              "compress: write a seekable archive\n"
+              "(chunk/flow index; fcc3 only, see fccquery);\n"
+              "info: print the per-chunk index table",
+              [&] {
+                  cfg.index = true;
+                  showIndex = true;
+              });
+    flags.add("--in-format", "FMT",
+              "auto|tsh|pcap|pcapng[.gz] (default auto:\n"
+              "detect by magic bytes)",
+              [&](const char *v) {
+                  inFormat = trace::parseTraceFormatSpec(v);
+              });
+    flags.add("--out-format", "FMT",
+              "auto|tsh|pcap|pcapng (default auto: pick by\n"
+              "output extension)",
+              [&](const char *v) {
+                  outFormat = trace::parseTraceFormatSpec(v);
+              });
+
+    cli::ParseResult parsed = flags.parse(argc, argv);
+    if (parsed.exit)
+        return parsed.code;
+    int arg = parsed.next;
+    if (arg >= argc) {
+        flags.printHelp(argv[0], stderr);
         return 2;
     }
-    if (arg >= argc)
-        return usage(argv[0]);
     std::string command = argv[arg++];
 
     try {
@@ -443,5 +417,6 @@ main(int argc, char **argv)
         std::fprintf(stderr, "error: %s\n", error.what());
         return 1;
     }
-    return usage(argv[0]);
+    flags.printHelp(argv[0], stderr);
+    return 2;
 }

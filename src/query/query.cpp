@@ -4,7 +4,7 @@
  * mmap'd file, plan chunks against the index block's summaries,
  * decode only the surviving chunks on the thread pool, and filter
  * to exactly the packets a full decompression would have produced
- * for the same predicate.
+ * for the same expression.
  */
 
 #include "query/query.hpp"
@@ -37,7 +37,7 @@ struct ChunkResult
 
 /**
  * Expand @p records (one chunk, or the whole legacy stream) from
- * @p rngSeed, keeping only what @p pred admits. Every record is
+ * @p rngSeed, keeping only what @p expr admits. Every record is
  * expanded even when filtered out — the RNG stream must advance
  * exactly as a full decompression would, or the surviving flows
  * would reconstruct different bytes.
@@ -46,27 +46,24 @@ void
 expandFiltered(const fccc::FccTraceCompressor &codec,
                const fccc::Datasets &shared,
                std::span<const fccc::TimeSeqRecord> records,
-               uint64_t rngSeed, const Predicate &pred,
-               ChunkResult &out)
+               uint64_t rngSeed, const Expr &expr,
+               uint16_t serverPort, ChunkResult &out)
 {
     util::Rng rng(rngSeed);
     std::vector<trace::PacketRecord> flowBuf;
     for (const fccc::TimeSeqRecord &rec : records) {
         flowBuf.clear();
         codec.expandFlow(shared, rec, rng, flowBuf);
-        if (pred.serverIp &&
-            shared.addresses[rec.addressIndex] != *pred.serverIp)
-            continue;
-        if (flowBuf.size() < pred.minFlowPackets)
+        Expr::FlowView flow{shared.addresses[rec.addressIndex],
+                            serverPort, flowBuf.size()};
+        Expr::FlowMatch verdict = expr.matchesFlow(flow);
+        if (verdict == Expr::FlowMatch::Never)
             continue;
         size_t emitted = 0;
         for (const trace::PacketRecord &pkt : flowBuf) {
-            if (pred.timeUs) {
-                uint64_t us = pkt.timestampUs();
-                if (us < pred.timeUs->first ||
-                    us > pred.timeUs->second)
-                    continue;
-            }
+            if (verdict == Expr::FlowMatch::PerPacket &&
+                !expr.matches(flow, pkt.timestampUs()))
+                continue;
             out.packets.push_back(pkt);
             ++emitted;
         }
@@ -183,6 +180,25 @@ buildChunkRecords(const fccc::Datasets &shared,
 
 } // namespace
 
+Expr
+Predicate::toExpr() const
+{
+    Expr e = Expr::matchAll();
+    bool any = false;
+    auto add = [&](Expr leaf) {
+        e = any ? Expr::andOf(std::move(e), std::move(leaf))
+                : std::move(leaf);
+        any = true;
+    };
+    if (serverIp)
+        add(Expr::serverIs(*serverIp));
+    if (timeUs)
+        add(Expr::timeWithin(timeUs->first, timeUs->second));
+    if (minFlowPackets >= 1)
+        add(Expr::minFlowPackets(minFlowPackets));
+    return e;
+}
+
 FccArchive::FccArchive(const std::string &path,
                        const codec::fcc::FccConfig &cfg)
     : path_(path), cfg_(cfg), src_(util::openByteSource(path))
@@ -218,37 +234,35 @@ FccArchive::FccArchive(const std::string &path,
 }
 
 std::vector<size_t>
-FccArchive::plan(const Predicate &pred) const
+FccArchive::plan(const Expr &expr) const
 {
     util::require(hasIndex(), "query: archive has no index");
     std::vector<size_t> out;
-    for (size_t c = 0; c < index_->chunks.size(); ++c) {
-        const fccc::ChunkSummary &s = index_->chunks[c];
-        if (pred.serverIp && !s.mayContainServer(*pred.serverIp))
-            continue;
-        if (pred.timeUs && !s.overlapsTime(pred.timeUs->first,
-                                           pred.timeUs->second))
-            continue;
-        if (pred.minFlowPackets > s.maxFlowPackets)
-            continue;
-        out.push_back(c);
-    }
+    for (size_t c = 0; c < index_->chunks.size(); ++c)
+        if (expr.planChunk(index_->chunks[c]).may)
+            out.push_back(c);
     return out;
 }
 
+std::vector<size_t>
+FccArchive::plan(const Predicate &pred) const
+{
+    return plan(pred.toExpr());
+}
+
 QueryStats
-FccArchive::run(const Predicate &pred, trace::TraceSink &sink,
-                bool forceFullDecode)
+FccArchive::run(const Expr &expr, trace::TraceSink &sink,
+                bool forceFullDecode) const
 {
     // The index's maxEndUs bounds assume the gap it was written
     // with; a *larger* reconstruction gap pushes packets past them,
     // so time-window pruning would silently drop matches — take the
     // (always correct) full-decode path instead.
-    bool gapUnsafe = pred.timeUs && hasIndex() &&
+    bool gapUnsafe = expr.usesTime() && hasIndex() &&
                      cfg_.defaultGapUs > index_->gapUs;
     if (hasIndex() && !forceFullDecode && !gapUnsafe) {
         try {
-            return runIndexed(pred, sink);
+            return runIndexed(expr, sink);
         } catch (const std::bad_alloc &) {
             // A corrupt (cap-passing) count exhausted memory —
             // report bad input, like the container parsers do.
@@ -256,30 +270,33 @@ FccArchive::run(const Predicate &pred, trace::TraceSink &sink,
                               "memory");
         }
     }
-    return runFullDecode(pred, sink);
+    return runFullDecode(expr, sink);
 }
 
 QueryStats
-FccArchive::runIndexed(const Predicate &pred, trace::TraceSink &sink)
+FccArchive::run(const Predicate &pred, trace::TraceSink &sink,
+                bool forceFullDecode) const
 {
-    QueryStats stats;
-    stats.usedIndex = true;
-    stats.fileBytes = bytes_.size();
+    return run(pred.toExpr(), sink, forceFullDecode);
+}
 
-    uint64_t indexBytes = fccc::indexRegionBytes(bytes_);
-    size_t regionEnd =
-        bytes_.size() - static_cast<size_t>(indexBytes);
+FccArchive::SharedRegion
+FccArchive::decodeSharedRegion() const
+{
+    SharedRegion region;
+    region.indexBytes = fccc::indexRegionBytes(bytes_);
+    region.regionEnd =
+        bytes_.size() - static_cast<size_t>(region.indexBytes);
 
     // Header + the shared dataset frames (templates, addresses) and
     // the chunk layout — everything a selective decode needs besides
     // the chunks themselves.
-    util::ByteReader r(bytes_.data(), regionEnd);
+    util::ByteReader r(bytes_.data(), region.regionEnd);
     util::require(r.u32() == magicFcc3, "fcc: bad magic");
-    flow::Weights weights;
-    weights.w1 = r.u16();
-    weights.w2 = r.u16();
-    weights.w3 = r.u16();
-    util::require(weights.decodable(),
+    region.weights.w1 = r.u16();
+    region.weights.w2 = r.u16();
+    region.weights.w3 = r.u16();
+    util::require(region.weights.decodable(),
                   "fcc: stored weights are not decodable");
     uint8_t colByte = r.u8();
     util::require((colByte & ~fccc::indexedLayoutFlag) ==
@@ -290,35 +307,52 @@ FccArchive::runIndexed(const Predicate &pred, trace::TraceSink &sink)
     for (size_t c = 0; c <= fccc::ColAddr; ++c)
         sharedFrames[c] = fccc::readColumnFrame(r);
     fccc::ColumnFrame chunkLenFrame = fccc::readColumnFrame(r);
-    size_t sharedEnd = r.position();
+    region.sharedEnd = r.position();
 
     fccc::Fcc3Columns columns;
     for (size_t c = 0; c <= fccc::ColAddr; ++c)
         columns[c] = fccc::decodeColumnFrame(sharedFrames[c]);
-    std::vector<uint64_t> chunkLen =
-        fccc::decodeColumnFrame(chunkLenFrame);
-    fccc::Datasets shared =
-        fccc::assembleFcc3Columns(weights, columns);
+    region.chunkLen = fccc::decodeColumnFrame(chunkLenFrame);
+    region.shared =
+        fccc::assembleFcc3Columns(region.weights, columns);
 
-    util::require(index_->chunks.size() == chunkLen.size(),
+    util::require(index_->chunks.size() == region.chunkLen.size(),
                   "fcc index: chunk count disagrees with container");
-    stats.chunksTotal = chunkLen.size();
+    return region;
+}
 
-    std::vector<size_t> planned = plan(pred);
+const fccc::ChunkSummary &
+FccArchive::checkedChunk(const SharedRegion &region, size_t c) const
+{
+    const fccc::ChunkSummary &s = index_->chunks[c];
+    util::require(s.records == region.chunkLen[c],
+                  "fcc index: record count disagrees with "
+                  "container");
+    util::require(s.byteOffset >= region.sharedEnd &&
+                      s.byteOffset <= region.regionEnd &&
+                      s.byteLength <=
+                          region.regionEnd - s.byteOffset,
+                  "fcc index: chunk range out of bounds");
+    return s;
+}
+
+QueryStats
+FccArchive::runIndexed(const Expr &expr,
+                       trace::TraceSink &sink) const
+{
+    QueryStats stats;
+    stats.usedIndex = true;
+    stats.fileBytes = bytes_.size();
+
+    SharedRegion region = decodeSharedRegion();
+    stats.chunksTotal = region.chunkLen.size();
+
+    std::vector<size_t> planned = plan(expr);
     stats.chunksDecoded = planned.size();
-    stats.bytesRead = sharedEnd + indexBytes;
+    stats.bytesRead = region.sharedEnd + region.indexBytes;
 
-    for (size_t c : planned) {
-        const fccc::ChunkSummary &s = index_->chunks[c];
-        util::require(s.records == chunkLen[c],
-                      "fcc index: record count disagrees with "
-                      "container");
-        util::require(s.byteOffset >= sharedEnd &&
-                          s.byteOffset <= regionEnd &&
-                          s.byteLength <= regionEnd - s.byteOffset,
-                      "fcc index: chunk range out of bounds");
-        stats.bytesRead += s.byteLength;
-    }
+    for (size_t c : planned)
+        stats.bytesRead += checkedChunk(region, c).byteLength;
 
     fccc::FccTraceCompressor codec(cfg_);
     std::vector<ChunkResult> results(planned.size());
@@ -334,10 +368,11 @@ FccArchive::runIndexed(const Predicate &pred, trace::TraceSink &sink)
         util::require(cr.exhausted(),
                       "fcc index: chunk range has trailing bytes");
         std::vector<fccc::TimeSeqRecord> records =
-            buildChunkRecords(shared, cols, chunkLen[c]);
-        expandFiltered(codec, shared, records,
+            buildChunkRecords(region.shared, cols,
+                              region.chunkLen[c]);
+        expandFiltered(codec, region.shared, records,
                        fccc::chunkRngSeed(cfg_.decompressSeed, c),
-                       pred, results[i]);
+                       expr, cfg_.serverPort, results[i]);
     };
     runChunkJobs(cfg_.threads, planned.size(), decodeOne);
 
@@ -346,8 +381,8 @@ FccArchive::runIndexed(const Predicate &pred, trace::TraceSink &sink)
 }
 
 QueryStats
-FccArchive::runFullDecode(const Predicate &pred,
-                          trace::TraceSink &sink)
+FccArchive::runFullDecode(const Expr &expr,
+                          trace::TraceSink &sink) const
 {
     QueryStats stats;
     stats.usedIndex = false;
@@ -363,7 +398,7 @@ FccArchive::runFullDecode(const Predicate &pred,
         stats.chunksDecoded = 1;
         std::vector<ChunkResult> results(1);
         expandFiltered(codec, d, d.timeSeq, cfg_.decompressSeed,
-                       pred, results[0]);
+                       expr, cfg_.serverPort, results[0]);
         emitResults(results, sink, stats);
         return stats;
     }
@@ -383,7 +418,7 @@ FccArchive::runFullDecode(const Predicate &pred,
             d.timeSeq.data() + offset[c], d.chunkSizes[c]);
         expandFiltered(codec, d, records,
                        fccc::chunkRngSeed(cfg_.decompressSeed, c),
-                       pred, results[c]);
+                       expr, cfg_.serverPort, results[c]);
     };
     runChunkJobs(cfg_.threads, chunks, expandOne);
     emitResults(results, sink, stats);

@@ -7,10 +7,11 @@
  *
  *  1. open — mmap the file (util/io) and load only the index block
  *     from its tail;
- *  2. plan — evaluate a predicate (server address, time window,
- *     flow-size threshold) against the per-chunk summaries: Bloom
- *     fingerprints rule out chunks without the queried server,
- *     timestamp bounds rule out chunks outside the window;
+ *  2. plan — evaluate a query expression (query/expr.hpp: AND/OR/NOT
+ *     over server, CIDR, port, time-window and flow-size leaves)
+ *     against the per-chunk summaries: Bloom fingerprints rule out
+ *     chunks without the queried servers, timestamp bounds rule out
+ *     chunks outside the window;
  *  3. execute — decode and expand only the surviving chunks (one
  *     thread-pool job each, every chunk drawing from its own RNG
  *     stream), filter, and emit the time-sorted result through any
@@ -25,6 +26,13 @@
  * deflate) and archives whose index block is corrupt fall back to a
  * full decode with the same filtering semantics — a query is never
  * wrong, only slower. See docs/QUERY.md.
+ *
+ * The pre-PR 7 query API — the closed conjunctive Predicate — is
+ * kept as a thin adapter that lowers onto Expr; new code should
+ * build Expr trees (or parse the text grammar) directly. Aggregate
+ * queries over an archive (per-server flow counts, byte histograms,
+ * top-K talkers, computed without reconstructing packets) live in
+ * query/aggregate.hpp; multi-archive catalogs in query/catalog.hpp.
  */
 
 #ifndef FCC_QUERY_QUERY_HPP
@@ -38,17 +46,25 @@
 #include <utility>
 #include <vector>
 
+#include "codec/fcc/datasets.hpp"
 #include "codec/fcc/fcc_codec.hpp"
 #include "codec/fcc/index.hpp"
+#include "query/expr.hpp"
 #include "trace/source.hpp"
 #include "trace/tsh.hpp"
 #include "util/io.hpp"
 
 namespace fcc::query {
 
+struct AggregateRequest;
+struct AggregateResult;
+
 /**
- * Conjunctive flow/packet predicate. Unset members match
- * everything; set members must all hold.
+ * Conjunctive flow/packet predicate — the closed query surface of
+ * PR 5, retained as a compatibility adapter. Unset members match
+ * everything; set members must all hold. Deprecated: new code
+ * should compose a query::Expr (or parse the text grammar) instead;
+ * every Predicate lowers losslessly via toExpr().
  */
 struct Predicate
 {
@@ -75,6 +91,16 @@ struct Predicate
     {
         return !serverIp && !timeUs && minFlowPackets <= 1;
     }
+
+    /**
+     * Lower to the equivalent expression tree: the AND of one leaf
+     * per set member. Plan and execution semantics are identical to
+     * the legacy closed-predicate paths.
+     * @throws fcc::util::Error on an inverted time window
+     *         (timeUs->first > timeUs->second) — previously such a
+     *         predicate silently matched nothing.
+     */
+    Expr toExpr() const;
 };
 
 /** What one query run touched and produced. */
@@ -122,6 +148,10 @@ class NullTraceSink final : public trace::TraceSink
  * the reconstruction parameters and thread count — they must match
  * the ones a full decompression would use for the reconstruction to
  * be bit-identical (the defaults always do).
+ *
+ * All query entry points are const and touch only immutable state,
+ * so one archive may serve concurrent queries from many threads
+ * (the fccserve layer relies on this).
  */
 class FccArchive
 {
@@ -149,32 +179,81 @@ class FccArchive
     /** Archive size in bytes. */
     uint64_t fileBytes() const { return bytes_.size(); }
 
+    /** The path the archive was opened from. */
+    const std::string &path() const { return path_; }
+
+    /** The reconstruction configuration queries run with. */
+    const codec::fcc::FccConfig &config() const { return cfg_; }
+
     /**
-     * Chunk ids the index cannot rule out for @p pred, in ascending
+     * Chunk ids the index cannot rule out for @p expr, in ascending
      * order. Bloom false positives may include chunks with no
      * matching flow (the execute stage filters them to zero
      * packets); a chunk with a match is never excluded.
      * Requires hasIndex().
      */
+    std::vector<size_t> plan(const Expr &expr) const;
+
+    /** Adapter: plan(pred.toExpr()). */
     std::vector<size_t> plan(const Predicate &pred) const;
 
     /**
-     * Run @p pred over the archive and write the matching packets,
+     * Run @p expr over the archive and write the matching packets,
      * globally time-sorted, to @p sink (closed before returning).
      * Uses the index when present unless @p forceFullDecode; always
      * produces exactly the packets a full decompression filtered by
-     * @p pred would.
+     * @p expr would.
      *
      * @throws fcc::util::Error on a malformed archive.
      */
+    QueryStats run(const Expr &expr, trace::TraceSink &sink,
+                   bool forceFullDecode = false) const;
+
+    /** Adapter: run(pred.toExpr(), ...). */
     QueryStats run(const Predicate &pred, trace::TraceSink &sink,
-                   bool forceFullDecode = false);
+                   bool forceFullDecode = false) const;
+
+    /**
+     * Aggregate over the archive from index blocks and selected
+     * column frames, without reconstructing packets. Declared here,
+     * defined with the request/result model in query/aggregate.hpp.
+     */
+    AggregateResult aggregate(const AggregateRequest &req) const;
 
   private:
-    QueryStats runIndexed(const Predicate &pred,
-                          trace::TraceSink &sink);
-    QueryStats runFullDecode(const Predicate &pred,
-                             trace::TraceSink &sink);
+    /**
+     * Everything the indexed layout shares across chunks: the
+     * decoded header region (weights, shared datasets, per-chunk
+     * record counts) plus the byte geometry selective readers
+     * account against. Built by decodeSharedRegion(), reused by the
+     * filter and aggregate executors.
+     */
+    struct SharedRegion
+    {
+        flow::Weights weights;
+        codec::fcc::Datasets shared;     ///< templates + addresses
+        std::vector<uint64_t> chunkLen;  ///< records per chunk
+        size_t sharedEnd = 0;    ///< end of the shared frames
+        size_t regionEnd = 0;    ///< end of the column-frame region
+        uint64_t indexBytes = 0; ///< index block + footer size
+    };
+
+    /** Decode the shared region of an indexed archive (validates
+     *  header, shared frames and the chunk layout against the
+     *  index). Requires hasIndex(). */
+    SharedRegion decodeSharedRegion() const;
+
+    /** Validate chunk @p c's byte range against the region bounds
+     *  and return its summary. */
+    const codec::fcc::ChunkSummary &
+    checkedChunk(const SharedRegion &region, size_t c) const;
+
+    QueryStats runIndexed(const Expr &expr,
+                          trace::TraceSink &sink) const;
+    QueryStats runFullDecode(const Expr &expr,
+                             trace::TraceSink &sink) const;
+
+    friend struct AggregateExecutor;
 
     std::string path_;
     codec::fcc::FccConfig cfg_;

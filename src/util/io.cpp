@@ -254,4 +254,289 @@ readAllBytes(ByteSource &src, std::vector<uint8_t> &owned)
     return {owned.data(), owned.size()};
 }
 
+// ---- sockets --------------------------------------------------------
+
+SocketEndpoint
+SocketEndpoint::parse(const std::string &text)
+{
+    if (text.rfind("unix:", 0) == 0) {
+        SocketEndpoint e;
+        e.kind = Kind::Unix;
+        e.path = text.substr(5);
+        require(!e.path.empty(),
+                "endpoint: unix: requires a socket path");
+        return e;
+    }
+    if (text.rfind("tcp:", 0) == 0) {
+        SocketEndpoint e;
+        e.kind = Kind::Tcp;
+        std::string rest = text.substr(4);
+        size_t colon = rest.rfind(':');
+        require(colon != std::string::npos,
+                "endpoint: tcp: requires host:port");
+        e.host = rest.substr(0, colon);
+        std::string portText = rest.substr(colon + 1);
+        require(!portText.empty(), "endpoint: missing port");
+        uint32_t port = 0;
+        for (char c : portText) {
+            require(c >= '0' && c <= '9',
+                    "endpoint: malformed port");
+            port = port * 10 + static_cast<uint32_t>(c - '0');
+            require(port <= 65535, "endpoint: port out of range");
+        }
+        e.port = static_cast<uint16_t>(port);
+        return e;
+    }
+    throw Error("endpoint: expected 'unix:/path' or "
+                "'tcp:host:port', got '" +
+                text + "'");
+}
+
+std::string
+SocketEndpoint::str() const
+{
+    if (kind == Kind::Unix)
+        return "unix:" + path;
+    return "tcp:" + host + ":" + std::to_string(port);
+}
+
+#if FCC_HAVE_MMAP
+#define FCC_HAVE_SOCKETS 1
+#else
+#define FCC_HAVE_SOCKETS 0
+#endif
+
+#if FCC_HAVE_SOCKETS
+
+} // namespace fcc::util
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+
+#include <cerrno>
+
+namespace fcc::util {
+
+namespace {
+
+[[noreturn]] void
+socketError(const std::string &what)
+{
+    throw Error(what + ": " + std::strerror(errno));
+}
+
+SocketFd
+tcpSocket(const SocketEndpoint &endpoint, bool forListen)
+{
+    std::string host = endpoint.host;
+    if (host.empty())
+        host = forListen ? "0.0.0.0" : "127.0.0.1";
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    if (forListen)
+        hints.ai_flags = AI_PASSIVE;
+    addrinfo *res = nullptr;
+    std::string portText = std::to_string(endpoint.port);
+    int rc = ::getaddrinfo(host.c_str(), portText.c_str(), &hints,
+                           &res);
+    if (rc != 0)
+        throw Error("endpoint: cannot resolve '" + host +
+                    "': " + gai_strerror(rc));
+    std::string lastError = "no usable address";
+    for (addrinfo *ai = res; ai; ai = ai->ai_next) {
+        SocketFd fd(::socket(ai->ai_family, ai->ai_socktype,
+                             ai->ai_protocol));
+        if (!fd.valid())
+            continue;
+        if (forListen) {
+            int one = 1;
+            ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+                         sizeof one);
+            if (::bind(fd.get(), ai->ai_addr, ai->ai_addrlen) ==
+                0) {
+                ::freeaddrinfo(res);
+                return fd;
+            }
+        } else if (::connect(fd.get(), ai->ai_addr,
+                             ai->ai_addrlen) == 0) {
+            ::freeaddrinfo(res);
+            return fd;
+        }
+        lastError = std::strerror(errno);
+    }
+    ::freeaddrinfo(res);
+    throw Error("socket " + endpoint.str() + ": " + lastError);
+}
+
+sockaddr_un
+unixAddress(const SocketEndpoint &endpoint)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    require(endpoint.path.size() < sizeof(addr.sun_path),
+            "endpoint: unix socket path too long");
+    std::memcpy(addr.sun_path, endpoint.path.c_str(),
+                endpoint.path.size() + 1);
+    return addr;
+}
+
+} // namespace
+
+void
+SocketFd::reset()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = -1;
+}
+
+uint16_t
+SocketFd::localPort() const
+{
+    sockaddr_storage addr{};
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0)
+        socketError("getsockname");
+    if (addr.ss_family == AF_INET)
+        return ntohs(
+            reinterpret_cast<const sockaddr_in *>(&addr)->sin_port);
+    if (addr.ss_family == AF_INET6)
+        return ntohs(reinterpret_cast<const sockaddr_in6 *>(&addr)
+                         ->sin6_port);
+    throw Error("localPort: not an IP socket");
+}
+
+SocketFd
+listenSocket(const SocketEndpoint &endpoint, int backlog)
+{
+    if (endpoint.kind == SocketEndpoint::Kind::Unix) {
+        SocketFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+        if (!fd.valid())
+            socketError("socket(AF_UNIX)");
+        sockaddr_un addr = unixAddress(endpoint);
+        ::unlink(endpoint.path.c_str());  // stale socket file
+        if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                   sizeof addr) != 0)
+            socketError("bind " + endpoint.str());
+        if (::listen(fd.get(), backlog) != 0)
+            socketError("listen " + endpoint.str());
+        return fd;
+    }
+    SocketFd fd = tcpSocket(endpoint, true);
+    if (::listen(fd.get(), backlog) != 0)
+        socketError("listen " + endpoint.str());
+    return fd;
+}
+
+SocketFd
+connectSocket(const SocketEndpoint &endpoint)
+{
+    if (endpoint.kind == SocketEndpoint::Kind::Unix) {
+        SocketFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+        if (!fd.valid())
+            socketError("socket(AF_UNIX)");
+        sockaddr_un addr = unixAddress(endpoint);
+        if (::connect(fd.get(),
+                      reinterpret_cast<sockaddr *>(&addr),
+                      sizeof addr) != 0)
+            socketError("connect " + endpoint.str());
+        return fd;
+    }
+    return tcpSocket(endpoint, false);
+}
+
+void
+sendAll(int fd, std::span<const uint8_t> data)
+{
+#ifdef MSG_NOSIGNAL
+    constexpr int sendFlags = MSG_NOSIGNAL;
+#else
+    constexpr int sendFlags = 0;
+#endif
+    size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::send(fd, data.data() + off,
+                           data.size() - off, sendFlags);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            socketError("send");
+        }
+        off += static_cast<size_t>(n);
+    }
+}
+
+size_t
+recvFully(int fd, uint8_t *out, size_t len)
+{
+    size_t total = 0;
+    while (total < len) {
+        ssize_t n = ::recv(fd, out + total, len - total, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            socketError("recv");
+        }
+        if (n == 0) {
+            require(total == 0,
+                    "socket: connection closed mid-frame");
+            return 0;
+        }
+        total += static_cast<size_t>(n);
+    }
+    return total;
+}
+
+#else  // !FCC_HAVE_SOCKETS
+
+namespace {
+[[noreturn]] void
+noSockets()
+{
+    throw Error("sockets are not supported on this platform");
+}
+} // namespace
+
+void
+SocketFd::reset()
+{
+    fd_ = -1;
+}
+
+uint16_t
+SocketFd::localPort() const
+{
+    noSockets();
+}
+
+SocketFd
+listenSocket(const SocketEndpoint &, int)
+{
+    noSockets();
+}
+
+SocketFd
+connectSocket(const SocketEndpoint &)
+{
+    noSockets();
+}
+
+void
+sendAll(int, std::span<const uint8_t>)
+{
+    noSockets();
+}
+
+size_t
+recvFully(int, uint8_t *, size_t)
+{
+    noSockets();
+}
+
+#endif // FCC_HAVE_SOCKETS
+
 } // namespace fcc::util

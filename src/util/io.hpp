@@ -258,6 +258,112 @@ openByteSource(const std::string &path, bool preferMmap = true);
 std::span<const uint8_t> readAllBytes(ByteSource &src,
                                       std::vector<uint8_t> &owned);
 
+// ---- sockets --------------------------------------------------------
+//
+// Minimal blocking-socket layer for the query serving subsystem
+// (query/server.hpp): endpoint addressing, listen/connect, and
+// exact-count send/receive. POSIX only — on platforms without BSD
+// sockets every entry point throws fcc::util::Error, mirroring how
+// MmapByteSource degrades.
+
+/**
+ * A serving address: `unix:/path/to.sock` or `tcp:host:port`.
+ * For TCP, an empty host means "every interface" when listening and
+ * localhost when connecting; port 0 asks the kernel for an
+ * ephemeral port (read it back with SocketFd::localPort()).
+ */
+struct SocketEndpoint
+{
+    enum class Kind : uint8_t
+    {
+        Unix,
+        Tcp,
+    };
+
+    Kind kind = Kind::Unix;
+    std::string path;  ///< Unix: filesystem path of the socket
+    std::string host;  ///< TCP: address or name
+    uint16_t port = 0; ///< TCP
+
+    /** Parse the text form. @throws fcc::util::Error */
+    static SocketEndpoint parse(const std::string &text);
+
+    /** Canonical text form ("unix:/x", "tcp:host:port"). */
+    std::string str() const;
+};
+
+/** Owning socket file descriptor (close on destruction). */
+class SocketFd
+{
+  public:
+    SocketFd() = default;
+    explicit SocketFd(int fd) : fd_(fd) {}
+    ~SocketFd() { reset(); }
+
+    SocketFd(SocketFd &&other) noexcept : fd_(other.fd_)
+    {
+        other.fd_ = -1;
+    }
+    SocketFd &
+    operator=(SocketFd &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+    SocketFd(const SocketFd &) = delete;
+    SocketFd &operator=(const SocketFd &) = delete;
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    /** Close now (idempotent). */
+    void reset();
+
+    /** Release ownership without closing. */
+    int
+    release()
+    {
+        int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+
+    /** The locally bound TCP port (after listenSocket with port 0).
+     *  @throws fcc::util::Error on a non-IP socket. */
+    uint16_t localPort() const;
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Bind + listen on @p endpoint. A Unix endpoint unlinks a stale
+ * socket file first; callers should unlink the path again after the
+ * listener closes. @throws fcc::util::Error
+ */
+SocketFd listenSocket(const SocketEndpoint &endpoint,
+                      int backlog = 16);
+
+/** Blocking connect to @p endpoint. @throws fcc::util::Error */
+SocketFd connectSocket(const SocketEndpoint &endpoint);
+
+/** Send all of @p data (loops over partial sends, no SIGPIPE).
+ *  @throws fcc::util::Error when the peer goes away. */
+void sendAll(int fd, std::span<const uint8_t> data);
+
+/**
+ * Receive exactly @p len bytes.
+ * @returns @p len, or 0 on a clean end-of-stream before the first
+ *          byte (peer closed between frames).
+ * @throws fcc::util::Error when the stream ends mid-way or on a
+ *         socket error.
+ */
+size_t recvFully(int fd, uint8_t *out, size_t len);
+
 } // namespace fcc::util
 
 #endif // FCC_UTIL_IO_HPP

@@ -1,0 +1,446 @@
+/**
+ * @file
+ * Multi-archive catalog tests — the serving layer's data model.
+ *
+ * The load-bearing property (the PR's acceptance criterion): an
+ * OR-of-conjunctions expression over a three-archive catalog must
+ * return results bit-identical to concatenating each archive's
+ * full-decode-then-filter output and time-ordering it — while
+ * decoding strictly fewer chunks and bytes than the full scan, and
+ * independently of the thread count. Aggregates must answer without
+ * reconstructing packets (fewer bytes touched than the equivalent
+ * reconstruction) and agree exactly between the indexed, the
+ * unindexed, and the brute-forced-from-packets computation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "codec/fcc/fcc_codec.hpp"
+#include "codec/fcc/stream.hpp"
+#include "query/aggregate.hpp"
+#include "query/catalog.hpp"
+#include "query/query.hpp"
+#include "trace/source.hpp"
+#include "trace/tsh.hpp"
+#include "trace/web_gen.hpp"
+#include "util/error.hpp"
+
+using namespace fcc;
+namespace fccc = fcc::codec::fcc;
+using query::Expr;
+
+namespace {
+
+std::string
+tempPath(const char *name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+trace::Trace
+webTrace(uint64_t seed, double seconds, uint64_t shiftSec)
+{
+    trace::WebGenConfig cfg;
+    cfg.seed = seed;
+    cfg.durationSec = seconds;
+    cfg.flowsPerSec = 60.0;
+    trace::WebTrafficGenerator gen(cfg);
+    trace::Trace tr = gen.generate();
+    if (shiftSec > 0) {
+        std::vector<trace::PacketRecord> packets = tr.packets();
+        for (trace::PacketRecord &p : packets)
+            p.timestampNs += shiftSec * 1'000'000'000ull;
+        tr = trace::Trace(std::move(packets));
+    }
+    return tr;
+}
+
+/**
+ * Three sealed archives partitioned in time — captures starting at
+ * 0, 120 and 240 seconds — in one directory, plus an unindexed twin
+ * of archive 0 for the index/no-index aggregate cross-check.
+ *
+ * The 120 s spacing is deliberate: a 6 s capture's longest flows
+ * replay their modeled inter-arrival times on reconstruction and
+ * extend ~70 s past the capture window, and time matching is
+ * per-packet, so partitions narrower than the longest flow span
+ * genuinely overlap.
+ */
+struct CatalogFixture
+{
+    std::string dir = tempPath("catalog_dir");
+    std::vector<std::string> archivePaths;
+    std::string plainPath = tempPath("catalog_plain.fcc");
+    fccc::FccConfig cfg;
+
+    CatalogFixture()
+    {
+        std::remove(plainPath.c_str());
+        std::filesystem::create_directories(dir);
+        cfg.container = fccc::ContainerFormat::Fcc3;
+        cfg.chunkRecords = 64;
+        cfg.threads = 1;
+        fccc::FccConfig idxCfg = cfg;
+        idxCfg.index = true;
+        for (int i = 0; i < 3; ++i) {
+            trace::Trace tr = webTrace(
+                3000 + static_cast<uint64_t>(i), 6.0,
+                static_cast<uint64_t>(i) * 120);
+            std::string tsh =
+                tempPath(("catalog_" + std::to_string(i) + ".tsh")
+                             .c_str());
+            trace::writeTshFile(tr, tsh);
+            std::string fcc =
+                dir + "/arch" + std::to_string(i) + ".fcc";
+            fccc::compressTraceFile(tsh, fcc, idxCfg);
+            archivePaths.push_back(fcc);
+            if (i == 0)
+                fccc::compressTraceFile(tsh, plainPath, cfg);
+            std::remove(tsh.c_str());
+        }
+    }
+
+    ~CatalogFixture()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(dir, ec);
+        std::remove(plainPath.c_str());
+    }
+};
+
+CatalogFixture &
+fixture()
+{
+    static CatalogFixture f;
+    return f;
+}
+
+std::vector<trace::PacketRecord>
+collectCatalog(const query::ArchiveCatalog &catalog,
+               const Expr &expr, query::CatalogQueryStats *stats,
+               bool forceFullDecode = false)
+{
+    trace::Trace out;
+    trace::CollectTraceSink sink(out);
+    query::CatalogQueryStats s =
+        catalog.run(expr, sink, forceFullDecode);
+    if (stats != nullptr)
+        *stats = s;
+    return out.packets();
+}
+
+/** The reference: per-archive full decode + filter, concatenated in
+ *  catalog order, then stably time-ordered — exactly what the k-way
+ *  merge (with its run-id tiebreak) promises to equal. */
+std::vector<trace::PacketRecord>
+referenceResults(const CatalogFixture &f, const Expr &expr)
+{
+    std::vector<trace::PacketRecord> all;
+    for (const std::string &path : f.archivePaths) {
+        query::FccArchive archive(path, f.cfg);
+        trace::Trace out;
+        trace::CollectTraceSink sink(out);
+        archive.run(expr, sink, /*forceFullDecode=*/true);
+        all.insert(all.end(), out.packets().begin(),
+                   out.packets().end());
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     trace::packetCanonicalLess);
+    return all;
+}
+
+std::vector<uint8_t>
+tshBytes(const std::vector<trace::PacketRecord> &packets)
+{
+    std::vector<uint8_t> bytes;
+    for (const trace::PacketRecord &p : packets)
+        trace::encodeTshRecord(p, bytes);
+    return bytes;
+}
+
+} // namespace
+
+TEST(Catalog, OrOfConjunctionsBitIdenticalAndCheaperThanFullScan)
+{
+    CatalogFixture &f = fixture();
+    query::ArchiveCatalog catalog(f.dir, f.cfg);
+    ASSERT_EQ(catalog.size(), 3u);
+
+    // OR of two conjunctions: a server subnet inside one time
+    // partition, or the long flows of another.
+    Expr expr = query::parseExpr(
+        "(server in 128.0.0.0/8 and time within [0, 6]) or "
+        "(flow.packets >= 40 and time within [120, 126])");
+
+    query::CatalogQueryStats stats;
+    std::vector<trace::PacketRecord> got =
+        collectCatalog(catalog, expr, &stats);
+    std::vector<trace::PacketRecord> want =
+        referenceResults(f, expr);
+
+    ASSERT_FALSE(want.empty());
+    ASSERT_EQ(tshBytes(got), tshBytes(want));
+
+    // Time-ordered output.
+    for (size_t i = 1; i < got.size(); ++i)
+        EXPECT_FALSE(
+            trace::packetCanonicalLess(got[i], got[i - 1]));
+
+    // Strictly cheaper than the full scan: the third archive's
+    // partition matches neither disjunct, and within the others the
+    // planner prunes chunks.
+    EXPECT_GT(stats.archivesPruned, 0u);
+    EXPECT_LT(stats.chunksDecoded, stats.chunksTotal);
+    EXPECT_GT(stats.chunksDecoded, 0u);
+    EXPECT_LT(stats.bytesRead, stats.fileBytes);
+    EXPECT_EQ(stats.packetsMatched, got.size());
+}
+
+TEST(Catalog, ResultsInvariantUnderThreadCount)
+{
+    CatalogFixture &f = fixture();
+    Expr expr = query::parseExpr(
+        "server in 128.0.0.0/8 or flow.packets >= 30");
+
+    fccc::FccConfig cfg1 = f.cfg, cfg4 = f.cfg;
+    cfg1.threads = 1;
+    cfg4.threads = 4;
+    query::ArchiveCatalog cat1(f.dir, cfg1);
+    query::ArchiveCatalog cat4(f.dir, cfg4);
+    std::vector<trace::PacketRecord> r1 =
+        collectCatalog(cat1, expr, nullptr);
+    std::vector<trace::PacketRecord> r4 =
+        collectCatalog(cat4, expr, nullptr);
+    ASSERT_FALSE(r1.empty());
+    EXPECT_EQ(tshBytes(r1), tshBytes(r4));
+}
+
+TEST(Catalog, TimePartitionPruningEqualsPerArchiveUnion)
+{
+    CatalogFixture &f = fixture();
+    query::ArchiveCatalog catalog(f.dir, f.cfg);
+
+    // A window entirely inside the middle archive's partition.
+    Expr expr = query::parseExpr("time within [121, 124]");
+    query::CatalogQueryStats stats;
+    std::vector<trace::PacketRecord> got =
+        collectCatalog(catalog, expr, &stats);
+    EXPECT_EQ(stats.archivesPruned, 2u);
+
+    // Union semantics: identical to querying the one live archive.
+    query::FccArchive middle(f.archivePaths[1], f.cfg);
+    trace::Trace out;
+    trace::CollectTraceSink sink(out);
+    middle.run(expr, sink);
+    ASSERT_FALSE(out.packets().empty());
+    EXPECT_EQ(tshBytes(got), tshBytes(out.packets()));
+
+    // And identical to the unpruned full-decode route.
+    std::vector<trace::PacketRecord> full =
+        collectCatalog(catalog, expr, nullptr,
+                       /*forceFullDecode=*/true);
+    EXPECT_EQ(tshBytes(got), tshBytes(full));
+}
+
+TEST(Catalog, FromPathsMatchesDirectoryScan)
+{
+    CatalogFixture &f = fixture();
+    query::ArchiveCatalog byDir(f.dir, f.cfg);
+    query::ArchiveCatalog byPaths =
+        query::ArchiveCatalog::fromPaths(f.archivePaths, f.cfg);
+    ASSERT_EQ(byDir.size(), byPaths.size());
+    Expr expr = query::parseExpr("flow.packets >= 10");
+    EXPECT_EQ(tshBytes(collectCatalog(byDir, expr, nullptr)),
+              tshBytes(collectCatalog(byPaths, expr, nullptr)));
+}
+
+// ---- aggregates -----------------------------------------------------
+
+TEST(Aggregate, TotalsMatchBruteForceFromReconstructedPackets)
+{
+    CatalogFixture &f = fixture();
+    query::FccArchive archive(f.archivePaths[0], f.cfg);
+
+    query::AggregateRequest req;
+    req.kind = query::AggregateKind::FlowCounts;
+    req.expr = Expr::matchAll();
+    query::AggregateResult agg = archive.aggregate(req);
+
+    // Brute force from the packets a full reconstruction emits.
+    trace::Trace out;
+    trace::CollectTraceSink sink(out);
+    query::QueryStats qs =
+        archive.run(Expr::matchAll(), sink,
+                    /*forceFullDecode=*/true);
+
+    // With the default (direction-agnostic) addressing every
+    // reconstructed packet carries the server as its destination,
+    // so dstIp grouping recovers the per-server totals.
+    uint64_t flows = 0, packets = 0, wireBytes = 0;
+    std::map<uint32_t, std::pair<uint64_t, uint64_t>> perServer;
+    for (const trace::PacketRecord &p : out.packets()) {
+        ++packets;
+        wireBytes += 40 + p.payloadBytes;
+        auto &[sp, sb] = perServer[p.dstIp];
+        ++sp;
+        sb += 40 + p.payloadBytes;
+    }
+    flows = qs.flowsMatched;
+
+    uint64_t aggFlows = 0, aggPackets = 0, aggBytes = 0;
+    for (const query::ServerAggregate &row : agg.servers) {
+        aggFlows += row.flows;
+        aggPackets += row.packets;
+        aggBytes += row.wireBytes;
+    }
+    EXPECT_EQ(aggFlows, flows);
+    EXPECT_EQ(aggPackets, packets);
+    EXPECT_EQ(aggBytes, wireBytes);
+    EXPECT_EQ(agg.stats.flowsAggregated, flows);
+
+    // Per-server packet/byte totals agree with grouping the
+    // reconstructed packets by destination (server) address.
+    EXPECT_EQ(agg.servers.size(), perServer.size());
+    for (const query::ServerAggregate &row : agg.servers) {
+        auto it = perServer.find(row.serverIp);
+        ASSERT_NE(it, perServer.end()) << row.serverIp;
+        EXPECT_EQ(row.packets, it->second.first);
+        EXPECT_EQ(row.wireBytes, it->second.second);
+    }
+
+    // Histogram mass equals the flow count.
+    uint64_t histFlows = 0;
+    for (uint64_t b : agg.histogram)
+        histFlows += b;
+    EXPECT_EQ(histFlows, flows);
+}
+
+TEST(Aggregate, IndexedAgreesWithUnindexedAndTouchesFewerBytes)
+{
+    CatalogFixture &f = fixture();
+    query::FccArchive indexed(f.archivePaths[0], f.cfg);
+    query::FccArchive plain(f.plainPath, f.cfg);
+    ASSERT_TRUE(indexed.hasIndex());
+    ASSERT_FALSE(plain.hasIndex());
+
+    for (const char *text :
+         {"all", "server in 128.0.0.0/8",
+          "time within [1, 3] and flow.packets >= 2",
+          "not server in 128.0.0.0/8 or port = 80"}) {
+        query::AggregateRequest req;
+        req.kind = query::AggregateKind::FlowCounts;
+        req.expr = query::parseExpr(text);
+        query::AggregateResult a = indexed.aggregate(req);
+        query::AggregateResult b = plain.aggregate(req);
+        ASSERT_EQ(a.servers.size(), b.servers.size()) << text;
+        for (size_t i = 0; i < a.servers.size(); ++i) {
+            EXPECT_EQ(a.servers[i].serverIp,
+                      b.servers[i].serverIp) << text;
+            EXPECT_EQ(a.servers[i].flows, b.servers[i].flows)
+                << text;
+            EXPECT_EQ(a.servers[i].packets,
+                      b.servers[i].packets) << text;
+            EXPECT_EQ(a.servers[i].wireBytes,
+                      b.servers[i].wireBytes) << text;
+        }
+        EXPECT_EQ(a.histogram, b.histogram) << text;
+        EXPECT_TRUE(a.stats.usedIndex) << text;
+        EXPECT_FALSE(b.stats.usedIndex) << text;
+    }
+
+    // Aggregation answers from index blocks + selected columns:
+    // strictly fewer bytes than the packet-reconstructing
+    // equivalent, which reads every planned chunk's full frames.
+    query::AggregateRequest req;
+    req.kind = query::AggregateKind::FlowCounts;
+    req.expr = query::parseExpr("server in 128.0.0.0/8");
+    query::AggregateResult a = indexed.aggregate(req);
+    EXPECT_LT(a.stats.bytesTouched, a.stats.reconstructBytes);
+    EXPECT_LE(a.stats.reconstructBytes, a.stats.fileBytes);
+}
+
+TEST(Aggregate, CatalogMergeEqualsPerArchiveMerge)
+{
+    CatalogFixture &f = fixture();
+    query::ArchiveCatalog catalog(f.dir, f.cfg);
+
+    query::AggregateRequest req;
+    req.kind = query::AggregateKind::TopTalkers;
+    req.topK = 5;
+    req.expr = query::parseExpr("flow.packets >= 2");
+
+    query::AggregateResult whole = catalog.aggregate(req);
+
+    query::AggregateResult manual;
+    bool first = true;
+    for (const std::string &path : f.archivePaths) {
+        query::FccArchive archive(path, f.cfg);
+        query::AggregateResult one = archive.aggregate(req);
+        if (first) {
+            manual = std::move(one);
+            first = false;
+        } else {
+            query::mergeAggregateInto(manual, one);
+        }
+    }
+    ASSERT_EQ(whole.servers.size(), manual.servers.size());
+    for (size_t i = 0; i < whole.servers.size(); ++i) {
+        EXPECT_EQ(whole.servers[i].serverIp,
+                  manual.servers[i].serverIp);
+        EXPECT_EQ(whole.servers[i].flows, manual.servers[i].flows);
+        EXPECT_EQ(whole.servers[i].wireBytes,
+                  manual.servers[i].wireBytes);
+    }
+    EXPECT_EQ(whole.histogram, manual.histogram);
+
+    // Top-K is a render-time view over the merged table: rows are
+    // sorted by bytes descending and bounded by K.
+    std::vector<query::ServerAggregate> top =
+        query::topTalkers(whole, req.topK);
+    ASSERT_LE(top.size(), size_t{req.topK});
+    for (size_t i = 1; i < top.size(); ++i)
+        EXPECT_GE(top[i - 1].wireBytes, top[i].wireBytes);
+}
+
+TEST(Aggregate, TimePartitionedAggregatePrunesToOneArchive)
+{
+    CatalogFixture &f = fixture();
+    query::ArchiveCatalog catalog(f.dir, f.cfg);
+
+    query::AggregateRequest req;
+    req.kind = query::AggregateKind::FlowCounts;
+    req.expr = query::parseExpr("time within [241, 244]");
+
+    query::AggregateResult whole = catalog.aggregate(req);
+    query::FccArchive last(f.archivePaths[2], f.cfg);
+    query::AggregateResult one = last.aggregate(req);
+
+    ASSERT_EQ(whole.servers.size(), one.servers.size());
+    for (size_t i = 0; i < whole.servers.size(); ++i) {
+        EXPECT_EQ(whole.servers[i].serverIp,
+                  one.servers[i].serverIp);
+        EXPECT_EQ(whole.servers[i].flows, one.servers[i].flows);
+        EXPECT_EQ(whole.servers[i].packets,
+                  one.servers[i].packets);
+    }
+    // The other two archives were answered from their indexes
+    // alone: chunks counted, none decoded beyond archive 2's.
+    EXPECT_EQ(whole.stats.flowsAggregated,
+              one.stats.flowsAggregated);
+    EXPECT_GT(whole.stats.chunksTotal, one.stats.chunksTotal);
+    EXPECT_EQ(whole.stats.chunksPlanned, one.stats.chunksPlanned);
+}
+
+TEST(Catalog, MissingDirectoryThrowsCleanError)
+{
+    EXPECT_THROW(
+        query::ArchiveCatalog("/nonexistent/fcc/catalog", {}),
+        util::Error);
+}
