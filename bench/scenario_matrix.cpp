@@ -38,6 +38,10 @@ using backendEnum = fcc::codec::backend::EntropyBackend;
 
 namespace {
 
+/** Explicit TSH spec for the raw 44-byte record fixtures. */
+const trace::TraceFormatSpec kTsh =
+    trace::parseTraceFormatSpec("tsh");
+
 double
 secondsOf(const std::function<void()> &fn, int reps)
 {
@@ -170,14 +174,14 @@ main(int argc, char **argv)
             fccc::StreamStats cstats;
             double compSec = secondsOf(
                 [&] {
-                    cstats = fccc::compressTshFile(tshPath, fccPath,
-                                                   cfg);
+                    cstats = fccc::compressTraceFile(
+                        tshPath, fccPath, cfg, kTsh);
                 },
                 reps);
             double decSec = secondsOf(
                 [&] {
-                    fccc::decompressToTshFile(fccPath, backPath,
-                                              cfg);
+                    fccc::decompressTraceFile(fccPath, backPath,
+                                              cfg, kTsh);
                 },
                 reps);
 

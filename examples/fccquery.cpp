@@ -160,6 +160,8 @@ main(int argc, char **argv)
     std::string inPath = argv[arg];
 
     try {
+        // The same single config check every entry point runs.
+        cfg.validate();
         query::Expr expr = exprText.has_value()
                                ? query::parseExpr(*exprText)
                                : pred.toExpr();

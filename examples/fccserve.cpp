@@ -39,12 +39,23 @@ using namespace fcc;
 namespace {
 
 query::QueryServer *gServer = nullptr;
+volatile std::sig_atomic_t gReload = 0;
 
 extern "C" void
 onSignal(int)
 {
     if (gServer != nullptr)
         gServer->stop();  // async-signal-safe: atomic + pipe write
+}
+
+extern "C" void
+onReload(int)
+{
+    // SIGHUP: stop the accept loop; main reopens the catalog and
+    // serves again — how a live fccd output directory is picked up.
+    gReload = 1;
+    if (gServer != nullptr)
+        gServer->stop();
 }
 
 bool
@@ -161,26 +172,40 @@ main(int argc, char **argv)
                 flags.printHelp(argv[0], stderr);
                 return 2;
             }
-            query::ArchiveCatalog catalog =
-                (arg + 1 == argc && isDirectory(argv[arg]))
-                    ? query::ArchiveCatalog(argv[arg], cfg)
-                    : query::ArchiveCatalog::fromPaths(
-                          std::vector<std::string>(argv + arg,
-                                                   argv + argc),
-                          cfg);
-            query::QueryServer server(catalog, endpoint,
-                                      serverCfg);
-            gServer = &server;
             std::signal(SIGINT, onSignal);
             std::signal(SIGTERM, onSignal);
-            std::printf("serving %zu archive(s) on %s\n",
-                        catalog.size(),
-                        server.endpoint().str().c_str());
-            std::fflush(stdout);
-            server.serve();
+            std::signal(SIGHUP, onReload);
+            uint64_t served = 0;
+            for (;;) {
+                // A directory serves what its CATALOG lists (an
+                // fccd producer's durable set), falling back to a
+                // *.fcc scan; explicit paths serve as given.
+                query::ArchiveCatalog catalog =
+                    (arg + 1 == argc && isDirectory(argv[arg]))
+                        ? query::ArchiveCatalog::fromCatalogFile(
+                              argv[arg], cfg)
+                        : query::ArchiveCatalog::fromPaths(
+                              std::vector<std::string>(
+                                  argv + arg, argv + argc),
+                              cfg);
+                query::QueryServer server(catalog, endpoint,
+                                          serverCfg);
+                gServer = &server;
+                std::printf("serving %zu archive(s) on %s\n",
+                            catalog.size(),
+                            server.endpoint().str().c_str());
+                std::fflush(stdout);
+                server.serve();
+                gServer = nullptr;
+                served += server.requestsServed();
+                if (gReload == 0)
+                    break;
+                gReload = 0;
+                std::printf("reloading catalog (SIGHUP)\n");
+                std::fflush(stdout);
+            }
             std::printf("stopped after %llu request(s)\n",
-                        static_cast<unsigned long long>(
-                            server.requestsServed()));
+                        static_cast<unsigned long long>(served));
             return 0;
         }
 

@@ -353,30 +353,19 @@ main(int argc, char **argv)
     std::string command = argv[arg++];
 
     try {
+        // One uniform config check before any command touches a
+        // file — the same entry point the sessions validate with.
+        cfg.validate();
         if (command == "compress" && arg + 1 < argc) {
             auto stats = codec::fcc::compressTraceFile(
                 argv[arg], argv[arg + 1], cfg, inFormat);
-            std::printf("%llu packets, %llu flows: %llu -> %llu "
-                        "bytes (%.2f%%)\n",
-                        static_cast<unsigned long long>(
-                            stats.packets),
-                        static_cast<unsigned long long>(stats.flows),
-                        static_cast<unsigned long long>(
-                            stats.inputBytes),
-                        static_cast<unsigned long long>(
-                            stats.outputBytes),
-                        100.0 * stats.ratio());
+            cli::printCompressStats(stats);
             return 0;
         }
         if (command == "decompress" && arg + 1 < argc) {
             auto stats = codec::fcc::decompressTraceFile(
                 argv[arg], argv[arg + 1], cfg, outFormat);
-            std::printf("%llu flows -> %llu packets, %llu bytes\n",
-                        static_cast<unsigned long long>(stats.flows),
-                        static_cast<unsigned long long>(
-                            stats.packets),
-                        static_cast<unsigned long long>(
-                            stats.outputBytes));
+            cli::printDecompressStats(stats);
             return 0;
         }
         if (command == "info" && arg < argc) {

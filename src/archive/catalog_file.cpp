@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Catalog file I/O: durable line appends, tolerant parsing, and the
+ * crash-recovery reconciliation between catalog and directory.
+ */
+
+#include "archive/catalog_file.hpp"
+
+#include "archive/durable.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "codec/fcc/datasets.hpp"
+#include "codec/fcc/fcc_codec.hpp"
+#include "codec/fcc/index.hpp"
+#include "util/checksum.hpp"
+#include "util/error.hpp"
+#include "util/io.hpp"
+
+namespace fcc::archive {
+
+namespace {
+
+constexpr const char *lineMagic = "fccar1";
+
+std::string
+hex8(uint32_t value)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%08x", value);
+    return buf;
+}
+
+/** The catalog's CRC input: the line text up to and including the
+ *  space before the trailing line CRC. */
+std::string
+lineBody(const CatalogEntry &entry)
+{
+    std::ostringstream os;
+    os << lineMagic << ' ' << entry.name << ' ' << entry.bytes << ' '
+       << hex8(entry.crc32) << ' ' << entry.minFirstUs << ' '
+       << entry.maxLastUs << ' ' << entry.records << ' '
+       << entry.packets << ' ';
+    return os.str();
+}
+
+bool
+parseHex8(const std::string &text, uint32_t &out)
+{
+    if (text.size() != 8)
+        return false;
+    uint32_t value = 0;
+    for (char ch : text) {
+        uint32_t digit;
+        if (ch >= '0' && ch <= '9')
+            digit = static_cast<uint32_t>(ch - '0');
+        else if (ch >= 'a' && ch <= 'f')
+            digit = static_cast<uint32_t>(ch - 'a') + 10;
+        else
+            return false;
+        value = (value << 4) | digit;
+    }
+    out = value;
+    return true;
+}
+
+using detail::fsyncDirectory;
+using detail::fsyncFd;
+using detail::writeAll;
+
+bool
+hasSuffix(const std::string &text, const char *suffix)
+{
+    size_t n = std::strlen(suffix);
+    return text.size() >= n &&
+           text.compare(text.size() - n, n, suffix) == 0;
+}
+
+/** Names of directory entries with @p suffix, sorted. */
+std::vector<std::string>
+listWithSuffix(const std::string &directory, const char *suffix)
+{
+    DIR *dir = ::opendir(directory.c_str());
+    util::require(dir != nullptr, "opendir " + directory + ": " +
+                                      std::strerror(errno));
+    std::vector<std::string> names;
+    while (dirent *ent = ::readdir(dir)) {
+        std::string name = ent->d_name;
+        if (hasSuffix(name, suffix))
+            names.push_back(std::move(name));
+    }
+    ::closedir(dir);
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+/**
+ * Describe a sealed archive from its own bytes: the index block
+ * when present (cheap tail read of the summaries), else a full
+ * dataset decode. Returns nullopt when the file does not parse —
+ * recovery leaves such a file alone rather than cataloguing it.
+ */
+std::optional<CatalogEntry>
+describeArchive(const std::string &directory, const std::string &name)
+{
+    // The source must outlive `bytes`: a mmap'd span dies with it.
+    std::unique_ptr<util::ByteSource> src;
+    std::vector<uint8_t> owned;
+    std::span<const uint8_t> bytes;
+    try {
+        src = util::openByteSource(directory + "/" + name);
+        bytes = util::readAllBytes(*src, owned);
+    } catch (const util::Error &) {
+        return std::nullopt;
+    }
+
+    CatalogEntry entry;
+    entry.name = name;
+    entry.bytes = bytes.size();
+    entry.crc32 = util::Crc32::of(bytes);
+
+    try {
+        if (auto index = codec::fcc::readArchiveIndex(bytes);
+            index.has_value() && !index->chunks.empty()) {
+            entry.minFirstUs = index->chunks.front().minFirstUs;
+            for (const auto &chunk : index->chunks) {
+                entry.maxLastUs =
+                    std::max(entry.maxLastUs, chunk.maxEndUs);
+                entry.records += chunk.records;
+                entry.packets += chunk.packets;
+            }
+            return entry;
+        }
+        codec::fcc::Datasets d =
+            codec::fcc::deserializeAuto(bytes, 1);
+        entry.records = d.timeSeq.size();
+        for (const auto &rec : d.timeSeq) {
+            entry.minFirstUs = entry.records && entry.minFirstUs == 0
+                ? d.timeSeq.front().firstTimestampUs
+                : entry.minFirstUs;
+            entry.maxLastUs =
+                std::max(entry.maxLastUs, rec.firstTimestampUs);
+            entry.packets += rec.isLong
+                ? d.longTemplates[rec.templateIndex].sValues.size()
+                : d.shortTemplates[rec.templateIndex].size();
+        }
+    } catch (const util::Error &) {
+        return std::nullopt;
+    }
+    return entry;
+}
+
+} // namespace
+
+std::string
+formatCatalogLine(const CatalogEntry &entry)
+{
+    std::string body = lineBody(entry);
+    uint32_t crc = util::Crc32::of(
+        {reinterpret_cast<const uint8_t *>(body.data()),
+         body.size()});
+    return body + hex8(crc) + "\n";
+}
+
+std::optional<CatalogEntry>
+parseCatalogLine(const std::string &line)
+{
+    std::istringstream is(line);
+    std::string magic, crcText, lineCrcText;
+    CatalogEntry entry;
+    if (!(is >> magic >> entry.name >> entry.bytes >> crcText >>
+          entry.minFirstUs >> entry.maxLastUs >> entry.records >>
+          entry.packets >> lineCrcText))
+        return std::nullopt;
+    std::string trailing;
+    if (is >> trailing)
+        return std::nullopt;
+    uint32_t lineCrc;
+    if (magic != lineMagic || !parseHex8(crcText, entry.crc32) ||
+        !parseHex8(lineCrcText, lineCrc))
+        return std::nullopt;
+    std::string body = lineBody(entry);
+    if (util::Crc32::of(
+            {reinterpret_cast<const uint8_t *>(body.data()),
+             body.size()}) != lineCrc)
+        return std::nullopt;
+    return entry;
+}
+
+const char *
+CatalogFile::fileName()
+{
+    return "CATALOG";
+}
+
+CatalogFile::CatalogFile(const std::string &directory)
+    : path_(directory + "/" + fileName())
+{
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CREAT |
+                                    O_CLOEXEC,
+                 0644);
+    util::require(fd_ >= 0, "open " + path_ + ": " +
+                                std::strerror(errno));
+}
+
+CatalogFile::~CatalogFile()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+CatalogFile::append(const CatalogEntry &entry)
+{
+    std::string line = formatCatalogLine(entry);
+    writeAll(fd_,
+             {reinterpret_cast<const uint8_t *>(line.data()),
+              line.size()},
+             path_);
+    fsyncFd(fd_, path_);
+}
+
+std::vector<CatalogEntry>
+loadCatalog(const std::string &directory)
+{
+    std::ifstream in(directory + "/" + CatalogFile::fileName());
+    std::vector<CatalogEntry> entries;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (auto entry = parseCatalogLine(line))
+            entries.push_back(std::move(*entry));
+        // else: torn or corrupt line — dropped, per the crash model.
+    }
+    return entries;
+}
+
+std::vector<CatalogEntry>
+recoverCatalog(const std::string &directory)
+{
+    std::vector<CatalogEntry> listed = loadCatalog(directory);
+    std::vector<std::string> sealed =
+        listWithSuffix(directory, ".fcc");
+
+    // A crash mid-seal leaves a *.partial that was never renamed —
+    // never sealed, never promised. Remove it.
+    for (const std::string &partial :
+         listWithSuffix(directory, ".partial"))
+        ::unlink((directory + "/" + partial).c_str());
+
+    auto onDisk = [&](const std::string &name) {
+        return std::binary_search(sealed.begin(), sealed.end(),
+                                  name);
+    };
+
+    std::vector<CatalogEntry> kept;
+    bool dropped = false;
+    for (CatalogEntry &entry : listed) {
+        if (onDisk(entry.name))
+            kept.push_back(std::move(entry));
+        else
+            dropped = true;
+    }
+    // The load already dropped torn lines; a torn tail means the
+    // file must be compacted too, or the garbage line lingers.
+    {
+        std::ifstream in(directory + "/" +
+                         CatalogFile::fileName());
+        std::string line;
+        size_t lines = 0;
+        while (std::getline(in, line))
+            ++lines;
+        dropped = dropped || lines != listed.size();
+    }
+
+    std::vector<CatalogEntry> additions;
+    for (const std::string &name : sealed) {
+        bool known = std::any_of(kept.begin(), kept.end(),
+                                 [&](const CatalogEntry &e) {
+                                     return e.name == name;
+                                 });
+        if (known)
+            continue;
+        if (auto entry = describeArchive(directory, name))
+            additions.push_back(std::move(*entry));
+        // else: unreadable — left on disk, not listed.
+    }
+
+    if (dropped) {
+        // Rewrite atomically: tmp, fsync, rename, fsync dir.
+        std::string tmp = directory + "/CATALOG.tmp";
+        int fd = ::open(tmp.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+        util::require(fd >= 0, "open " + tmp + ": " +
+                                   std::strerror(errno));
+        std::string text;
+        for (const CatalogEntry &entry : kept)
+            text += formatCatalogLine(entry);
+        for (const CatalogEntry &entry : additions)
+            text += formatCatalogLine(entry);
+        try {
+            writeAll(fd,
+                     {reinterpret_cast<const uint8_t *>(
+                          text.data()),
+                      text.size()},
+                     tmp);
+            fsyncFd(fd, tmp);
+        } catch (...) {
+            ::close(fd);
+            throw;
+        }
+        ::close(fd);
+        std::string path =
+            directory + "/" + CatalogFile::fileName();
+        util::require(::rename(tmp.c_str(), path.c_str()) == 0,
+                      "rename " + tmp + ": " +
+                          std::strerror(errno));
+        fsyncDirectory(directory);
+    } else if (!additions.empty()) {
+        CatalogFile catalog(directory);
+        for (const CatalogEntry &entry : additions)
+            catalog.append(entry);
+    }
+
+    for (CatalogEntry &entry : additions)
+        kept.push_back(std::move(entry));
+    std::sort(kept.begin(), kept.end(),
+              [](const CatalogEntry &a, const CatalogEntry &b) {
+                  return a.name < b.name;
+              });
+    return kept;
+}
+
+} // namespace fcc::archive

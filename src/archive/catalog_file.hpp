@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The crash-safe catalog of a continuous-capture output directory.
+ *
+ * fccd appends one line per sealed archive to `<dir>/CATALOG`; the
+ * file is the machine-readable list of what is safely on disk, the
+ * thing a serving layer (query::ArchiveCatalog, fccserve) watches
+ * instead of re-scanning the directory. Crash model: the archive
+ * itself is durable before its catalog line is written (see
+ * archive/writer.hpp), so the catalog may only ever *understate*
+ * the directory — a torn tail line (power cut mid-append) or a
+ * missing line (crash between archive rename and append) are the
+ * two recoverable states, and recover() repairs both from the
+ * directory contents. The catalog never lists an archive that is
+ * not fully sealed.
+ *
+ * Line format (one entry per line, LF-terminated, text so the file
+ * is greppable and diffable):
+ *
+ *   fccar1 <name> <bytes> <crc32> <minFirstUs> <maxLastUs>
+ *          <records> <packets> <lineCrc32>
+ *
+ * `crc32` is the CRC-32 of the archive file's bytes; `lineCrc32`
+ * covers the line's text up to and including the space before it,
+ * so a torn or bit-rotted line is detected and dropped rather than
+ * trusted. Numbers are base-10 except the two CRCs (lower-case
+ * hex, 8 digits).
+ */
+
+#ifndef FCC_ARCHIVE_CATALOG_FILE_HPP
+#define FCC_ARCHIVE_CATALOG_FILE_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fcc::archive {
+
+/** One sealed archive as recorded in the catalog. */
+struct CatalogEntry
+{
+    std::string name;        ///< file name inside the directory
+    uint64_t bytes = 0;      ///< archive size
+    uint32_t crc32 = 0;      ///< CRC-32 of the archive bytes
+    uint64_t minFirstUs = 0; ///< earliest flow start (µs)
+    uint64_t maxLastUs = 0;  ///< latest packet timestamp (µs)
+    uint64_t records = 0;    ///< time-seq records (flows)
+    uint64_t packets = 0;    ///< packets the archive encodes
+
+    bool operator==(const CatalogEntry &) const = default;
+};
+
+/** Render one catalog line (LF-terminated, line CRC appended). */
+std::string formatCatalogLine(const CatalogEntry &entry);
+
+/** Parse one line; nullopt when torn, corrupt or not a v1 line. */
+std::optional<CatalogEntry>
+parseCatalogLine(const std::string &line);
+
+/**
+ * Appender over `<dir>/CATALOG`: every append() writes one line
+ * with O_APPEND semantics and fsyncs before returning, so a line,
+ * once observed, survives a crash.
+ */
+class CatalogFile
+{
+  public:
+    /** The catalog's file name inside an output directory. */
+    static const char *fileName();
+
+    /** Opens (creating if missing) `<directory>/CATALOG`.
+     *  @throws fcc::util::Error when the file cannot be opened. */
+    explicit CatalogFile(const std::string &directory);
+    ~CatalogFile();
+
+    CatalogFile(const CatalogFile &) = delete;
+    CatalogFile &operator=(const CatalogFile &) = delete;
+
+    /** Append one entry, durably. @throws fcc::util::Error */
+    void append(const CatalogEntry &entry);
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    int fd_ = -1;
+};
+
+/**
+ * Read `<directory>/CATALOG`, dropping torn/corrupt lines. Missing
+ * catalog reads as empty. Entries whose archive file no longer
+ * exists are kept (the caller decides; recover() drops them).
+ */
+std::vector<CatalogEntry>
+loadCatalog(const std::string &directory);
+
+/**
+ * Reconcile the catalog with the directory after a restart or a
+ * crash:
+ *  - entries whose archive file vanished are dropped;
+ *  - sealed `*.fcc` files missing from the catalog (a crash between
+ *    archive rename and catalog append) are re-described from their
+ *    own bytes — via the archive's index block when present, else a
+ *    full decode — and appended;
+ *  - `*.partial` files (a crash mid-seal) are deleted: by the
+ *    writer's discipline they were never renamed, hence never
+ *    sealed, hence never promised to anyone;
+ *  - unreadable `*.fcc` files are left in place but not listed.
+ * The repaired catalog is rewritten atomically (tmp + rename) only
+ * when lines were dropped; pure additions append. Returns the
+ * repaired entry list, sorted by name.
+ *
+ * @throws fcc::util::Error when the directory cannot be read.
+ */
+std::vector<CatalogEntry>
+recoverCatalog(const std::string &directory);
+
+} // namespace fcc::archive
+
+#endif // FCC_ARCHIVE_CATALOG_FILE_HPP

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Internal POSIX durability helpers shared by the archive subsystem
+ * (writer + catalog): full writes, fsync, and directory fsync so a
+ * rename is itself durable. Not part of the public surface.
+ */
+
+#ifndef FCC_ARCHIVE_DURABLE_HPP
+#define FCC_ARCHIVE_DURABLE_HPP
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/error.hpp"
+
+namespace fcc::archive::detail {
+
+/** write(2) all of @p data to @p fd, riding out EINTR and partial
+ *  writes. @throws fcc::util::Error naming @p what. */
+inline void
+writeAll(int fd, std::span<const uint8_t> data,
+         const std::string &what)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        ssize_t put =
+            ::write(fd, data.data() + off, data.size() - off);
+        if (put < 0 && errno == EINTR)
+            continue;
+        util::require(put > 0, "write " + what + ": " +
+                                   std::strerror(errno));
+        off += static_cast<size_t>(put);
+    }
+}
+
+/** fsync(2) @p fd. @throws fcc::util::Error naming @p what. */
+inline void
+fsyncFd(int fd, const std::string &what)
+{
+    if (::fsync(fd) != 0)
+        throw util::Error("fsync " + what + ": " +
+                          std::strerror(errno));
+}
+
+/** fsync a directory, making renames/creations inside it durable.
+ *  @throws fcc::util::Error */
+inline void
+fsyncDirectory(const std::string &directory)
+{
+    int fd = ::open(directory.c_str(), O_RDONLY | O_DIRECTORY);
+    util::require(fd >= 0, "open directory " + directory + ": " +
+                               std::strerror(errno));
+    int rc = ::fsync(fd);
+    ::close(fd);
+    util::require(rc == 0, "fsync directory " + directory + ": " +
+                               std::strerror(errno));
+}
+
+} // namespace fcc::archive::detail
+
+#endif // FCC_ARCHIVE_DURABLE_HPP

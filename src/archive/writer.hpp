@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Crash-safe commit of one sealed epoch to an output directory.
+ *
+ * A sealed archive must never be observable half-written: a reader
+ * that sees `<prefix>-NNNNNN.fcc` in the directory (or its catalog
+ * line) must be able to decode it, whatever the daemon was doing
+ * when the power went. ArchiveWriter::commit() provides that with
+ * the classic discipline:
+ *
+ *   1. write the bytes to `<name>.partial` — everything *except*
+ *      the final 16 bytes (the FCC3 index footer, when present:
+ *      the one piece that makes the tail self-validating);
+ *   2. fsync, then write the tail, then fsync again — the footer
+ *      only exists on disk once the body it describes is durable;
+ *   3. rename(2) `.partial` → `.fcc` (atomic within a directory);
+ *   4. fsync the directory, making the rename durable;
+ *   5. append the catalog line (itself fsync'd — catalog_file.hpp).
+ *
+ * A crash between any two steps leaves either a deletable
+ * `.partial` (never promised) or a sealed archive the catalog may
+ * merely not list yet — exactly the two states recoverCatalog()
+ * repairs. Archives are named `<prefix>-NNNNNN.fcc` with a
+ * monotonically increasing sequence number that survives restarts
+ * (the constructor resumes past the largest number on disk).
+ */
+
+#ifndef FCC_ARCHIVE_WRITER_HPP
+#define FCC_ARCHIVE_WRITER_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "archive/catalog_file.hpp"
+#include "codec/fcc/session.hpp"
+
+namespace fcc::archive {
+
+class ArchiveWriter
+{
+  public:
+    /**
+     * Prepare to commit archives into @p directory (which must
+     * exist) as `<prefix>-NNNNNN.fcc`. Scans the directory once to
+     * resume sequence numbering after the largest committed number.
+     *
+     * @throws fcc::util::Error when the directory or its catalog
+     *         cannot be opened.
+     */
+    explicit ArchiveWriter(const std::string &directory,
+                           const std::string &prefix = "archive");
+
+    ArchiveWriter(const ArchiveWriter &) = delete;
+    ArchiveWriter &operator=(const ArchiveWriter &) = delete;
+
+    /**
+     * Durably commit one sealed epoch: @p bytes is the archive
+     * exactly as CompressSession::seal() returned it, @p info the
+     * matching SealInfo (the catalog line's time bounds and
+     * counts). Returns the entry appended to the catalog.
+     *
+     * @throws fcc::util::Error on any I/O failure; the target name
+     *         is not consumed (at worst a `.partial` remains, which
+     *         recovery deletes).
+     */
+    CatalogEntry commit(std::span<const uint8_t> bytes,
+                        const codec::fcc::SealInfo &info);
+
+    /** Sequence number the next commit() will use. */
+    uint64_t nextSequence() const { return seq_; }
+
+    /** File name commit() would rename into place next. */
+    std::string nextName() const;
+
+    const std::string &directory() const { return directory_; }
+
+  private:
+    std::string directory_;
+    std::string prefix_;
+    uint64_t seq_ = 0;
+    CatalogFile catalog_;
+};
+
+} // namespace fcc::archive
+
+#endif // FCC_ARCHIVE_WRITER_HPP

@@ -110,6 +110,33 @@ parseContainerName(const std::string &name)
     throw util::Error("unknown container format: " + name);
 }
 
+void
+FccConfig::validate() const
+{
+    switch (container) {
+      case ContainerFormat::Fcc1:
+      case ContainerFormat::Fcc2:
+      case ContainerFormat::Fcc3:
+        break;
+      default:
+        throw util::Error("fcc: bad container format");
+    }
+    util::require(static_cast<uint8_t>(backend) <
+                      backend::entropyBackendCount,
+                  "fcc: bad entropy backend tag");
+    util::require(!index || container == ContainerFormat::Fcc3,
+                  "fcc: the chunk/flow index requires the fcc3 "
+                  "container");
+    util::require(!index || chunkRecords > 0,
+                  "fcc3: the index requires a chunked time-seq "
+                  "layout (chunkRecords > 0)");
+    util::require(weights.decodable(),
+                  "fcc: weights are not uniquely decodable");
+    util::require(flowTable.shards > 0,
+                  "fcc: the sharded pipeline needs at least one "
+                  "shard");
+}
+
 std::vector<uint8_t>
 serializeDatasets(const Datasets &datasets, const FccConfig &cfg,
                   SizeBreakdown &breakdown,
@@ -117,10 +144,7 @@ serializeDatasets(const Datasets &datasets, const FccConfig &cfg,
 {
     if (columns != nullptr)
         columns->clear();
-    util::require(!cfg.index ||
-                      cfg.container == ContainerFormat::Fcc3,
-                  "fcc: the chunk/flow index requires the fcc3 "
-                  "container");
+    cfg.validate();
     std::vector<uint8_t> bytes;
     switch (cfg.container) {
       case ContainerFormat::Fcc1:

@@ -132,6 +132,19 @@ struct FccConfig
     uint16_t largePayload = 1460;  ///< representative size, class 2
     uint16_t serverPort = 80;      ///< paper: Web traffic
     uint64_t decompressSeed = 0x5eedf10e;  ///< address randomization
+
+    /**
+     * The single validation entry point: every constraint between
+     * the knobs above (container/backend tags in range, the index
+     * needs the chunked fcc3 layout, decodable weights, a non-empty
+     * shard partition) checked in one place. Sessions validate on
+     * open, the tools validate right after flag parsing, and the
+     * query catalog validates what it plans with — all through this
+     * method, so a bad combination fails the same way everywhere.
+     *
+     * @throws fcc::util::Error naming the offending combination.
+     */
+    void validate() const;
 };
 
 /** Compression-side statistics (cluster behaviour, §2.1/§3). */

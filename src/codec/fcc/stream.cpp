@@ -1,218 +1,33 @@
 /**
  * @file
- * Streaming FCC interface over TraceSource/TraceSink: incremental
- * record reading with bounded open-flow state on compression; on
- * decompression the §4 time-ordered reconstruction buffer, flushed
- * to the sink whenever its head predates the next time-seq record.
+ * One-shot streaming FCC entry points, each a thin shell over a
+ * single-epoch session (session.hpp): compression feeds a
+ * TraceSource into a CompressSession and seals once; decompression
+ * opens one archive in a DecompressSession and drains it through
+ * the §4 bounded-memory flush.
  */
 
 #include "codec/fcc/stream.hpp"
 
-#include <algorithm>
-#include <memory>
-#include <queue>
-#include <unordered_map>
-
-#include "flow/template_store.hpp"
-#include "trace/tsh.hpp"
-#include "util/error.hpp"
-#include "util/io.hpp"
-#include "util/thread_pool.hpp"
+#include "codec/fcc/session.hpp"
 
 namespace fcc::codec::fcc {
-
-namespace {
-
-/**
- * Incremental single-flow state: enough to classify packets online
- * (the dependence bit only needs the previous packet's direction)
- * and to emit the flow's datasets entry when it closes.
- */
-struct OpenFlow
-{
-    uint32_t clientIp = 0;
-    uint16_t clientPort = 0;
-    uint32_t serverIp = 0;
-    bool clientKnown = false;
-    bool prevFromClient = true;
-    bool finFromClient = false;
-    bool finFromServer = false;
-    uint32_t rttUs = 0;  ///< first direction-change gap
-    std::vector<uint16_t> sValues;
-    std::vector<uint64_t> packetUs;
-};
-
-/** Shared dataset-building state of a streaming compression. */
-class StreamingBuilder
-{
-  public:
-    explicit StreamingBuilder(const FccConfig &cfg)
-        : cfg_(cfg), chi_(cfg.weights), store_(cfg.rule)
-    {
-        datasets_.weights = cfg.weights;
-    }
-
-    void
-    addPacket(const trace::PacketRecord &pkt)
-    {
-        util::require(pkt.timestampNs >= lastNs_,
-                      "fcc stream: input not time-ordered");
-        lastNs_ = pkt.timestampNs;
-        ++packets_;
-
-        flow::FlowKey key = flow::FlowKey::fromPacket(pkt);
-        auto it = open_.find(key);
-        if (it != open_.end() && cfg_.flowTable.idleTimeoutNs > 0 &&
-            !it->second.packetUs.empty() &&
-            pkt.timestampNs - it->second.packetUs.back() * 1000 >
-                cfg_.flowTable.idleTimeoutNs) {
-            closeFlow(it->second);
-            open_.erase(it);
-            it = open_.end();
-        }
-        if (it == open_.end())
-            it = open_.emplace(key, OpenFlow{}).first;
-        OpenFlow &flowState = it->second;
-
-        if (!flowState.clientKnown) {
-            bool synAck = pkt.hasSyn() && pkt.hasAck();
-            flowState.clientIp = synAck ? pkt.dstIp : pkt.srcIp;
-            flowState.clientPort = synAck ? pkt.dstPort : pkt.srcPort;
-            flowState.serverIp = synAck ? pkt.srcIp : pkt.dstIp;
-            flowState.clientKnown = true;
-        }
-        bool fromClient = pkt.srcIp == flowState.clientIp &&
-                          pkt.srcPort == flowState.clientPort;
-
-        flow::PacketClass cls;
-        cls.flag = flow::flagClass(pkt.tcpFlags);
-        cls.size = flow::sizeClass(pkt.payloadBytes);
-        cls.dependent = !flowState.sValues.empty() &&
-                        fromClient != flowState.prevFromClient;
-        if (cls.dependent && flowState.rttUs == 0) {
-            uint64_t gap =
-                pkt.timestampUs() - flowState.packetUs.back();
-            flowState.rttUs = static_cast<uint32_t>(
-                std::min<uint64_t>(gap, 0xffffffffu));
-        }
-        flowState.sValues.push_back(chi_.encode(cls));
-        flowState.packetUs.push_back(pkt.timestampUs());
-        flowState.prevFromClient = fromClient;
-
-        if (pkt.hasFin()) {
-            if (fromClient)
-                flowState.finFromClient = true;
-            else
-                flowState.finFromServer = true;
-        }
-        bool gracefulDone = flowState.finFromClient &&
-                            flowState.finFromServer &&
-                            !pkt.hasFin() && pkt.hasAck();
-        if (pkt.hasRst() || gracefulDone) {
-            closeFlow(flowState);
-            open_.erase(key);
-        }
-    }
-
-    /** Close every open flow and produce the final datasets. */
-    Datasets
-    finish()
-    {
-        for (auto &[key, flowState] : open_)
-            closeFlow(flowState);
-        open_.clear();
-        // Flows close out of order; the time-seq dataset is sorted
-        // by first-packet timestamp (one record per flow).
-        std::sort(datasets_.timeSeq.begin(), datasets_.timeSeq.end(),
-                  [](const TimeSeqRecord &a, const TimeSeqRecord &b) {
-                      return a.firstTimestampUs < b.firstTimestampUs;
-                  });
-        datasets_.shortTemplates = store_.all();
-        return std::move(datasets_);
-    }
-
-    uint64_t packets() const { return packets_; }
-    uint64_t flows() const { return flows_; }
-
-  private:
-    void
-    closeFlow(OpenFlow &flowState)
-    {
-        if (flowState.sValues.empty())
-            return;
-        ++flows_;
-        TimeSeqRecord rec;
-        rec.firstTimestampUs = flowState.packetUs.front();
-
-        auto [it, isNew] = addrIndex_.try_emplace(
-            flowState.serverIp,
-            static_cast<uint32_t>(datasets_.addresses.size()));
-        if (isNew)
-            datasets_.addresses.push_back(flowState.serverIp);
-        rec.addressIndex = it->second;
-
-        if (flowState.sValues.size() <= cfg_.shortLimit) {
-            flow::SfVector sf;
-            sf.values = std::move(flowState.sValues);
-            rec.isLong = false;
-            rec.templateIndex = store_.findOrInsert(sf).index;
-            rec.rttUs = flowState.rttUs;
-        } else {
-            LongTemplate tmpl;
-            tmpl.sValues = std::move(flowState.sValues);
-            tmpl.iptUs.resize(flowState.packetUs.size());
-            tmpl.iptUs[0] = 0;
-            for (size_t i = 1; i < flowState.packetUs.size(); ++i)
-                tmpl.iptUs[i] = flowState.packetUs[i] -
-                                flowState.packetUs[i - 1];
-            rec.isLong = true;
-            rec.templateIndex = static_cast<uint32_t>(
-                datasets_.longTemplates.size());
-            datasets_.longTemplates.push_back(std::move(tmpl));
-        }
-        datasets_.timeSeq.push_back(rec);
-    }
-
-    FccConfig cfg_;
-    flow::Characterizer chi_;
-    flow::TemplateStore store_;
-    Datasets datasets_;
-    std::unordered_map<flow::FlowKey, OpenFlow> open_;
-    std::unordered_map<uint32_t, uint32_t> addrIndex_;
-    uint64_t lastNs_ = 0;
-    uint64_t packets_ = 0;
-    uint64_t flows_ = 0;
-};
-
-} // namespace
 
 StreamStats
 compressSource(trace::TraceSource &src, const std::string &fccPath,
                const FccConfig &cfg)
 {
-    StreamingBuilder builder(cfg);
-    StreamStats stats;
+    CompressSession session(cfg);
 
     std::vector<trace::PacketRecord> batch(4096);
     size_t n;
     while ((n = src.read(batch)) > 0)
-        for (size_t i = 0; i < n; ++i)
-            builder.addPacket(batch[i]);
-    stats.inputBytes = src.bytesConsumed();
+        session.feed(std::span<const trace::PacketRecord>(
+            batch.data(), n));
+    session.addInputBytes(src.bytesConsumed());
 
-    Datasets datasets = builder.finish();
-    SizeBreakdown sizes;
-    // Container dispatch (FCC1/FCC2/FCC3) shared with the in-memory
-    // codec; FCC3 runs its per-column encode jobs on cfg.threads.
-    auto bytes = serializeDatasets(datasets, cfg, sizes);
-
-    util::FileByteSink out(fccPath);
-    out.write(bytes);
-    out.close();
-    stats.outputBytes = bytes.size();
-    stats.packets = builder.packets();
-    stats.flows = builder.flows();
-    return stats;
+    session.sealToFile(fccPath);
+    return session.stats();
 }
 
 StreamStats
@@ -224,139 +39,13 @@ compressTraceFile(const std::string &inPath,
     return compressSource(*src, fccPath, cfg);
 }
 
-namespace {
-
-/** Load and decode an FCC container, reporting its on-disk size. */
-Datasets
-loadDatasets(const std::string &fccPath, uint64_t &inputBytes,
-             const FccConfig &cfg)
-{
-    // The compressed artifact is read via mmap when possible — the
-    // Datasets it decodes to live in memory by design; the
-    // *reconstructed packets* never do.
-    auto in = util::openByteSource(fccPath);
-    std::vector<uint8_t> owned;
-    std::span<const uint8_t> bytes = util::readAllBytes(*in, owned);
-    inputBytes = bytes.size();
-    // One shared decode entry point: zlib-hybrid unwrap, container
-    // auto-detection, pooled FCC3 column decode.
-    return deserializeAuto(bytes, cfg.threads);
-}
-
-/** The §4 expansion of already-decoded datasets into a sink. */
-StreamStats
-expandToSink(const Datasets &datasets, trace::TraceSink &sink,
-             const FccConfig &cfg, uint64_t inputBytes)
-{
-    FccTraceCompressor codec(cfg);
-
-    StreamStats stats;
-    stats.inputBytes = inputBytes;
-    stats.flows = datasets.timeSeq.size();
-
-    // Paper §4: reconstructed packets wait in a time-ordered buffer;
-    // everything older than the next not-yet-expanded record's
-    // timestamp is flushed to the output file, so peak memory stays
-    // near the concurrently active flows (plus, for FCC2, one batch
-    // of chunks).
-    // Canonical total order: equal-timestamp packets must pop in a
-    // fixed order whatever the chunk batching (i.e. thread count).
-    auto later = [](const trace::PacketRecord &a,
-                    const trace::PacketRecord &b) {
-        return trace::packetCanonicalLess(b, a);
-    };
-    std::priority_queue<trace::PacketRecord,
-                        std::vector<trace::PacketRecord>,
-                        decltype(later)>
-        pendingQ(later);
-
-    std::vector<trace::PacketRecord> flushBatch;
-    auto flushOlderThan = [&](uint64_t limitNs) {
-        flushBatch.clear();
-        while (!pendingQ.empty() &&
-               pendingQ.top().timestampNs < limitNs) {
-            flushBatch.push_back(pendingQ.top());
-            pendingQ.pop();
-        }
-        if (flushBatch.empty())
-            return;
-        sink.write(std::span<const trace::PacketRecord>(flushBatch));
-        stats.packets += flushBatch.size();
-    };
-
-    if (!datasets.chunkSizes.empty()) {
-        // FCC2: expand a batch of chunks concurrently (per-chunk RNG
-        // streams), then flush everything older than the next
-        // unexpanded chunk's first record — records are globally
-        // time-sorted across chunks, so no later chunk can produce
-        // an older packet.
-        size_t chunks = datasets.chunkSizes.size();
-        std::vector<size_t> offset(chunks + 1, 0);
-        for (size_t c = 0; c < chunks; ++c)
-            offset[c + 1] = offset[c] + datasets.chunkSizes[c];
-        util::require(offset[chunks] == datasets.timeSeq.size(),
-                      "fcc: chunk sizes disagree with time-seq");
-
-        unsigned threads = cfg.threads != 0
-            ? cfg.threads
-            : util::ThreadPool::hardwareThreads();
-        std::unique_ptr<util::ThreadPool> pool;
-        if (threads > 1 && chunks > 1)
-            pool = std::make_unique<util::ThreadPool>(threads);
-        size_t batchChunks =
-            std::max<size_t>(1, size_t{threads} * 2);
-
-        std::vector<std::vector<trace::PacketRecord>> perChunk;
-        for (size_t base = 0; base < chunks; base += batchChunks) {
-            size_t end = std::min(chunks, base + batchChunks);
-            perChunk.assign(end - base, {});
-            auto expandOne = [&](size_t i) {
-                codec.expandChunk(datasets, base + i, perChunk[i]);
-            };
-            if (pool)
-                pool->parallelFor(end - base, expandOne);
-            else
-                for (size_t i = 0; i < end - base; ++i)
-                    expandOne(i);
-            for (const auto &chunkPackets : perChunk)
-                for (const auto &pkt : chunkPackets)
-                    pendingQ.push(pkt);
-            uint64_t limitNs = end < chunks
-                ? datasets.timeSeq[offset[end]].firstTimestampUs *
-                      1000
-                : ~0ull;
-            flushOlderThan(limitNs);
-        }
-        sink.close();
-        stats.outputBytes = sink.bytesWritten();
-        return stats;
-    }
-
-    // Legacy FCC1: single sequential RNG stream over all records.
-    util::Rng rng(cfg.decompressSeed);
-    std::vector<trace::PacketRecord> flowPackets;
-    for (const auto &rec : datasets.timeSeq) {
-        flushOlderThan(rec.firstTimestampUs * 1000);
-        flowPackets.clear();
-        codec.expandFlow(datasets, rec, rng, flowPackets);
-        for (const auto &pkt : flowPackets)
-            pendingQ.push(pkt);
-    }
-    flushOlderThan(~0ull);
-    sink.close();
-    stats.outputBytes = sink.bytesWritten();
-    return stats;
-}
-
-} // namespace
-
 StreamStats
 decompressToSink(const std::string &fccPath, trace::TraceSink &sink,
                  const FccConfig &cfg)
 {
-    uint64_t inputBytes = 0;
-    Datasets datasets = loadDatasets(fccPath, inputBytes, cfg);
-    return expandToSink(datasets, sink, cfg, inputBytes);
+    DecompressSession session(cfg);
+    session.open(fccPath);
+    return session.drainTo(sink);
 }
 
 StreamStats
@@ -366,30 +55,10 @@ decompressTraceFile(const std::string &fccPath,
 {
     // Decode the input fully before opening (and truncating) the
     // output path: a corrupt .fcc must not clobber an existing file.
-    uint64_t inputBytes = 0;
-    Datasets datasets = loadDatasets(fccPath, inputBytes, cfg);
+    DecompressSession session(cfg);
+    session.open(fccPath);
     auto sink = trace::openTraceSink(outPath, format);
-    return expandToSink(datasets, *sink, cfg, inputBytes);
-}
-
-StreamStats
-compressTshFile(const std::string &tshPath, const std::string &fccPath,
-                const FccConfig &cfg)
-{
-    trace::TraceFormatSpec tsh;
-    tsh.autoDetect = false;
-    tsh.format = trace::TraceFormat::Tsh;
-    return compressTraceFile(tshPath, fccPath, cfg, tsh);
-}
-
-StreamStats
-decompressToTshFile(const std::string &fccPath,
-                    const std::string &tshPath, const FccConfig &cfg)
-{
-    trace::TraceFormatSpec tsh;
-    tsh.autoDetect = false;
-    tsh.format = trace::TraceFormat::Tsh;
-    return decompressTraceFile(fccPath, tshPath, cfg, tsh);
+    return session.drainTo(*sink);
 }
 
 } // namespace fcc::codec::fcc

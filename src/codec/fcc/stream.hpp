@@ -1,9 +1,13 @@
 /**
  * @file
- * Streaming interface of the FCC codec over the trace I/O
+ * One-shot streaming interface of the FCC codec over the trace I/O
  * subsystem: compression consumes any TraceSource (TSH, pcap,
  * pcapng, gzip'd variants — see trace/source.hpp), decompression
- * produces any TraceSink.
+ * produces any TraceSink. Every entry point here is a thin wrapper
+ * over a single-epoch session (session.hpp) — the open-ended API
+ * that can also seal an archive and re-arm for the next one, which
+ * is what the continuous-capture archiver (src/archive, fccd)
+ * builds on.
  *
  * Compression reads packet records incrementally (one connection's
  * worth of state at a time — memory is bounded by open flows plus
@@ -33,13 +37,24 @@
 
 namespace fcc::codec::fcc {
 
-/** Outcome of a streaming run. */
+/**
+ * Outcome of a streaming run — one-shot or session-based. The
+ * lifecycle counters come from the session layer (session.hpp): a
+ * one-shot run is a single-epoch session, so it reports one epoch,
+ * one sealed archive and the archive's chunk count.
+ */
 struct StreamStats
 {
     uint64_t packets = 0;
     uint64_t flows = 0;
     uint64_t inputBytes = 0;
     uint64_t outputBytes = 0;
+
+    // Session lifecycle (compression: what seal() produced so far;
+    // decompression: epochs counts drained archives).
+    uint64_t chunksSealed = 0;   ///< chunks across sealed archives
+    uint64_t archivesSealed = 0; ///< seal() count
+    uint64_t epochs = 0;         ///< arm/re-arm cycles started
 
     double
     ratio() const
@@ -101,17 +116,6 @@ decompressTraceFile(const std::string &fccPath,
                     const std::string &outPath,
                     const FccConfig &cfg = {},
                     const trace::TraceFormatSpec &format = {});
-
-/** Back-compat wrapper: compressTraceFile() with a fixed TSH spec. */
-StreamStats
-compressTshFile(const std::string &tshPath, const std::string &fccPath,
-                const FccConfig &cfg = {});
-
-/** Back-compat wrapper: decompressTraceFile() with a TSH spec. */
-StreamStats
-decompressToTshFile(const std::string &fccPath,
-                    const std::string &tshPath,
-                    const FccConfig &cfg = {});
 
 } // namespace fcc::codec::fcc
 

@@ -11,6 +11,7 @@
 #include <filesystem>
 #include <queue>
 
+#include "archive/catalog_file.hpp"
 #include "trace/trace.hpp"
 #include "util/error.hpp"
 
@@ -21,6 +22,7 @@ namespace fs = std::filesystem;
 ArchiveCatalog::ArchiveCatalog(const std::string &directory,
                                const codec::fcc::FccConfig &cfg)
 {
+    cfg.validate();
     std::error_code ec;
     fs::directory_iterator it(directory, ec);
     if (ec)
@@ -44,11 +46,26 @@ ArchiveCatalog
 ArchiveCatalog::fromPaths(const std::vector<std::string> &paths,
                           const codec::fcc::FccConfig &cfg)
 {
+    cfg.validate();
     ArchiveCatalog catalog;
     for (const std::string &path : paths)
         catalog.archives_.push_back(
             std::make_unique<FccArchive>(path, cfg));
     return catalog;
+}
+
+ArchiveCatalog
+ArchiveCatalog::fromCatalogFile(const std::string &directory,
+                                const codec::fcc::FccConfig &cfg)
+{
+    if (!fs::exists(fs::path(directory) /
+                    archive::CatalogFile::fileName()))
+        return ArchiveCatalog(directory, cfg);
+    std::vector<std::string> paths;
+    for (const archive::CatalogEntry &entry :
+         archive::loadCatalog(directory))
+        paths.push_back(directory + "/" + entry.name);
+    return fromPaths(paths, cfg);
 }
 
 namespace {

@@ -66,6 +66,19 @@ class ArchiveCatalog
     fromPaths(const std::vector<std::string> &paths,
               const codec::fcc::FccConfig &cfg = {});
 
+    /**
+     * Open what a continuous-capture catalog file lists
+     * (`<directory>/CATALOG`, written by fccd — see
+     * archive/catalog_file.hpp): the serving side of the daemon's
+     * crash-safety contract, trusting exactly the archives the
+     * producer has durably sealed (torn tail lines are skipped).
+     * When no catalog file exists, falls back to the plain
+     * directory scan.
+     */
+    static ArchiveCatalog
+    fromCatalogFile(const std::string &directory,
+                    const codec::fcc::FccConfig &cfg = {});
+
     size_t size() const { return archives_.size(); }
 
     /** Member archive @p i (construction order). */

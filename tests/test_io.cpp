@@ -34,6 +34,10 @@ using namespace fcc;
 
 namespace {
 
+/** Explicit TSH spec for the raw 44-byte record fixtures. */
+const trace::TraceFormatSpec kTsh =
+    trace::parseTraceFormatSpec("tsh");
+
 trace::Trace
 webTrace(uint64_t seed, double seconds)
 {
@@ -630,7 +634,8 @@ TEST(TraceIo, CompressionIsByteIdenticalAcrossFormats)
 
     std::string fccA = tempPath("ident_a.fcc");
     std::string fccB = tempPath("ident_b.fcc");
-    auto statsA = codec::fcc::compressTshFile(tshPath, fccA);
+    auto statsA =
+        codec::fcc::compressTraceFile(tshPath, fccA, {}, kTsh);
     auto statsB = codec::fcc::compressTraceFile(ngGzPath, fccB);
     EXPECT_EQ(statsA.packets, statsB.packets);
     EXPECT_EQ(statsA.flows, statsB.flows);
@@ -639,7 +644,7 @@ TEST(TraceIo, CompressionIsByteIdenticalAcrossFormats)
     // Decompressing each to TSH gives identical bytes too.
     std::string outA = tempPath("ident_a_out.tsh");
     std::string outB = tempPath("ident_b_out.tsh");
-    codec::fcc::decompressToTshFile(fccA, outA);
+    codec::fcc::decompressTraceFile(fccA, outA, {}, kTsh);
     codec::fcc::decompressTraceFile(fccB, outB);
     EXPECT_EQ(readBytes(outA), readBytes(outB));
 
@@ -697,7 +702,7 @@ TEST(TraceIo, DecompressToPcapngRoundTrips)
     std::string ngPath = tempPath("rt_out.pcapng");
     trace::writeTshFile(original, tshPath);
 
-    codec::fcc::compressTshFile(tshPath, fccPath);
+    codec::fcc::compressTraceFile(tshPath, fccPath, {}, kTsh);
     auto stats = codec::fcc::decompressTraceFile(fccPath, ngPath);
     EXPECT_EQ(stats.packets, original.size());
 

@@ -28,6 +28,10 @@ namespace fccc = fcc::codec::fcc;
 
 namespace {
 
+/** Explicit TSH spec for the raw 44-byte record fixtures. */
+const trace::TraceFormatSpec kTsh =
+    trace::parseTraceFormatSpec("tsh");
+
 trace::Trace
 webTrace(uint64_t seed, double seconds, double flowsPerSec = 80.0)
 {
@@ -252,7 +256,8 @@ TEST(Parallel, StreamingChunkedDecompressMatchesInMemory)
         f.write(reinterpret_cast<const char *>(bytes.data()),
                 static_cast<std::streamsize>(bytes.size()));
     }
-    auto stats = fccc::decompressToTshFile(fccIn, tshOut, cfg);
+    auto stats =
+        fccc::decompressTraceFile(fccIn, tshOut, cfg, kTsh);
     EXPECT_EQ(stats.packets, inMemory.size());
 
     trace::Trace streamed = trace::readTshFile(tshOut);

@@ -32,6 +32,10 @@ namespace fccc = fcc::codec::fcc;
 
 namespace {
 
+/** Explicit TSH spec for the raw 44-byte record fixtures. */
+const trace::TraceFormatSpec kTsh =
+    trace::parseTraceFormatSpec("tsh");
+
 trace::Trace
 webTrace(uint64_t seed, double seconds)
 {
@@ -157,9 +161,10 @@ TEST(QueryIndex, IndexedReconstructsIdenticallyToUnindexed)
     std::string outIdx = tempPath("rt_idx.tsh");
     std::string outPlain = tempPath("rt_plain.tsh");
     auto sIdx =
-        fccc::decompressToTshFile(seed.idxPath, outIdx, seed.cfg);
-    auto sPlain = fccc::decompressToTshFile(seed.plainPath, outPlain,
-                                            seed.cfg);
+        fccc::decompressTraceFile(seed.idxPath, outIdx, seed.cfg,
+                                  kTsh);
+    auto sPlain = fccc::decompressTraceFile(
+        seed.plainPath, outPlain, seed.cfg, kTsh);
     EXPECT_EQ(sIdx.packets, sPlain.packets);
     EXPECT_EQ(sIdx.packets, seed.original.size());
     EXPECT_EQ(readBytes(outIdx), readBytes(outPlain));

@@ -44,6 +44,10 @@ using backendEnum = fcc::codec::backend::EntropyBackend;
 
 namespace {
 
+/** Explicit TSH spec for the raw 44-byte record fixtures. */
+const trace::TraceFormatSpec kTsh =
+    trace::parseTraceFormatSpec("tsh");
+
 bool
 smokeTests()
 {
@@ -305,7 +309,7 @@ TEST(ScenarioRoundTrip, MatrixCellsAreByteExact)
                 std::string tshBack = tempPath("matrix_back.tsh");
 
                 auto stats =
-                    fccc::compressTshFile(tshIn, fccOut, cfg);
+                    fccc::compressTraceFile(tshIn, fccOut, cfg, kTsh);
                 EXPECT_EQ(stats.packets, original.size());
 
                 // Compressed bytes are thread-count invariant.
@@ -317,7 +321,7 @@ TEST(ScenarioRoundTrip, MatrixCellsAreByteExact)
                     EXPECT_EQ(compressed, compressedRef);
 
                 // Reconstruction is identical across every cell.
-                fccc::decompressToTshFile(fccOut, tshBack, cfg);
+                fccc::decompressTraceFile(fccOut, tshBack, cfg, kTsh);
                 std::vector<uint8_t> back =
                     readFileBytes(tshBack);
                 EXPECT_EQ(back.size(),
@@ -363,8 +367,8 @@ TEST(ScenarioRoundTrip, TiedTimestampsDecodeThreadInvariant)
             fccc::FccConfig cfg = cellConfig(cell, threads);
             std::string fccOut = tempPath("ties_out.fcc");
             std::string tshBack = tempPath("ties_back.tsh");
-            fccc::compressTshFile(tshIn, fccOut, cfg);
-            fccc::decompressToTshFile(fccOut, tshBack, cfg);
+            fccc::compressTraceFile(tshIn, fccOut, cfg, kTsh);
+            fccc::decompressTraceFile(fccOut, tshBack, cfg, kTsh);
             std::vector<uint8_t> back = readFileBytes(tshBack);
             if (reference.empty())
                 reference = back;
@@ -391,7 +395,7 @@ TEST(ScenarioRoundTrip, IndexedQueryMatchesFullDecode)
         trace::writeTshFile(original, tshIn);
         fccc::FccConfig cfg =
             cellConfig(matrixCells().back(), 4);  // fcc3-indexed
-        fccc::compressTshFile(tshIn, fccOut, cfg);
+        fccc::compressTraceFile(tshIn, fccOut, cfg, kTsh);
 
         query::FccArchive archive(fccOut, cfg);
         ASSERT_TRUE(archive.hasIndex());
@@ -537,10 +541,10 @@ TEST(ScenarioFuzz, ParameterEdgesRoundTrip)
                     std::string tshBack =
                         tempPath("fuzz_back.tsh");
                     auto stats =
-                        fccc::compressTshFile(tshIn, fccOut, cfg);
+                        fccc::compressTraceFile(tshIn, fccOut, cfg, kTsh);
                     EXPECT_EQ(stats.packets, t.size());
-                    auto dstats = fccc::decompressToTshFile(
-                        fccOut, tshBack, cfg);
+                    auto dstats = fccc::decompressTraceFile(
+                        fccOut, tshBack, cfg, kTsh);
                     EXPECT_EQ(dstats.packets, t.size());
                     std::remove(fccOut.c_str());
                     std::remove(tshBack.c_str());

@@ -41,6 +41,10 @@ tempPath(const char *name)
     return ::testing::TempDir() + "/" + name;
 }
 
+/** Explicit TSH spec: these fixtures move raw 44-byte records. */
+const trace::TraceFormatSpec kTsh =
+    trace::parseTraceFormatSpec("tsh");
+
 void
 writeBytes(const std::string &path, const std::vector<uint8_t> &data)
 {
@@ -70,7 +74,7 @@ TEST(Stream, CompressedFileDecodesLikeInMemory)
     std::string fccOut = tempPath("stream_out.fcc");
     trace::writeTshFile(original, tshIn);
 
-    auto stats = fccc::compressTshFile(tshIn, fccOut);
+    auto stats = fccc::compressTraceFile(tshIn, fccOut, {}, kTsh);
     EXPECT_EQ(stats.packets, original.size());
     EXPECT_EQ(stats.inputBytes,
               original.size() * trace::tshRecordBytes);
@@ -107,7 +111,7 @@ TEST(Stream, StreamingRatioMatchesInMemory)
     std::string fccOut = tempPath("ratio_out.fcc");
     trace::writeTshFile(original, tshIn);
 
-    auto stats = fccc::compressTshFile(tshIn, fccOut);
+    auto stats = fccc::compressTraceFile(tshIn, fccOut, {}, kTsh);
     fccc::FccTraceCompressor codec;
     size_t inMemory = codec.compress(original).size();
     // Template indices can differ (flows close in a different order)
@@ -133,7 +137,8 @@ TEST(Stream, DecompressMatchesBatchExactly)
     std::string fccIn = tempPath("batch.fcc");
     std::string tshOut = tempPath("streamed.tsh");
     writeBytes(fccIn, bytes);
-    auto stats = fccc::decompressToTshFile(fccIn, tshOut);
+    auto stats =
+        fccc::decompressTraceFile(fccIn, tshOut, {}, kTsh);
     EXPECT_EQ(stats.packets, batch.size());
     EXPECT_EQ(stats.flows,
               flow::FlowTable().assemble(original).size());
@@ -170,8 +175,9 @@ TEST(Stream, FullFileRoundTrip)
     std::string tshOut = tempPath("rt_out.tsh");
     trace::writeTshFile(original, tshIn);
 
-    fccc::compressTshFile(tshIn, fccMid);
-    auto stats = fccc::decompressToTshFile(fccMid, tshOut);
+    fccc::compressTraceFile(tshIn, fccMid, {}, kTsh);
+    auto stats =
+        fccc::decompressTraceFile(fccMid, tshOut, {}, kTsh);
     EXPECT_EQ(stats.packets, original.size());
 
     trace::Trace restored = trace::readTshFile(tshOut);
@@ -204,7 +210,7 @@ TEST(Stream, CrossContainerMatrixDecodesIdentically)
         std::string fcc = tempPath(name) + ".fcc";
         fccc::compressTraceFile(tshIn, fcc, cfg);
         std::string tsh = tempPath(name) + ".tsh";
-        fccc::decompressToTshFile(fcc, tsh, cfg);
+        fccc::decompressTraceFile(fcc, tsh, cfg, kTsh);
         std::ifstream in(tsh, std::ios::binary);
         std::vector<uint8_t> bytes(
             (std::istreambuf_iterator<char>(in)),
@@ -318,7 +324,8 @@ TEST(Stream, HybridDeflateRoundTripsViaStreaming)
     EXPECT_EQ(bytes[0], 0x78);  // zlib CMF
     EXPECT_EQ(cstats.outputBytes, bytes.size());
 
-    auto stats = fccc::decompressToTshFile(fccMid, tshOut, cfg);
+    auto stats =
+        fccc::decompressTraceFile(fccMid, tshOut, cfg, kTsh);
     EXPECT_EQ(stats.packets, original.size());
     EXPECT_EQ(stats.inputBytes, bytes.size());
 
@@ -329,11 +336,13 @@ TEST(Stream, HybridDeflateRoundTripsViaStreaming)
 
 TEST(Stream, MissingInputFileThrows)
 {
-    EXPECT_THROW(fccc::compressTshFile(tempPath("nope.tsh"),
-                                       tempPath("x.fcc")),
+    EXPECT_THROW(fccc::compressTraceFile(tempPath("nope.tsh"),
+                                         tempPath("x.fcc"), {},
+                                         kTsh),
                  util::Error);
-    EXPECT_THROW(fccc::decompressToTshFile(tempPath("nope.fcc"),
-                                           tempPath("x.tsh")),
+    EXPECT_THROW(fccc::decompressTraceFile(tempPath("nope.fcc"),
+                                           tempPath("x.tsh"), {},
+                                           kTsh),
                  util::Error);
 }
 
@@ -349,7 +358,8 @@ TEST(Stream, PartialTshRecordRejected)
     auto good = trace::writeTsh(one);
     std::copy(good.begin(), good.end(), bad.begin());
     writeBytes(path, bad);
-    EXPECT_THROW(fccc::compressTshFile(path, tempPath("x.fcc")),
+    EXPECT_THROW(fccc::compressTraceFile(path, tempPath("x.fcc"),
+                                         {}, kTsh),
                  util::Error);
     std::remove(path.c_str());
 }
@@ -364,7 +374,8 @@ TEST(Stream, UnorderedInputRejected)
     tr.add(pkt);
     std::string path = tempPath("unordered.tsh");
     trace::writeTshFile(tr, path);
-    EXPECT_THROW(fccc::compressTshFile(path, tempPath("x.fcc")),
+    EXPECT_THROW(fccc::compressTraceFile(path, tempPath("x.fcc"),
+                                         {}, kTsh),
                  util::Error);
     std::remove(path.c_str());
 }

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "codec/fcc/stream.hpp"
 #include "util/error.hpp"
 
 namespace fcc::cli {
@@ -214,6 +215,42 @@ parseUnsigned(const char *flag, const char *text)
         value = value * 10 + digit;
     }
     return value;
+}
+
+/**
+ * One shared rendering of a compression run's StreamStats — fcctool
+ * (one-shot) and fccd (multi-epoch) print the same shape, so the
+ * session-lifecycle counters read identically across the tools.
+ */
+inline void
+printCompressStats(const codec::fcc::StreamStats &stats)
+{
+    std::printf("%llu packets, %llu flows: %llu -> %llu bytes "
+                "(%.2f%%)\n",
+                static_cast<unsigned long long>(stats.packets),
+                static_cast<unsigned long long>(stats.flows),
+                static_cast<unsigned long long>(stats.inputBytes),
+                static_cast<unsigned long long>(stats.outputBytes),
+                100.0 * stats.ratio());
+    std::printf("sealed: %llu archive%s, %llu chunk%s, %llu "
+                "epoch%s\n",
+                static_cast<unsigned long long>(
+                    stats.archivesSealed),
+                stats.archivesSealed == 1 ? "" : "s",
+                static_cast<unsigned long long>(stats.chunksSealed),
+                stats.chunksSealed == 1 ? "" : "s",
+                static_cast<unsigned long long>(stats.epochs),
+                stats.epochs == 1 ? "" : "s");
+}
+
+/** The decompression-side counterpart of printCompressStats(). */
+inline void
+printDecompressStats(const codec::fcc::StreamStats &stats)
+{
+    std::printf("%llu flows -> %llu packets, %llu bytes\n",
+                static_cast<unsigned long long>(stats.flows),
+                static_cast<unsigned long long>(stats.packets),
+                static_cast<unsigned long long>(stats.outputBytes));
 }
 
 /** parseUnsigned() with an inclusive [lo, hi] range check. */
