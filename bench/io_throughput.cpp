@@ -5,7 +5,8 @@
  * format (TSH, pcap, pcapng, gzip'd TSH and pcapng), plus the mmap
  * vs buffered-stdio read comparison for the flat formats.
  *
- * Run: ./build/bench/io_throughput [--smoke] [--json out.json]
+ * Run: ./build/bench/io_throughput [--smoke] [--scalar]
+ *                                  [--json out.json]
  *
  * Read throughput is measured over *container* bytes consumed (for
  * the gzip formats that is the decompressed stream, the honest unit
@@ -15,6 +16,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <string>
@@ -77,6 +79,11 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
+        else if (std::strcmp(argv[i], "--scalar") == 0)
+            // Same effect as FCC_FORCE_SCALAR=1: every Auto
+            // dispatch below resolves to the scalar path. Must run
+            // before the first dispatch caches the env.
+            ::setenv("FCC_FORCE_SCALAR", "1", 1);
         else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
             jsonPath = argv[++i];
     }
@@ -168,28 +175,47 @@ main(int argc, char **argv)
         std::remove(path.c_str());
     }
 
-    // --- mmap vs stdio on the flat TSH container ---
+    // --- mmap vs stdio vs readahead on the flat TSH container ---
     {
         std::string path = "io_throughput_tmp.stdio.tsh";
         auto sink = trace::openTraceSink(path);
         trace::writeAllPackets(*sink, trace);
-        for (bool mmapped : {true, false}) {
+        struct SourceKind
+        {
+            const char *label;
+            const char *metric;
+            int kind;  // 0 = mmap, 1 = stdio, 2 = readahead
+        };
+        const SourceKind kinds[] = {
+            {"tsh (mmap)", "io_tsh_read_mmap_mbps", 0},
+            {"tsh (stdio)", "io_tsh_read_stdio_mbps", 1},
+            {"tsh (rahead)", "io_tsh_read_readahead_mbps", 2},
+        };
+        for (const SourceKind &k : kinds) {
+            if (k.kind == 2 && !util::ReadaheadByteSource::supported())
+                continue;
             ReadResult rd;
             double sec = secondsOf(
                 [&] {
                     rd = drain([&] {
+                        auto src =
+                            k.kind == 2
+                                ? std::unique_ptr<util::ByteSource>(
+                                      std::make_unique<
+                                          util::
+                                              ReadaheadByteSource>(
+                                          path))
+                                : util::openByteSource(path,
+                                                       k.kind == 0);
                         return std::make_unique<trace::TshSource>(
-                            util::openByteSource(path, mmapped));
+                            std::move(src));
                     });
                 },
                 reps);
             double mb = static_cast<double>(rd.containerBytes) / 1e6;
-            std::printf("%-12s %12s %12.1f %14.0f\n",
-                        mmapped ? "tsh (mmap)" : "tsh (stdio)", "-",
+            std::printf("%-12s %12s %12.1f %14.0f\n", k.label, "-",
                         mb / sec, packets / sec);
-            metrics.add(mmapped ? "io_tsh_read_mmap_mbps"
-                                : "io_tsh_read_stdio_mbps",
-                        mb / sec);
+            metrics.add(k.metric, mb / sec);
         }
         std::remove(path.c_str());
     }

@@ -22,6 +22,8 @@ backendName(EntropyBackend backend)
         return "deflate";
       case EntropyBackend::Range:
         return "range";
+      case EntropyBackend::RangeLanes:
+        return "range-lanes";
     }
     return "?";
 }
@@ -45,6 +47,8 @@ entropyCompress(std::span<const uint8_t> data, EntropyBackend backend)
         return deflate::zlibCompress(data);
       case EntropyBackend::Range:
         return rangeCompress(data);
+      case EntropyBackend::RangeLanes:
+        return rangeCompressLanes(data);
     }
     throw util::Error("backend: bad backend tag");
 }
@@ -63,6 +67,9 @@ entropyDecompress(std::span<const uint8_t> data,
         break;
       case EntropyBackend::Range:
         out = rangeDecompress(data, rawSize);
+        break;
+      case EntropyBackend::RangeLanes:
+        out = rangeDecompressLanes(data, rawSize);
         break;
       default:
         throw util::Error("backend: bad backend tag");

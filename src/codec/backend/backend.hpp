@@ -11,7 +11,11 @@
  *  - Range:   adaptive order-0 range coder (range_coder.hpp) — no
  *             match finding, so it wins on short, high-entropy-byte
  *             columns where DEFLATE's headers and match machinery
- *             only add overhead.
+ *             only add overhead;
+ *  - RangeLanes: the same coder split into independent interleaved
+ *             lanes (rangeCompressLanes) — trades a little ratio on
+ *             large columns for markedly higher single-core coding
+ *             speed. Opt-in: "range" columns keep tag 2.
  *
  * The one-byte tag stored next to each column makes every column
  * self-describing, so a single file can mix backends (the encoder
@@ -35,12 +39,16 @@ enum class EntropyBackend : uint8_t
     Store = 0,
     Deflate = 1,
     Range = 2,
+    RangeLanes = 3,
 };
 
 /** Number of defined backends (tags are 0 .. count-1). */
-constexpr uint8_t entropyBackendCount = 3;
+constexpr uint8_t entropyBackendCount = 4;
 
-/** Human-readable backend name ("store", "deflate", "range"). */
+/**
+ * Human-readable backend name ("store", "deflate", "range",
+ * "range-lanes").
+ */
 const char *backendName(EntropyBackend backend);
 
 /** Parse a name accepted by backendName(). @throws util::Error */

@@ -23,6 +23,8 @@
 #include <span>
 #include <vector>
 
+#include "util/simd.hpp"
+
 namespace fcc::codec::backend {
 
 /** Compress @p data with the adaptive order-0 range coder. */
@@ -34,6 +36,44 @@ std::vector<uint8_t> rangeCompress(std::span<const uint8_t> data);
  */
 std::vector<uint8_t> rangeDecompress(std::span<const uint8_t> data,
                                      size_t rawSize);
+
+/** Upper bound on the lane count of a "range-lanes" payload. */
+constexpr uint8_t rangeMaxLanes = 8;
+
+/**
+ * Deterministic lane count for a block of @p rawSize bytes: derived
+ * from the size alone (never thread count or dispatch), so the wire
+ * bytes are reproducible everywhere. Small blocks stay single-lane —
+ * splitting them would cost ratio without buying ILP.
+ */
+size_t rangeLaneCount(size_t rawSize);
+
+/**
+ * Compress @p data as independent range-coded lanes (the
+ * "range-lanes" entropy backend, tag 3).
+ *
+ * The block is split into rangeLaneCount() contiguous, near-equal
+ * slices; each lane runs its own adaptive model and coder, so a
+ * single core can keep several dependency chains in flight. Payload:
+ * one lane-count byte, varint byte lengths of all lanes but the
+ * last, then the concatenated lane streams.
+ *
+ * Dispatch selects interleaved (Accel) vs lane-at-a-time (Scalar)
+ * execution; both produce identical bytes.
+ */
+std::vector<uint8_t> rangeCompressLanes(std::span<const uint8_t> data,
+                                        util::Dispatch d =
+                                            util::Dispatch::Auto);
+
+/**
+ * Decompress a rangeCompressLanes() payload of exactly @p rawSize
+ * bytes. Accepts any lane count 1..rangeMaxLanes, so blocks written
+ * with a different lane policy still decode.
+ * @throws fcc::util::Error on a malformed header or truncated lane.
+ */
+std::vector<uint8_t>
+rangeDecompressLanes(std::span<const uint8_t> data, size_t rawSize,
+                     util::Dispatch d = util::Dispatch::Auto);
 
 } // namespace fcc::codec::backend
 

@@ -50,12 +50,10 @@ bloomSizeBits(size_t distinctServers)
 
 void
 bloomInsert(std::vector<uint8_t> &bloom, uint32_t bits,
-            uint32_t serverIp)
+            const ServerFingerprint &fp)
 {
-    uint64_t h1 = bloomHash1(serverIp);
-    uint64_t h2 = bloomHash2(serverIp);
     for (uint32_t i = 0; i < bloomProbes; ++i) {
-        uint64_t bit = (h1 + uint64_t{i} * h2) & (bits - 1);
+        uint64_t bit = (fp.h1 + uint64_t{i} * fp.h2) & (bits - 1);
         bloom[bit >> 3] |= static_cast<uint8_t>(1u << (bit & 7));
     }
 }
@@ -70,16 +68,47 @@ struct TemplateSpan
 
 } // namespace
 
+ServerFingerprint
+serverFingerprint(uint32_t serverIp)
+{
+    return {bloomHash1(serverIp), bloomHash2(serverIp)};
+}
+
+std::vector<uint8_t>
+bloomBuild(std::span<const uint32_t> servers, uint32_t bits,
+           util::Dispatch d)
+{
+    std::vector<uint8_t> bloom(size_t{bits} / 8, 0);
+    if (!util::useAccel(d)) {
+        for (uint32_t ip : servers)
+            bloomInsert(bloom, bits, serverFingerprint(ip));
+        return bloom;
+    }
+    // Hash the batch first: the mix64 loop is branch-free and
+    // auto-vectorizes; only the (scattered, cheap) bit sets stay
+    // serial. Same OR-set of bits as the scalar path.
+    std::vector<ServerFingerprint> fps(servers.size());
+    for (size_t i = 0; i < servers.size(); ++i)
+        fps[i] = serverFingerprint(servers[i]);
+    for (const ServerFingerprint &fp : fps)
+        bloomInsert(bloom, bits, fp);
+    return bloom;
+}
+
 bool
 ChunkSummary::mayContainServer(uint32_t serverIp) const
+{
+    return mayContain(serverFingerprint(serverIp));
+}
+
+bool
+ChunkSummary::mayContain(const ServerFingerprint &fp) const
 {
     if (bloomBits == 0 ||
         bloom.size() != size_t{bloomBits} / 8)
         return true;  // unusable filter: never rule a chunk out
-    uint64_t h1 = bloomHash1(serverIp);
-    uint64_t h2 = bloomHash2(serverIp);
     for (uint32_t i = 0; i < bloomProbes; ++i) {
-        uint64_t bit = (h1 + uint64_t{i} * h2) & (bloomBits - 1);
+        uint64_t bit = (fp.h1 + uint64_t{i} * fp.h2) & (bloomBits - 1);
         if ((bloom[bit >> 3] & (1u << (bit & 7))) == 0)
             return false;
     }
@@ -165,9 +194,7 @@ buildArchiveIndex(const Datasets &d,
                       servers.end());
 
         summary.bloomBits = bloomSizeBits(servers.size());
-        summary.bloom.assign(size_t{summary.bloomBits} / 8, 0);
-        for (uint32_t ip : servers)
-            bloomInsert(summary.bloom, summary.bloomBits, ip);
+        summary.bloom = bloomBuild(servers, summary.bloomBits);
 
         index.chunks.push_back(std::move(summary));
         rec += count;

@@ -28,6 +28,8 @@
 #include <span>
 #include <vector>
 
+#include "util/simd.hpp"
+
 namespace fcc::codec::fcc {
 
 struct Datasets;
@@ -53,6 +55,31 @@ constexpr uint32_t bloomBitsPerServer = 10;
 
 /** Bloom probes per membership test. */
 constexpr uint32_t bloomProbes = 5;
+
+/**
+ * Precomputed Bloom double-hash pair of one server address. Hashing
+ * dominates a probe, and a query tests the same address against
+ * every chunk of every archive — fingerprint once, probe many.
+ */
+struct ServerFingerprint
+{
+    uint64_t h1 = 0;
+    uint64_t h2 = 1;
+};
+
+/** Fingerprint @p serverIp for ChunkSummary::mayContain(). */
+ServerFingerprint serverFingerprint(uint32_t serverIp);
+
+/**
+ * Build a Bloom filter of @p bits bits (power of two, >= 64) over
+ * @p servers. The dispatched path hashes the whole batch before
+ * touching the filter (the hash loop auto-vectorizes); the scalar
+ * path interleaves hash and insert per server. Identical filters.
+ */
+std::vector<uint8_t> bloomBuild(std::span<const uint32_t> servers,
+                                uint32_t bits,
+                                util::Dispatch d =
+                                    util::Dispatch::Auto);
 
 /** Tuning knobs the serializer needs to build summaries. */
 struct IndexOptions
@@ -93,6 +120,13 @@ struct ChunkSummary
      * rate (~1 %); never false negatives.
      */
     bool mayContainServer(uint32_t serverIp) const;
+
+    /**
+     * mayContainServer() with the hashing already paid — the form
+     * query planners use when testing one address against many
+     * chunks.
+     */
+    bool mayContain(const ServerFingerprint &fp) const;
 
     /** May the chunk's packets overlap [t0Us, t1Us] (inclusive)? */
     bool

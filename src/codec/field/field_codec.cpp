@@ -16,30 +16,19 @@ namespace fcc::codec::field {
 
 namespace {
 
-/** Byte length of v's LEB128 varint encoding (1-10). */
-uint64_t
-varintLen(uint64_t v)
-{
-    uint64_t n = 1;
-    while (v >= 0x80) {
-        v >>= 7;
-        ++n;
-    }
-    return n;
-}
+using util::varintLen;
 
 uint64_t
 plainSize(std::span<const uint64_t> values)
 {
-    uint64_t bytes = 0;
-    for (uint64_t v : values)
-        bytes += varintLen(v);
-    return bytes;
+    return util::varintLenSum(values);
 }
 
 uint64_t
 zigzagDeltaSize(std::span<const uint64_t> values)
 {
+    // Pure per-element arithmetic (difference, zigzag, bit_width) —
+    // auto-vectorizes, unlike the trial-encode it replaces.
     uint64_t bytes = 0;
     uint64_t prev = 0;
     for (uint64_t v : values) {
@@ -142,22 +131,39 @@ chooseCodec(std::span<const uint64_t> values)
 }
 
 std::vector<uint8_t>
-encodeColumn(std::span<const uint64_t> values, FieldCodec codec)
+encodeColumn(std::span<const uint64_t> values, FieldCodec codec,
+             util::Dispatch d)
 {
     util::ByteWriter w;
     switch (codec) {
-      case FieldCodec::Plain:
-        for (uint64_t v : values)
-            w.varint(v);
-        break;
+      case FieldCodec::Plain: {
+        std::vector<uint8_t> out;
+        util::varintEncodeBatch(values, out, d);
+        return out;
+      }
 
       case FieldCodec::ZigzagDelta: {
-        uint64_t prev = 0;
-        for (uint64_t v : values) {
-            w.varint(zigzagEncode(static_cast<int64_t>(v - prev)));
-            prev = v;
+        if (!util::useAccel(d)) {
+            uint64_t prev = 0;
+            for (uint64_t v : values) {
+                w.varint(
+                    zigzagEncode(static_cast<int64_t>(v - prev)));
+                prev = v;
+            }
+            break;
         }
-        break;
+        // Delta+zigzag is vectorizable arithmetic; materialize the
+        // mapped values once, then batch-encode the varints.
+        std::vector<uint64_t> mapped(values.size());
+        uint64_t prev = 0;
+        for (size_t i = 0; i < values.size(); ++i) {
+            mapped[i] =
+                zigzagEncode(static_cast<int64_t>(values[i] - prev));
+            prev = values[i];
+        }
+        std::vector<uint8_t> out;
+        util::varintEncodeBatch(mapped, out, d);
+        return out;
       }
 
       case FieldCodec::Dict: {
@@ -172,12 +178,12 @@ encodeColumn(std::span<const uint64_t> values, FieldCodec codec)
                 dict.push_back(v);
             refs.push_back(it->second);
         }
-        w.varint(dict.size());
-        for (uint64_t v : dict)
-            w.varint(v);
-        for (uint64_t r : refs)
-            w.varint(r);
-        break;
+        std::vector<uint8_t> out;
+        const uint64_t dictCount = dict.size();
+        util::varintEncodeBatch({&dictCount, 1}, out, d);
+        util::varintEncodeBatch(dict, out, d);
+        util::varintEncodeBatch(refs, out, d);
+        return out;
       }
 
       case FieldCodec::Rle: {
@@ -202,24 +208,44 @@ encodeColumn(std::span<const uint64_t> values, FieldCodec codec)
 
 std::vector<uint64_t>
 decodeColumn(std::span<const uint8_t> data, FieldCodec codec,
-             size_t count)
+             size_t count, util::Dispatch d)
 {
     util::ByteReader r(data);
     std::vector<uint64_t> values;
     values.reserve(count);
     switch (codec) {
-      case FieldCodec::Plain:
-        for (size_t i = 0; i < count; ++i)
-            values.push_back(r.varint());
-        break;
+      case FieldCodec::Plain: {
+        values.resize(count);
+        size_t consumed = util::varintDecodeBatch(
+            data.data(), data.size(), values.data(), count, d);
+        util::require(consumed == data.size(),
+                      "field: trailing bytes after column");
+        return values;
+      }
 
       case FieldCodec::ZigzagDelta: {
+        if (!util::useAccel(d)) {
+            uint64_t prev = 0;
+            for (size_t i = 0; i < count; ++i) {
+                prev +=
+                    static_cast<uint64_t>(zigzagDecode(r.varint()));
+                values.push_back(prev);
+            }
+            break;
+        }
+        values.resize(count);
+        size_t consumed = util::varintDecodeBatch(
+            data.data(), data.size(), values.data(), count, d);
+        util::require(consumed == data.size(),
+                      "field: trailing bytes after column");
+        // Prefix sum stays serial — each element depends on the
+        // previous one — but runs over registers, not the decoder.
         uint64_t prev = 0;
         for (size_t i = 0; i < count; ++i) {
-            prev += static_cast<uint64_t>(zigzagDecode(r.varint()));
-            values.push_back(prev);
+            prev += static_cast<uint64_t>(zigzagDecode(values[i]));
+            values[i] = prev;
         }
-        break;
+        return values;
       }
 
       case FieldCodec::Dict: {
@@ -228,6 +254,26 @@ decodeColumn(std::span<const uint8_t> data, FieldCodec codec,
         // dictionary is never larger than the column.
         util::require(dictCount <= count,
                       "field: dictionary larger than column");
+        if (util::useAccel(d)) {
+            std::vector<uint64_t> dict(dictCount);
+            size_t pos = r.position();
+            pos += util::varintDecodeBatch(
+                data.data() + pos, data.size() - pos, dict.data(),
+                dictCount, d);
+            std::vector<uint64_t> refs(count);
+            pos += util::varintDecodeBatch(
+                data.data() + pos, data.size() - pos, refs.data(),
+                count, d);
+            util::require(pos == data.size(),
+                          "field: trailing bytes after column");
+            values.resize(count);
+            for (size_t i = 0; i < count; ++i) {
+                util::require(refs[i] < dictCount,
+                              "field: dictionary index out of range");
+                values[i] = dict[refs[i]];
+            }
+            return values;
+        }
         std::vector<uint64_t> dict;
         dict.reserve(dictCount);
         for (uint64_t i = 0; i < dictCount; ++i)

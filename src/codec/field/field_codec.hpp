@@ -32,6 +32,8 @@
 #include <string>
 #include <vector>
 
+#include "util/simd.hpp"
+
 namespace fcc::codec::field {
 
 /** Wire tag of a column's transform (one byte in the container). */
@@ -78,17 +80,28 @@ uint64_t encodedSize(std::span<const uint64_t> values,
  */
 FieldCodec chooseCodec(std::span<const uint64_t> values);
 
-/** Encode @p values under @p codec. */
+/**
+ * Encode @p values under @p codec.
+ *
+ * The dispatch selects between the scalar reference loops and the
+ * SWAR batch paths (varint batches for plain/zigzag/dict); both emit
+ * identical bytes — the wire format does not depend on the dispatch.
+ */
 std::vector<uint8_t> encodeColumn(std::span<const uint64_t> values,
-                                  FieldCodec codec);
+                                  FieldCodec codec,
+                                  util::Dispatch d =
+                                      util::Dispatch::Auto);
 
 /**
  * Decode exactly @p count values from @p data; the whole buffer must
  * be consumed. @throws fcc::util::Error on malformed input (trailing
- * bytes, out-of-range dictionary index, run overflow, ...).
+ * bytes, out-of-range dictionary index, run overflow, ...). Scalar
+ * and SWAR dispatches accept and reject exactly the same inputs.
  */
 std::vector<uint64_t> decodeColumn(std::span<const uint8_t> data,
-                                   FieldCodec codec, size_t count);
+                                   FieldCodec codec, size_t count,
+                                   util::Dispatch d =
+                                       util::Dispatch::Auto);
 
 } // namespace fcc::codec::field
 

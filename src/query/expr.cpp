@@ -45,6 +45,13 @@ struct Expr::Node
     uint64_t minPackets = 0;  ///< MinFlowPackets
 
     std::vector<Expr> children;  ///< And/Or: ≥2, Not: exactly 1
+
+    // Bloom fingerprints, hashed once at construction: planNode()
+    // probes the same address against every chunk of every archive,
+    // so the hash must not be recomputed per (address, chunk) pair.
+    codec::fcc::ServerFingerprint fp;  ///< ServerIp
+    std::vector<codec::fcc::ServerFingerprint>
+        cidrFps;  ///< ServerCidr, when the prefix is enumerable
 };
 
 Expr::Expr() : Expr(std::make_shared<const Node>()) {}
@@ -73,6 +80,7 @@ Expr::serverIs(uint32_t ip)
     auto n = std::make_shared<Node>();
     n->kind = Kind::ServerIp;
     n->ip = ip;
+    n->fp = codec::fcc::serverFingerprint(ip);
     return Expr{std::move(n)};
 }
 
@@ -88,6 +96,13 @@ Expr::serverIn(uint32_t address, uint32_t prefixBits)
     n->kind = Kind::ServerCidr;
     n->prefixBits = prefixBits;
     n->ip = address & cidrMask(prefixBits);
+    if (prefixBits >= cidrEnumerationBits) {
+        uint64_t count = uint64_t{1} << (32u - prefixBits);
+        n->cidrFps.reserve(static_cast<size_t>(count));
+        for (uint64_t i = 0; i < count; ++i)
+            n->cidrFps.push_back(codec::fcc::serverFingerprint(
+                n->ip + static_cast<uint32_t>(i)));
+    }
     return Expr{std::move(n)};
 }
 
@@ -418,15 +433,17 @@ Expr::planNode(const Node &n, const codec::fcc::ChunkSummary &chunk)
         return {true, true};
     case Kind::ServerIp:
         // Bloom "maybe" can never promise every flow matches.
-        return {chunk.mayContainServer(n.ip), false};
+        return {chunk.mayContain(n.fp), false};
     case Kind::ServerCidr: {
         if (n.prefixBits < cidrEnumerationBits)
             return {true, false};
-        uint64_t count = uint64_t{1} << (32u - n.prefixBits);
         bool may = false;
-        for (uint64_t i = 0; i < count && !may; ++i)
-            may = chunk.mayContainServer(
-                n.ip + static_cast<uint32_t>(i));
+        for (const auto &fp : n.cidrFps) {
+            if (chunk.mayContain(fp)) {
+                may = true;
+                break;
+            }
+        }
         return {may, false};
     }
     case Kind::PortRange:

@@ -11,79 +11,23 @@
 #ifndef FCC_UTIL_BYTES_HPP
 #define FCC_UTIL_BYTES_HPP
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "util/simd.hpp"
 
 namespace fcc::util {
 
 // Unaligned scalar load/store and byte-swap primitives shared by
 // the trace-format parsers (TSH and pcap are big-endian on the
-// wire, pcap/pcapng may be either order per file/section).
-
-inline uint16_t
-loadBe16(const uint8_t *p)
-{
-    return static_cast<uint16_t>(p[0] << 8 | p[1]);
-}
-
-inline uint32_t
-loadBe32(const uint8_t *p)
-{
-    return static_cast<uint32_t>(p[0]) << 24 |
-           static_cast<uint32_t>(p[1]) << 16 |
-           static_cast<uint32_t>(p[2]) << 8 |
-           static_cast<uint32_t>(p[3]);
-}
-
-inline uint16_t
-loadLe16(const uint8_t *p)
-{
-    return static_cast<uint16_t>(p[0] | p[1] << 8);
-}
-
-inline uint32_t
-loadLe32(const uint8_t *p)
-{
-    return static_cast<uint32_t>(p[0]) |
-           static_cast<uint32_t>(p[1]) << 8 |
-           static_cast<uint32_t>(p[2]) << 16 |
-           static_cast<uint32_t>(p[3]) << 24;
-}
-
-inline void
-storeBe16(std::vector<uint8_t> &out, uint16_t v)
-{
-    out.push_back(static_cast<uint8_t>(v >> 8));
-    out.push_back(static_cast<uint8_t>(v));
-}
-
-inline void
-storeBe32(std::vector<uint8_t> &out, uint32_t v)
-{
-    out.push_back(static_cast<uint8_t>(v >> 24));
-    out.push_back(static_cast<uint8_t>(v >> 16));
-    out.push_back(static_cast<uint8_t>(v >> 8));
-    out.push_back(static_cast<uint8_t>(v));
-}
-
-inline void
-storeLe16(std::vector<uint8_t> &out, uint16_t v)
-{
-    out.push_back(static_cast<uint8_t>(v));
-    out.push_back(static_cast<uint8_t>(v >> 8));
-}
-
-inline void
-storeLe32(std::vector<uint8_t> &out, uint32_t v)
-{
-    out.push_back(static_cast<uint8_t>(v));
-    out.push_back(static_cast<uint8_t>(v >> 8));
-    out.push_back(static_cast<uint8_t>(v >> 16));
-    out.push_back(static_cast<uint8_t>(v >> 24));
-}
+// wire, pcap/pcapng may be either order per file/section). All are
+// memcpy-based: a single unaligned move on every mainstream target,
+// with no UB on any alignment.
 
 inline uint16_t
 byteSwap16(uint16_t v)
@@ -97,6 +41,133 @@ byteSwap32(uint32_t v)
     return (v >> 24) | ((v >> 8) & 0xff00u) |
            ((v << 8) & 0xff0000u) | (v << 24);
 }
+
+inline uint64_t
+byteSwap64(uint64_t v)
+{
+    return (uint64_t{byteSwap32(static_cast<uint32_t>(v))} << 32) |
+           byteSwap32(static_cast<uint32_t>(v >> 32));
+}
+
+inline uint16_t
+loadLe16(const uint8_t *p)
+{
+    uint16_t v;
+    std::memcpy(&v, p, sizeof v);
+    if constexpr (std::endian::native == std::endian::big)
+        v = byteSwap16(v);
+    return v;
+}
+
+inline uint32_t
+loadLe32(const uint8_t *p)
+{
+    uint32_t v;
+    std::memcpy(&v, p, sizeof v);
+    if constexpr (std::endian::native == std::endian::big)
+        v = byteSwap32(v);
+    return v;
+}
+
+inline uint64_t
+loadLe64(const uint8_t *p)
+{
+    uint64_t v;
+    std::memcpy(&v, p, sizeof v);
+    if constexpr (std::endian::native == std::endian::big)
+        v = byteSwap64(v);
+    return v;
+}
+
+inline uint16_t
+loadBe16(const uint8_t *p)
+{
+    return byteSwap16(loadLe16(p));
+}
+
+inline uint32_t
+loadBe32(const uint8_t *p)
+{
+    return byteSwap32(loadLe32(p));
+}
+
+inline void
+storeLe16(std::vector<uint8_t> &out, uint16_t v)
+{
+    if constexpr (std::endian::native == std::endian::big)
+        v = byteSwap16(v);
+    uint8_t b[sizeof v];
+    std::memcpy(b, &v, sizeof v);
+    out.insert(out.end(), b, b + sizeof v);
+}
+
+inline void
+storeLe32(std::vector<uint8_t> &out, uint32_t v)
+{
+    if constexpr (std::endian::native == std::endian::big)
+        v = byteSwap32(v);
+    uint8_t b[sizeof v];
+    std::memcpy(b, &v, sizeof v);
+    out.insert(out.end(), b, b + sizeof v);
+}
+
+inline void
+storeLe64(std::vector<uint8_t> &out, uint64_t v)
+{
+    if constexpr (std::endian::native == std::endian::big)
+        v = byteSwap64(v);
+    uint8_t b[sizeof v];
+    std::memcpy(b, &v, sizeof v);
+    out.insert(out.end(), b, b + sizeof v);
+}
+
+inline void
+storeBe16(std::vector<uint8_t> &out, uint16_t v)
+{
+    storeLe16(out, byteSwap16(v));
+}
+
+inline void
+storeBe32(std::vector<uint8_t> &out, uint32_t v)
+{
+    storeLe32(out, byteSwap32(v));
+}
+
+/** Byte length of v's shortest LEB128 varint encoding (1-10). */
+inline uint64_t
+varintLen(uint64_t v)
+{
+    // bit_width(v|1) is 1..64; each varint byte carries 7 bits.
+    return (static_cast<uint64_t>(std::bit_width(v | 1)) + 6) / 7;
+}
+
+/** Sum of varintLen over @p values (exact encoded size, no trial). */
+uint64_t varintLenSum(std::span<const uint64_t> values);
+
+/**
+ * Append the LEB128 varints of @p values to @p out.
+ *
+ * Dispatch::Auto/Accel runs the SWAR batch path — eight values per
+ * iteration when they all fit one byte, unrolled pointer writes
+ * otherwise; Dispatch::Scalar runs the reference loop. Both emit the
+ * identical (canonical shortest-form) byte stream.
+ */
+void varintEncodeBatch(std::span<const uint64_t> values,
+                       std::vector<uint8_t> &out,
+                       Dispatch d = Dispatch::Auto);
+
+/**
+ * Decode exactly @p count LEB128 varints from @p data into @p out
+ * (which must hold @p count slots).
+ *
+ * @returns bytes consumed.
+ * @throws fcc::util::Error on truncation, an encoding longer than 10
+ *         bytes, or 64-bit overflow — the same inputs the scalar
+ *         ByteReader::varint() rejects.
+ */
+size_t varintDecodeBatch(const uint8_t *data, size_t len,
+                         uint64_t *out, size_t count,
+                         Dispatch d = Dispatch::Auto);
 
 /** Growable little-endian binary output buffer. */
 class ByteWriter

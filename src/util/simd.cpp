@@ -1,0 +1,29 @@
+/**
+ * @file
+ * The one mutable input of the scalar/accelerated dispatch: the
+ * FCC_FORCE_SCALAR environment toggle, read once per process.
+ */
+
+#include "util/simd.hpp"
+
+#include <cstdlib>
+
+namespace fcc::util {
+
+bool
+forceScalar()
+{
+    static const bool forced = [] {
+        const char *env = std::getenv("FCC_FORCE_SCALAR");
+        return env != nullptr && env[0] != '\0' && env[0] != '0';
+    }();
+    return forced;
+}
+
+const char *
+dispatchName()
+{
+    return forceScalar() ? "scalar" : "swar";
+}
+
+} // namespace fcc::util

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Runtime dispatch between the scalar reference implementations and
+ * the SWAR/SIMD-accelerated variants of the byte-level hot paths
+ * (varint batches, zigzag-delta, range-coder lanes, CRC-32, Bloom
+ * probes).
+ *
+ * Every accelerated path in the tree has a scalar twin that is always
+ * compiled and produces byte-identical output; the pair is selected
+ * per call through a Dispatch argument defaulting to Auto. Auto
+ * resolves to the accelerated path unless the process runs with
+ * FCC_FORCE_SCALAR=1 (read once, cached), which forces the scalar
+ * fallback everywhere — CI runs the whole test matrix that way so the
+ * fallback can never rot, and the differential fuzz suite
+ * (tests/test_simd.cpp) pins the two paths to byte equality.
+ */
+
+#ifndef FCC_UTIL_SIMD_HPP
+#define FCC_UTIL_SIMD_HPP
+
+#include <cstdint>
+
+namespace fcc::util {
+
+/** Which implementation of a dual scalar/accelerated path to run. */
+enum class Dispatch : uint8_t
+{
+    Auto = 0,   ///< accelerated unless FCC_FORCE_SCALAR=1
+    Scalar = 1, ///< the reference byte-at-a-time implementation
+    Accel = 2,  ///< the SWAR/SIMD implementation unconditionally
+};
+
+/** True when FCC_FORCE_SCALAR=1 was set at process start (cached). */
+bool forceScalar();
+
+/** Resolve @p d against the environment: use the accelerated path? */
+inline bool
+useAccel(Dispatch d)
+{
+    if (d == Dispatch::Scalar)
+        return false;
+    if (d == Dispatch::Accel)
+        return true;
+    return !forceScalar();
+}
+
+/** Name of what Auto resolves to ("swar" or "scalar"), for benches. */
+const char *dispatchName();
+
+} // namespace fcc::util
+
+#endif // FCC_UTIL_SIMD_HPP

@@ -41,6 +41,7 @@ const backend::EntropyBackend allBackends[] = {
     backend::EntropyBackend::Store,
     backend::EntropyBackend::Deflate,
     backend::EntropyBackend::Range,
+    backend::EntropyBackend::RangeLanes,
 };
 
 /** Round-trip @p values through every codec and check the chooser. */
@@ -210,10 +211,11 @@ TEST(Backend, DispatchRoundTripsAndValidates)
             backend::entropyDecompress(packed, b, data.size());
         EXPECT_EQ(unpacked, data) << backendName(b);
         // Store and deflate know their own output size, so a wrong
-        // raw size must be flagged. The range coder produces
+        // raw size must be flagged. The range coders produce
         // exactly as many bytes as asked by construction (the
         // container's encodedBytes is its only length source).
-        if (b != backend::EntropyBackend::Range) {
+        if (b != backend::EntropyBackend::Range &&
+            b != backend::EntropyBackend::RangeLanes) {
             EXPECT_THROW(backend::entropyDecompress(
                              packed, b, data.size() + 1),
                          util::Error)

@@ -198,7 +198,9 @@ TEST(Stream, CrossContainerMatrixDecodesIdentically)
     // unchunked, all three containers agree; chunked, FCC2 and FCC3
     // agree.
     trace::Trace original = webTrace(35, 5.0);
-    std::string tshIn = tempPath("matrix_in.tsh");
+    // Unique name: test_scenarios uses matrix_in.tsh in the same
+    // TempDir, and ctest runs the two binaries concurrently.
+    std::string tshIn = tempPath("stream_matrix_in.tsh");
     trace::writeTshFile(original, tshIn);
 
     auto compressAs = [&](fccc::ContainerFormat container,
