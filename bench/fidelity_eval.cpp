@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Measured-loss evaluation of the fidelity tiers (docs/FIDELITY.md):
+ * for each tier x scenario, the compression ratio next to the
+ * *downstream-analysis* error it buys — flow statistics (the
+ * tab_flow_stats axes), the §6 semantic properties, the netbench
+ * route-lookup miss-rate distribution and the Avin-style temporal
+ * complexity, each compared against the exact tier's reconstruction
+ * (so the numbers isolate fidelity-induced loss from the codec's
+ * inherent model loss).
+ *
+ * Run: ./build/bench/fidelity_eval [--json out.json]
+ * Smoke mode (FCC_BENCH_SMOKE=1) shrinks the scenarios for CI; the
+ * JSON metrics are higher-is-better (ratios and 1/(1+error)
+ * accuracies) so scripts/perf_check.py can gate them against
+ * bench/fidelity_baseline.json.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+#include "analysis/complexity.hpp"
+#include "analysis/semantic.hpp"
+#include "codec/fcc/fcc_codec.hpp"
+#include "flow/flow_stats.hpp"
+#include "flow/flow_table.hpp"
+#include "memsim/profile_report.hpp"
+#include "netbench/apps.hpp"
+#include "netbench/route_entry.hpp"
+#include "trace/tsh.hpp"
+#include "trace/web_gen.hpp"
+
+using namespace fcc;
+namespace fccc = fcc::codec::fcc;
+
+namespace {
+
+/** Relative error, safe at a zero reference. */
+double
+relErr(double value, double reference)
+{
+    if (reference == 0.0)
+        return value == 0.0 ? 0.0 : 1.0;
+    return std::fabs(value - reference) / std::fabs(reference);
+}
+
+/** Map an error (0 = perfect) onto a higher-is-better accuracy. */
+double
+accuracy(double err)
+{
+    return 1.0 / (1.0 + err);
+}
+
+/** The flow-statistic axes a downstream consumer reads first. */
+struct FlowAxes
+{
+    double flows = 0;
+    double packets = 0;
+    double wireBytes = 0;
+    double meanFlowLength = 0;
+};
+
+FlowAxes
+flowAxesOf(const trace::Trace &tr)
+{
+    flow::FlowTable table;
+    auto flows = table.assemble(tr);
+    auto stats = flow::computeFlowStats(flows, tr);
+    FlowAxes axes;
+    axes.flows = static_cast<double>(stats.flows);
+    axes.packets = static_cast<double>(stats.packets);
+    axes.wireBytes = static_cast<double>(stats.wireBytes);
+    axes.meanFlowLength = stats.meanFlowLength();
+    return axes;
+}
+
+double
+flowAxesError(const FlowAxes &a, const FlowAxes &ref)
+{
+    double err = relErr(a.flows, ref.flows);
+    err = std::max(err, relErr(a.packets, ref.packets));
+    err = std::max(err, relErr(a.wireBytes, ref.wireBytes));
+    err = std::max(err,
+                   relErr(a.meanFlowLength, ref.meanFlowLength));
+    return err;
+}
+
+/** One number from the §6 semantic-comparison axes (0 = identical). */
+double
+semanticError(const trace::Trace &reference, const trace::Trace &tr)
+{
+    analysis::SemanticComparison cmp =
+        analysis::compareSemantics(reference, tr);
+    return cmp.reuseDistanceKs + cmp.coldFractionGap +
+           std::fabs(cmp.workingSetRatio - 1.0) +
+           cmp.bitEntropyGap + cmp.flagBigramTv;
+}
+
+/** Netbench route kernel: traffic share per miss-rate bucket. */
+memsim::MissRateBuckets
+lookupBuckets(const trace::Trace &tr,
+              const std::vector<netbench::RouteEntry> &table)
+{
+    memsim::CacheConfig cache;
+    cache.sizeBytes = 32 * 1024;
+    cache.ways = 4;
+    memsim::MemoryRecorder recorder(cache);
+    netbench::RouteApp app(table, &recorder);
+    auto samples = netbench::profileTrace(app, tr, recorder);
+    return memsim::missRateBuckets(samples);
+}
+
+/** Total-variation distance between two bucket distributions. */
+double
+bucketTv(const memsim::MissRateBuckets &a,
+         const memsim::MissRateBuckets &b)
+{
+    double tv = 0;
+    for (size_t i = 0; i < memsim::MissRateBuckets::count; ++i)
+        tv += std::fabs(a.share[i] - b.share[i]);
+    return tv / 2.0;
+}
+
+struct Scenario
+{
+    const char *name;
+    trace::WebGenConfig cfg;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string jsonPath;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            jsonPath = argv[++i];
+    }
+
+    std::vector<Scenario> scenarios;
+    {
+        Scenario web{"web", {}};
+        web.cfg.seed = 2005;
+        web.cfg.durationSec = 20.0;
+        web.cfg.flowsPerSec = 80.0;
+        scenarios.push_back(web);
+
+        Scenario dense{"dense", {}};
+        dense.cfg.seed = 77;
+        dense.cfg.durationSec = 10.0;
+        dense.cfg.flowsPerSec = 200.0;
+        scenarios.push_back(dense);
+    }
+
+    const fccc::Fidelity tiers[] = {
+        fccc::Fidelity::Exact, fccc::Fidelity::Quantized,
+        fccc::Fidelity::Header, fccc::Fidelity::Flow};
+
+    fcc::bench::JsonMetrics metrics;
+    std::printf("# Fidelity tiers: ratio vs downstream-analysis "
+                "error (vs the exact tier's decode)\n");
+    std::printf("%-7s %-10s %8s %10s %10s %10s %10s\n", "scen",
+                "tier", "ratio", "flowstats", "semantic", "lookup",
+                "complex");
+
+    for (const Scenario &scenario : scenarios) {
+        trace::WebGenConfig webCfg =
+            fcc::bench::applySmoke(scenario.cfg);
+        trace::WebTrafficGenerator gen(webCfg);
+        trace::Trace original = gen.generate();
+        double tshBytes = static_cast<double>(
+            original.size() * trace::tshRecordBytes);
+
+        // Exact-tier reconstruction: the reference every lossy tier
+        // is scored against.
+        fccc::FccConfig exactCfg;
+        exactCfg.container = fccc::ContainerFormat::Fcc3;
+        fccc::FccTraceCompressor exactCodec(exactCfg);
+        trace::Trace exactDecode =
+            exactCodec.decompress(exactCodec.compress(original));
+
+        FlowAxes refAxes = flowAxesOf(exactDecode);
+        std::vector<uint32_t> refAddrs;
+        refAddrs.reserve(exactDecode.size());
+        for (const trace::PacketRecord &pkt : exactDecode)
+            refAddrs.push_back(pkt.dstIp);
+        auto routeTable =
+            netbench::generateRoutingTable(1000, 99, refAddrs);
+        memsim::MissRateBuckets refBuckets =
+            lookupBuckets(exactDecode, routeTable);
+        double refComplex =
+            analysis::measureComplexity(exactDecode)
+                .temporalBitsPerPacket();
+
+        for (fccc::Fidelity tier : tiers) {
+            fccc::FccConfig cfg;
+            cfg.container = fccc::ContainerFormat::Fcc3;
+            cfg.fidelity = tier;
+            fccc::FccTraceCompressor codec(cfg);
+            std::vector<uint8_t> compressed =
+                codec.compress(original);
+            double ratio =
+                tshBytes / static_cast<double>(compressed.size());
+
+            std::string prefix = std::string("fidelity_") +
+                                 scenario.name + "_" +
+                                 fccc::fidelityName(tier);
+            metrics.add(prefix + "_ratio", ratio);
+
+            if (tier == fccc::Fidelity::Flow) {
+                // No packets to reconstruct: score the flow axes
+                // straight from the stored per-flow records.
+                fccc::Datasets d =
+                    fccc::deserializeAuto(compressed, 0);
+                FlowAxes axes;
+                axes.flows =
+                    static_cast<double>(d.flowRecords.size());
+                double packets = 0, wireBytes = 0, lenSum = 0;
+                for (const fccc::FlowRecord &fl : d.flowRecords) {
+                    packets += fl.packets;
+                    wireBytes += static_cast<double>(
+                        fl.payloadBytes + 40.0 * fl.packets);
+                    lenSum += fl.packets;
+                }
+                axes.packets = packets;
+                axes.wireBytes = wireBytes;
+                axes.meanFlowLength =
+                    axes.flows ? lenSum / axes.flows : 0.0;
+                double flowErr = flowAxesError(axes, refAxes);
+                metrics.add(prefix + "_flowstats_acc",
+                            accuracy(flowErr));
+                std::printf("%-7s %-10s %8.2f %10.4f %10s %10s "
+                            "%10s\n",
+                            scenario.name, fccc::fidelityName(tier),
+                            ratio, flowErr, "n/a", "n/a", "n/a");
+                continue;
+            }
+
+            trace::Trace decoded = codec.decompress(compressed);
+            double flowErr =
+                flowAxesError(flowAxesOf(decoded), refAxes);
+            double semErr = semanticError(exactDecode, decoded);
+            double lookupErr = bucketTv(
+                lookupBuckets(decoded, routeTable), refBuckets);
+            double complexErr = relErr(
+                analysis::measureComplexity(decoded)
+                    .temporalBitsPerPacket(),
+                refComplex);
+
+            metrics.add(prefix + "_flowstats_acc",
+                        accuracy(flowErr));
+            metrics.add(prefix + "_semantic_acc",
+                        accuracy(semErr));
+            metrics.add(prefix + "_lookup_acc",
+                        accuracy(lookupErr));
+            metrics.add(prefix + "_complexity_acc",
+                        accuracy(complexErr));
+            std::printf("%-7s %-10s %8.2f %10.4f %10.4f %10.4f "
+                        "%10.4f\n",
+                        scenario.name, fccc::fidelityName(tier),
+                        ratio, flowErr, semErr, lookupErr,
+                        complexErr);
+        }
+    }
+
+    std::printf("\n# flowstats/semantic/lookup/complex are errors "
+                "(0 = matches the exact tier);\n"
+                "# the flow tier has no packet stream, so only its "
+                "flow axes are scored.\n");
+
+    if (!jsonPath.empty()) {
+        if (!metrics.writeTo(jsonPath)) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         jsonPath.c_str());
+            return 1;
+        }
+        std::printf("\n# metrics written to %s\n", jsonPath.c_str());
+    }
+    return 0;
+}

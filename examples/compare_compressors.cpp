@@ -92,14 +92,35 @@ main(int argc, char **argv)
                   fccCfg.backend =
                       codec::backend::parseBackendName(v);
               });
+    flags.add("--fidelity", "TIER",
+              "exact|quantized|header|flow — fidelity tier\n"
+              "of the fcc rows (default exact; lossy tiers\n"
+              "need --container fcc3)",
+              [&](const char *v) {
+                  fccCfg.fidelity =
+                      codec::fcc::parseFidelityName(v);
+              });
+    flags.add("--quantum-us", "N",
+              "timestamp grid of the quantized tier in\n"
+              "microseconds (default 1000)",
+              [&](const char *v) {
+                  fccCfg.quantumUs = cli::parseUnsigned(
+                      "--quantum-us", v, 1, UINT64_MAX);
+              });
 
     cli::ParseResult parsed = flags.parse(argc, argv);
     if (parsed.exit)
         return parsed.code;
     int arg = parsed.next;
 
+    // A lossy tier needs the columnar container; the "fcc" row
+    // keeps the library default (fcc2) otherwise.
+    if (fccCfg.fidelity != codec::fcc::Fidelity::Exact)
+        fccCfg.container = codec::fcc::ContainerFormat::Fcc3;
+
     trace::Trace input;
     try {
+        fccCfg.validate();
         input = loadTrace(arg < argc ? argv[arg] : nullptr);
     } catch (const util::Error &error) {
         std::fprintf(stderr, "error: %s\n", error.what());

@@ -166,19 +166,41 @@ infoFcc(const std::string &path, bool showIndex)
     else
         std::printf("index:            none (random access needs "
                     "a full decode; write with --index)\n");
+    if (stat.fidelity == codec::fcc::Fidelity::Quantized)
+        std::printf("fidelity:         quantized (%llu us grid)\n",
+                    static_cast<unsigned long long>(
+                        stat.quantumUs));
+    else
+        std::printf("fidelity:         %s\n",
+                    codec::fcc::fidelityName(stat.fidelity));
     std::printf("weights:          {%u, %u, %u}\n", d.weights.w1,
                 d.weights.w2, d.weights.w3);
-    std::printf("flows (time-seq): %zu\n", d.timeSeq.size());
-    std::printf("short templates:  %zu\n", d.shortTemplates.size());
-    std::printf("long templates:   %zu\n", d.longTemplates.size());
-    std::printf("addresses:        %zu\n", d.addresses.size());
-    uint64_t packets = 0;
-    for (const auto &rec : d.timeSeq)
-        packets += rec.isLong
-            ? d.longTemplates[rec.templateIndex].sValues.size()
-            : d.shortTemplates[rec.templateIndex].size();
-    std::printf("packets encoded:  %llu\n",
-                static_cast<unsigned long long>(packets));
+    if (d.fidelity == codec::fcc::Fidelity::Flow) {
+        // Flow-tier archives carry per-flow records, no templates.
+        std::printf("flows (records):  %zu\n",
+                    d.flowRecords.size());
+        std::printf("addresses:        %zu\n", d.addresses.size());
+        uint64_t packets = 0;
+        for (const auto &fl : d.flowRecords)
+            packets += fl.packets;
+        std::printf("packets counted:  %llu (not reconstructable "
+                    "at this tier)\n",
+                    static_cast<unsigned long long>(packets));
+    } else {
+        std::printf("flows (time-seq): %zu\n", d.timeSeq.size());
+        std::printf("short templates:  %zu\n",
+                    d.shortTemplates.size());
+        std::printf("long templates:   %zu\n",
+                    d.longTemplates.size());
+        std::printf("addresses:        %zu\n", d.addresses.size());
+        uint64_t packets = 0;
+        for (const auto &rec : d.timeSeq)
+            packets += rec.isLong
+                ? d.longTemplates[rec.templateIndex].sValues.size()
+                : d.shortTemplates[rec.templateIndex].size();
+        std::printf("packets encoded:  %llu\n",
+                    static_cast<unsigned long long>(packets));
+    }
 
     // Where the container's bytes actually go. For FCC3 these are
     // the post-backend (compressed) sizes; for FCC1/FCC2 the stream
@@ -328,6 +350,21 @@ main(int argc, char **argv)
               [&] {
                   cfg.index = true;
                   showIndex = true;
+              });
+    flags.add("--fidelity", "TIER",
+              "exact|quantized|header|flow — fidelity tier\n"
+              "of the written archive (default exact; lossy\n"
+              "tiers need the fcc3 container, see\n"
+              "docs/FIDELITY.md)",
+              [&](const char *v) {
+                  cfg.fidelity = codec::fcc::parseFidelityName(v);
+              });
+    flags.add("--quantum-us", "N",
+              "timestamp grid of the quantized tier in\n"
+              "microseconds (default 1000)",
+              [&](const char *v) {
+                  cfg.quantumUs = cli::parseUnsigned(
+                      "--quantum-us", v, 1, UINT64_MAX);
               });
     flags.add("--in-format", "FMT",
               "auto|tsh|pcap|pcapng[.gz] (default auto:\n"

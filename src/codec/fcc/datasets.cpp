@@ -44,6 +44,11 @@ void
 writeShared(const Datasets &d, uint32_t magic, util::ByteWriter &w,
             SizeBreakdown &sizes)
 {
+    // The row containers have no fidelity header: writing degraded
+    // datasets through them would silently shed the tier marker.
+    util::require(d.fidelity == Fidelity::Exact,
+                  "fcc: lossy fidelity tiers require the fcc3 "
+                  "container");
     // Header: magic + the weight configuration the S values use.
     w.u32(magic);
     w.u16(d.weights.w1);
@@ -239,10 +244,68 @@ constexpr const char *columnNames[columnCount] = {
  */
 constexpr uint64_t maxColumnValues = uint64_t{1} << 27;
 
+/**
+ * Decompose flow-fidelity datasets into the twelve column slots:
+ * the template columns stay empty, the five time-seq slots carry
+ * the per-flow record fields (FORMAT.md §4.5) — the framing, the
+ * chunk machinery and the index layout work unchanged.
+ */
+ColumnValues
+splitFlowColumns(const Datasets &d)
+{
+    util::require(d.shortTemplates.empty() &&
+                      d.longTemplates.empty() && d.timeSeq.empty(),
+                  "fcc: flow-fidelity datasets must not carry "
+                  "per-packet data");
+    ColumnValues cols;
+    for (uint32_t addr : d.addresses)
+        cols[ColAddr].push_back(addr);
+    uint64_t prevUs = 0;
+    for (const FlowRecord &fl : d.flowRecords) {
+        util::require(fl.firstTimestampUs >= prevUs,
+                      "fcc: flow records not sorted");
+        prevUs = fl.firstTimestampUs;
+        util::require(fl.packets >= 1, "fcc: empty flow record");
+        util::require(fl.addressIndex < d.addresses.size(),
+                      "fcc: address index out of range");
+        cols[ColTsTime].push_back(fl.firstTimestampUs);
+        cols[ColTsIsLong].push_back(fl.payloadBytes);
+        cols[ColTsTemplate].push_back(fl.packets);
+        cols[ColTsRtt].push_back(fl.durationUs);
+        cols[ColTsAddr].push_back(fl.addressIndex);
+    }
+    return cols;
+}
+
 /** Decompose the datasets into the twelve FCC3 columns. */
 ColumnValues
 splitColumns(const Datasets &d, uint32_t recordsPerChunk)
 {
+    if (d.fidelity == Fidelity::Flow) {
+        ColumnValues cols = splitFlowColumns(d);
+        size_t records = d.flowRecords.size();
+        if (!d.chunkSizes.empty()) {
+            uint64_t total = 0;
+            for (uint32_t c : d.chunkSizes) {
+                util::require(c >= 1, "fcc: empty chunk");
+                cols[ColChunkLen].push_back(c);
+                total += c;
+            }
+            util::require(total == records,
+                          "fcc: chunk sizes disagree with flow "
+                          "records");
+        } else if (recordsPerChunk > 0) {
+            for (size_t begin = 0; begin < records;
+                 begin += recordsPerChunk)
+                cols[ColChunkLen].push_back(std::min<size_t>(
+                    recordsPerChunk, records - begin));
+        }
+        return cols;
+    }
+
+    util::require(d.flowRecords.empty(),
+                  "fcc: flow records present outside the flow "
+                  "fidelity tier");
     ColumnValues cols;
 
     for (const auto &tmpl : d.shortTemplates) {
@@ -499,6 +562,70 @@ assembleFcc3Columns(const flow::Weights &weights,
     return d;
 }
 
+Datasets
+assembleFlowColumns(const flow::Weights &weights,
+                    Fcc3Columns &values)
+{
+    Datasets d;
+    d.weights = weights;
+    d.fidelity = Fidelity::Flow;
+    auto take32 = [](uint64_t v, const char *what) {
+        util::require(v <= 0xffffffffu, what);
+        return static_cast<uint32_t>(v);
+    };
+
+    for (size_t c = ColShortLen; c <= ColLongIpt; ++c)
+        util::require(values[c].empty(),
+                      "fcc3: flow profile forbids template columns");
+
+    d.addresses.reserve(values[ColAddr].size());
+    for (uint64_t addr : values[ColAddr])
+        d.addresses.push_back(
+            take32(addr, "fcc3: address exceeds 32 bits"));
+
+    size_t flows = values[ColTsTime].size();
+    util::require(values[ColTsIsLong].size() == flows &&
+                      values[ColTsTemplate].size() == flows &&
+                      values[ColTsRtt].size() == flows &&
+                      values[ColTsAddr].size() == flows,
+                  "fcc3: flow column length mismatch");
+    uint64_t prevUs = 0;
+    d.flowRecords.reserve(flows);
+    for (size_t i = 0; i < flows; ++i) {
+        FlowRecord fl;
+        fl.firstTimestampUs = values[ColTsTime][i];
+        util::require(fl.firstTimestampUs >= prevUs,
+                      "fcc: flow records not sorted");
+        prevUs = fl.firstTimestampUs;
+        fl.payloadBytes = values[ColTsIsLong][i];
+        fl.packets = take32(values[ColTsTemplate][i],
+                            "fcc3: packet count exceeds 32 bits");
+        util::require(fl.packets >= 1, "fcc: empty flow record");
+        fl.durationUs = values[ColTsRtt][i];
+        fl.addressIndex = take32(
+            values[ColTsAddr][i],
+            "fcc3: address index exceeds 32 bits");
+        util::require(fl.addressIndex < d.addresses.size(),
+                      "fcc: address index out of range");
+        d.flowRecords.push_back(fl);
+    }
+
+    if (!values[ColChunkLen].empty()) {
+        uint64_t total = 0;
+        d.chunkSizes.reserve(values[ColChunkLen].size());
+        for (uint64_t c : values[ColChunkLen]) {
+            util::require(c >= 1, "fcc: empty chunk");
+            total += c;
+            d.chunkSizes.push_back(
+                take32(c, "fcc3: chunk size exceeds 32 bits"));
+        }
+        util::require(total == flows,
+                      "fcc: chunk sizes disagree with flow records");
+    }
+
+    return d;
+}
+
 namespace {
 
 /**
@@ -543,6 +670,8 @@ deserializeColumnar(std::span<const uint8_t> data,
     flow::Weights weights;
     uint8_t colByte;
     size_t headerBytes;
+    Fidelity fidelity = Fidelity::Exact;
+    uint64_t quantumUs = 0;
     {
         util::ByteReader h(data);
         h.u32();  // magic, validated by the caller
@@ -552,11 +681,32 @@ deserializeColumnar(std::span<const uint8_t> data,
         util::require(weights.decodable(),
                       "fcc: stored weights are not decodable");
         colByte = h.u8();
+        if ((colByte & fidelityProfileFlag) != 0) {
+            // Lossy profile header: tag byte + parameter varint.
+            // Exact files never carry the flag, so they stay
+            // byte-identical to pre-fidelity writers.
+            uint8_t tag = h.u8();
+            util::require(
+                tag >= static_cast<uint8_t>(Fidelity::Quantized) &&
+                    tag <= static_cast<uint8_t>(Fidelity::Flow),
+                "fcc3: unknown fidelity tag");
+            fidelity = static_cast<Fidelity>(tag);
+            quantumUs = h.varint();
+            if (fidelity == Fidelity::Quantized)
+                util::require(quantumUs >= 1,
+                              "fcc3: quantized grid must be >= 1 us");
+            else
+                util::require(quantumUs == 0,
+                              "fcc3: unexpected fidelity parameter");
+        }
         headerBytes = h.position();
     }
     bool indexed = (colByte & indexedLayoutFlag) != 0;
-    util::require((colByte & ~indexedLayoutFlag) == columnCount,
-                  "fcc3: unexpected column count");
+    util::require(
+        (colByte & ~(indexedLayoutFlag | fidelityProfileFlag)) ==
+            columnCount,
+        "fcc3: unexpected column count");
+    bool flowProfile = fidelity == Fidelity::Flow;
 
     // An indexed layout ends with the index block; the column frames
     // occupy exactly the region before it.
@@ -626,9 +776,13 @@ deserializeColumnar(std::span<const uint8_t> data,
                 ColumnFrame frame = readColumnFrame(r);
                 capTotalValues(totalValues, frame);
                 // Four of the five columns hold one value per
-                // record; ts_rtt (k == 3) holds one per short flow.
-                util::require(k == 3 || frame.values == records,
-                              "fcc3: chunk frame record mismatch");
+                // record; ts_rtt (k == 3) holds one per short flow —
+                // except in the flow profile, where the slot carries
+                // the per-flow duration (one value per record).
+                util::require(
+                    (k == 3 && !flowProfile) ||
+                        frame.values == records,
+                    "fcc3: chunk frame record mismatch");
                 util::require(k != 3 || frame.values <= records,
                               "fcc3: ts_rtt frame too long");
                 recordStat(ColTsTime + k, frame, c == 0);
@@ -653,11 +807,15 @@ deserializeColumnar(std::span<const uint8_t> data,
             // The RTT column must split exactly at the chunk
             // boundaries, or random access would hand later chunks
             // the wrong RTTs while the concatenation still added up.
-            size_t shorts = 0;
-            for (uint64_t id : chunkValues[c][1])
-                shorts += id == 0 ? 1 : 0;
-            util::require(chunkValues[c][3].size() == shorts,
-                          "fcc3: ts_rtt chunk frame mismatch");
+            // In the flow profile the slot is per-record, already
+            // enforced against the chunk length above.
+            if (!flowProfile) {
+                size_t shorts = 0;
+                for (uint64_t id : chunkValues[c][1])
+                    shorts += id == 0 ? 1 : 0;
+                util::require(chunkValues[c][3].size() == shorts,
+                              "fcc3: ts_rtt chunk frame mismatch");
+            }
             for (size_t k = 0; k < 5; ++k) {
                 auto &dst = values[ColTsTime + k];
                 dst.insert(dst.end(), chunkValues[c][k].begin(),
@@ -666,8 +824,23 @@ deserializeColumnar(std::span<const uint8_t> data,
         }
     }
 
-    Datasets d = assembleFcc3Columns(weights, values);
+    Datasets d = flowProfile ? assembleFlowColumns(weights, values)
+                             : assembleFcc3Columns(weights, values);
+    d.fidelity = fidelity;
+    d.quantumUs = quantumUs;
+    if (fidelity == Fidelity::Quantized) {
+        // Stored timestamps must sit on the advertised grid — a
+        // value off the grid means the container lies about its own
+        // quantization and downstream error bounds would be wrong.
+        std::vector<uint64_t> times(d.timeSeq.size());
+        for (size_t i = 0; i < d.timeSeq.size(); ++i)
+            times[i] = d.timeSeq[i].firstTimestampUs;
+        util::require(field::isOnGrid(times, quantumUs),
+                      "fcc3: timestamp off the quantized grid");
+    }
     if (stat != nullptr) {
+        stat->fidelity = fidelity;
+        stat->quantumUs = quantumUs;
         stat->version = 3;
         stat->sizes = SizeBreakdown{};
         stat->sizes.headerBytes = headerBytes;
@@ -777,7 +950,17 @@ serializeColumnar(const Datasets &datasets, uint32_t recordsPerChunk,
         w.u16(datasets.weights.w1);
         w.u16(datasets.weights.w2);
         w.u16(datasets.weights.w3);
-        w.u8(colByte);
+        if (datasets.fidelity == Fidelity::Exact) {
+            // No flag, no extra bytes: exact containers stay
+            // byte-identical to pre-fidelity writers.
+            w.u8(colByte);
+        } else {
+            w.u8(colByte | fidelityProfileFlag);
+            w.u8(static_cast<uint8_t>(datasets.fidelity));
+            w.varint(datasets.fidelity == Fidelity::Quantized
+                         ? datasets.quantumUs
+                         : 0);
+        }
         breakdown.headerBytes = w.size();
     };
 
@@ -814,11 +997,16 @@ serializeColumnar(const Datasets &datasets, uint32_t recordsPerChunk,
         chunkSizes.push_back(static_cast<uint32_t>(c));
 
     // Record and RTT offsets of every chunk into the time-seq
-    // columns (RTTs exist only for short flows).
+    // columns (RTTs exist only for short flows; in the flow profile
+    // the slot carries one duration per record instead).
     std::vector<size_t> recOff(chunks + 1, 0);
     std::vector<size_t> rttOff(chunks + 1, 0);
     for (size_t c = 0; c < chunks; ++c) {
         recOff[c + 1] = recOff[c] + chunkSizes[c];
+        if (datasets.fidelity == Fidelity::Flow) {
+            rttOff[c + 1] = recOff[c + 1];
+            continue;
+        }
         size_t shorts = 0;
         for (size_t i = recOff[c]; i < recOff[c + 1]; ++i)
             shorts += values[ColTsIsLong][i] == 0 ? 1 : 0;

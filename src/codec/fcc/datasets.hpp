@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "codec/backend/backend.hpp"
+#include "codec/fcc/fidelity.hpp"
 #include "codec/field/field_codec.hpp"
 #include "flow/characterize.hpp"
 
@@ -72,6 +73,25 @@ struct TimeSeqRecord
     bool operator==(const TimeSeqRecord &) const = default;
 };
 
+/**
+ * One record of the flow-fidelity profile (docs/FIDELITY.md): a flow
+ * reduced to its aggregates. No per-packet data survives, so a
+ * flow-tier archive can never be expanded back into packets — the
+ * payload-byte and duration fields are computed at degrade time with
+ * the §4 reconstruction rules, so they equal what an exact-tier
+ * decode would have measured.
+ */
+struct FlowRecord
+{
+    uint64_t firstTimestampUs = 0;
+    uint64_t payloadBytes = 0;  ///< sum of representative sizes
+    uint64_t durationUs = 0;    ///< last - first reconstructed pkt
+    uint32_t packets = 0;       ///< >= 1
+    uint32_t addressIndex = 0;  ///< into the address dataset
+
+    bool operator==(const FlowRecord &) const = default;
+};
+
 /** In-memory form of a compressed trace. */
 struct Datasets
 {
@@ -90,6 +110,18 @@ struct Datasets
      * byte-deterministic.
      */
     std::vector<uint32_t> chunkSizes;
+
+    /**
+     * Fidelity tier these datasets carry (codec/fcc/fidelity.hpp).
+     * Exact and the two per-packet lossy tiers use the fields above;
+     * the Flow tier instead fills flowRecords (one per flow, sorted
+     * by timestamp, counted by chunkSizes) and leaves the template
+     * and time-seq datasets empty.
+     */
+    Fidelity fidelity = Fidelity::Exact;
+    /** Quantized tier only: the timestamp grid in microseconds. */
+    uint64_t quantumUs = 0;
+    std::vector<FlowRecord> flowRecords;  ///< Flow tier only
 };
 
 /** Serialized size of each dataset, for the §5 accounting. */
@@ -146,6 +178,10 @@ struct ContainerStat
     std::vector<ColumnStat> columns;
     /** Indexed FCC3 layout; its bytes are in sizes.indexBytes. */
     bool hasIndex = false;
+    /** Fidelity tier the header declares (FCC3 only; else Exact). */
+    Fidelity fidelity = Fidelity::Exact;
+    /** Quantized tier only: the declared timestamp grid (us). */
+    uint64_t quantumUs = 0;
 };
 
 /** Serialize to the legacy (single-stream) FCC1 wire format. */
@@ -251,6 +287,18 @@ using Fcc3Columns =
  * inconsistency between the columns.
  */
 Datasets assembleFcc3Columns(const flow::Weights &weights,
+                             Fcc3Columns &columns);
+
+/**
+ * Reassemble and validate Datasets from decoded columns of a
+ * flow-fidelity archive, whose time-seq column slots are repurposed
+ * (FORMAT.md §4.5): ts_islong carries per-flow payload bytes,
+ * ts_template per-flow packet counts, ts_rtt per-flow durations (one
+ * value per flow); the five template columns must be empty. The
+ * returned datasets have fidelity == Fidelity::Flow.
+ * @throws fcc::util::Error on any inconsistency.
+ */
+Datasets assembleFlowColumns(const flow::Weights &weights,
                              Fcc3Columns &columns);
 
 /** One parsed (not yet decoded) FCC3 column frame. */

@@ -135,6 +135,21 @@ FccConfig::validate() const
     util::require(flowTable.shards > 0,
                   "fcc: the sharded pipeline needs at least one "
                   "shard");
+    switch (fidelity) {
+      case Fidelity::Exact:
+      case Fidelity::Quantized:
+      case Fidelity::Header:
+      case Fidelity::Flow:
+        break;
+      default:
+        throw util::Error("fcc: bad fidelity tier");
+    }
+    util::require(fidelity == Fidelity::Exact ||
+                      container == ContainerFormat::Fcc3,
+                  "fcc: lossy fidelity tiers require the fcc3 "
+                  "container");
+    util::require(fidelity != Fidelity::Quantized || quantumUs >= 1,
+                  "fcc: the quantized tier needs a grid >= 1 us");
 }
 
 std::vector<uint8_t>
@@ -161,6 +176,22 @@ serializeDatasets(const Datasets &datasets, const FccConfig &cfg,
             pool = std::make_unique<util::ThreadPool>(threads);
         IndexOptions indexOptions;
         indexOptions.gapUs = cfg.defaultGapUs;
+        // Degrade to the configured tier just before serialization,
+        // so assembly, chunking, and the index all see the same
+        // (already-lossy) datasets.
+        if (cfg.fidelity != Fidelity::Exact) {
+            FidelityParams params;
+            params.quantumUs = cfg.quantumUs;
+            params.smallPayload = cfg.smallPayload;
+            params.largePayload = cfg.largePayload;
+            params.defaultGapUs = cfg.defaultGapUs;
+            Datasets degraded =
+                applyFidelity(datasets, cfg.fidelity, params);
+            return serializeColumnar(
+                degraded, cfg.chunkRecords, cfg.backend, breakdown,
+                pool.get(), columns,
+                cfg.index ? &indexOptions : nullptr);
+        }
         // The per-column backends supersede the whole-blob squeeze.
         return serializeColumnar(datasets, cfg.chunkRecords,
                                  cfg.backend, breakdown, pool.get(),
@@ -386,6 +417,9 @@ FccTraceCompressor::compress(const trace::Trace &trace) const
 trace::Trace
 FccTraceCompressor::expand(const Datasets &d) const
 {
+    util::require(d.fidelity != Fidelity::Flow,
+                  "fcc: flow-fidelity archives carry no per-packet "
+                  "data to reconstruct");
     std::vector<trace::PacketRecord> packets;
     if (d.chunkSizes.empty()) {
         // Legacy FCC1: one sequential RNG stream over all records.
@@ -556,6 +590,9 @@ FccTraceCompressor::expandChunk(
     const Datasets &d, size_t chunk,
     std::vector<trace::PacketRecord> &out) const
 {
+    util::require(d.fidelity != Fidelity::Flow,
+                  "fcc: flow-fidelity archives carry no per-packet "
+                  "data to reconstruct");
     util::require(chunk < d.chunkSizes.size(),
                   "fcc: chunk index out of range");
     size_t begin = 0;

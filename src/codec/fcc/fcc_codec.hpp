@@ -126,6 +126,23 @@ struct FccConfig
      */
     bool deflateDatasets = false;
 
+    /**
+     * Fidelity tier of the written archive (docs/FIDELITY.md). The
+     * default, Exact, reproduces the paper's lossless-within-model
+     * pipeline byte for byte; the lossy tiers (Quantized, Header,
+     * Flow) degrade the datasets just before columnar serialization
+     * and therefore require container == Fcc3, whose header carries
+     * the tier tag. Decompression auto-detects the tier.
+     */
+    Fidelity fidelity = Fidelity::Exact;
+
+    /**
+     * Timestamp grid of the Quantized tier, in microseconds (flow
+     * first-timestamps are floored onto multiples of it). Ignored by
+     * the other tiers; must be >= 1 when fidelity == Quantized.
+     */
+    uint64_t quantumUs = 1000;
+
     // Decompression reconstruction parameters.
     uint32_t defaultGapUs = 300;   ///< spacing of non-dependent pkts
     uint16_t smallPayload = 400;   ///< representative size, class 1

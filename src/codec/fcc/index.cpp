@@ -120,6 +120,53 @@ buildArchiveIndex(const Datasets &d,
                   std::span<const uint32_t> chunkSizes,
                   const IndexOptions &options)
 {
+    // Flow-fidelity archives carry their packet counts and timing
+    // bounds directly in the flow records; the summary math below
+    // would have no templates to consult.
+    if (d.fidelity == Fidelity::Flow) {
+        ArchiveIndex index;
+        index.gapUs = options.gapUs;
+        index.chunks.reserve(chunkSizes.size());
+        size_t rec = 0;
+        std::vector<uint32_t> servers;
+        for (uint32_t count : chunkSizes) {
+            util::require(count >= 1, "fcc index: empty chunk");
+            util::require(rec + count <= d.flowRecords.size(),
+                          "fcc index: chunk sizes disagree with "
+                          "flow records");
+            ChunkSummary summary;
+            summary.records = count;
+            summary.minFirstUs =
+                d.flowRecords[rec].firstTimestampUs;
+            servers.clear();
+            for (size_t i = rec; i < rec + count; ++i) {
+                const FlowRecord &fl = d.flowRecords[i];
+                summary.packets += fl.packets;
+                summary.maxFlowPackets = std::max<uint64_t>(
+                    summary.maxFlowPackets, fl.packets);
+                summary.maxEndUs = std::max(
+                    summary.maxEndUs,
+                    fl.firstTimestampUs + fl.durationUs);
+                util::require(fl.addressIndex < d.addresses.size(),
+                              "fcc index: address index out of "
+                              "range");
+                servers.push_back(d.addresses[fl.addressIndex]);
+            }
+            std::sort(servers.begin(), servers.end());
+            servers.erase(
+                std::unique(servers.begin(), servers.end()),
+                servers.end());
+            summary.bloomBits = bloomSizeBits(servers.size());
+            summary.bloom = bloomBuild(servers, summary.bloomBits);
+            index.chunks.push_back(std::move(summary));
+            rec += count;
+        }
+        util::require(rec == d.flowRecords.size(),
+                      "fcc index: chunk sizes disagree with flow "
+                      "records");
+        return index;
+    }
+
     // Per-template packet counts and timing step classes, so every
     // record's reconstructed end timestamp is O(1): the §4 expansion
     // spaces dependent packets by the flow RTT and all others by the

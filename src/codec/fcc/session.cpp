@@ -356,6 +356,9 @@ StreamStats
 DecompressSession::drainTo(trace::TraceSink &sink)
 {
     util::require(open_, "fcc session: no archive open");
+    util::require(datasets_.fidelity != Fidelity::Flow,
+                  "fcc: flow-fidelity archives carry no per-packet "
+                  "data to reconstruct");
 
     FccTraceCompressor codec(cfg_);
 

@@ -113,6 +113,24 @@ encodedSize(std::span<const uint64_t> values, FieldCodec codec)
     throw util::Error("field: bad codec tag");
 }
 
+void
+floorToGrid(std::span<uint64_t> values, uint64_t quantum)
+{
+    util::require(quantum >= 1, "field: grid quantum must be >= 1");
+    for (uint64_t &v : values)
+        v -= v % quantum;
+}
+
+bool
+isOnGrid(std::span<const uint64_t> values, uint64_t quantum)
+{
+    util::require(quantum >= 1, "field: grid quantum must be >= 1");
+    for (uint64_t v : values)
+        if (v % quantum != 0)
+            return false;
+    return true;
+}
+
 FieldCodec
 chooseCodec(std::span<const uint64_t> values)
 {

@@ -75,6 +75,20 @@ uint64_t encodedSize(std::span<const uint64_t> values,
                      FieldCodec codec);
 
 /**
+ * Floor every value onto the @p quantum grid in place (the quantized
+ * fidelity tier's column transform; order-preserving). @p quantum
+ * must be >= 1. @throws fcc::util::Error otherwise.
+ */
+void floorToGrid(std::span<uint64_t> values, uint64_t quantum);
+
+/**
+ * True when every value is a multiple of @p quantum — the read-side
+ * twin of floorToGrid(), used to validate quantized-tier columns.
+ * @throws fcc::util::Error when @p quantum is 0.
+ */
+bool isOnGrid(std::span<const uint64_t> values, uint64_t quantum);
+
+/**
  * Smallest-output codec for @p values: sizes all four encodings and
  * returns the winner (lowest tag on ties). Deterministic.
  */

@@ -203,8 +203,25 @@ FccArchive::aggregate(const AggregateRequest &req) const
         out.stats.chunksTotal =
             d.chunkSizes.empty() ? 1 : d.chunkSizes.size();
         out.stats.chunksPlanned = out.stats.chunksTotal;
-        TemplateTable table(d, cfg_);
         Accumulator acc(d.addresses.size());
+        if (d.fidelity == fccc::Fidelity::Flow) {
+            // Flow-fidelity archives already are aggregates: each
+            // record carries its packet and payload totals.
+            for (const fccc::FlowRecord &fl : d.flowRecords) {
+                TemplateStat t;
+                t.packets = fl.packets;
+                t.wireBytes =
+                    fl.payloadBytes + 40 * uint64_t{fl.packets};
+                Expr::FlowView flow{d.addresses[fl.addressIndex],
+                                    cfg_.serverPort, t.packets};
+                if (flowMatches(req.expr, flow,
+                                fl.firstTimestampUs))
+                    acc.add(fl.addressIndex, t);
+            }
+            finishResult(acc, d.addresses, out);
+            return out;
+        }
+        TemplateTable table(d, cfg_);
         for (const fccc::TimeSeqRecord &rec : d.timeSeq) {
             const TemplateStat &t =
                 table.of(rec.isLong, rec.templateIndex);
@@ -229,6 +246,8 @@ FccArchive::aggregate(const AggregateRequest &req) const
     out.stats.bytesTouched = baseBytes;
     out.stats.reconstructBytes = baseBytes;
 
+    bool flowProfile =
+        region.shared.fidelity == fccc::Fidelity::Flow;
     TemplateTable table(region.shared, cfg_);
     bool needTime = req.expr.usesTime();
 
@@ -241,9 +260,11 @@ FccArchive::aggregate(const AggregateRequest &req) const
         const fccc::ChunkSummary &s = checkedChunk(region, c);
         util::ByteReader cr(bytes_.data() + s.byteOffset,
                             static_cast<size_t>(s.byteLength));
-        // Chunk frame order: time, is-long, template, rtt, addr.
-        // Decode only what the aggregate needs; readColumnFrame
-        // alone just walks the framing (payload stays a view).
+        // Chunk frame order: time, is-long, template, rtt, addr —
+        // reinterpreted by the flow profile as time, payload-bytes,
+        // packets, duration, addr. Decode only what the aggregate
+        // needs; readColumnFrame alone just walks the framing
+        // (payload stays a view).
         std::array<fccc::ColumnFrame, 5> frames;
         for (size_t k = 0; k < 5; ++k)
             frames[k] = fccc::readColumnFrame(cr);
@@ -268,13 +289,20 @@ FccArchive::aggregate(const AggregateRequest &req) const
                       "fcc3: chunk frame record mismatch");
         Accumulator &acc = perChunk[i];
         for (size_t r = 0; r < records; ++r) {
-            util::require(isLong[r] <= 1,
-                          "fcc: bad dataset identifier");
             util::require(
                 addr[r] < region.shared.addresses.size(),
                 "fcc: address index out of range");
-            const TemplateStat &t =
-                table.of(isLong[r] == 1, tmpl[r]);
+            TemplateStat t;
+            if (flowProfile) {
+                util::require(tmpl[r] >= 1,
+                              "fcc: empty flow record");
+                t.packets = tmpl[r];
+                t.wireBytes = isLong[r] + 40 * tmpl[r];
+            } else {
+                util::require(isLong[r] <= 1,
+                              "fcc: bad dataset identifier");
+                t = table.of(isLong[r] == 1, tmpl[r]);
+            }
             Expr::FlowView flow{
                 region.shared.addresses[static_cast<size_t>(
                     addr[r])],

@@ -299,9 +299,28 @@ FccArchive::decodeSharedRegion() const
     util::require(region.weights.decodable(),
                   "fcc: stored weights are not decodable");
     uint8_t colByte = r.u8();
-    util::require((colByte & ~fccc::indexedLayoutFlag) ==
-                      fccc::fcc3ColumnCount,
-                  "fcc3: unexpected column count");
+    util::require(
+        (colByte & ~(fccc::indexedLayoutFlag |
+                     fccc::fidelityProfileFlag)) ==
+            fccc::fcc3ColumnCount,
+        "fcc3: unexpected column count");
+    fccc::Fidelity fidelity = fccc::Fidelity::Exact;
+    uint64_t quantumUs = 0;
+    if ((colByte & fccc::fidelityProfileFlag) != 0) {
+        uint8_t tag = r.u8();
+        util::require(
+            tag >= static_cast<uint8_t>(fccc::Fidelity::Quantized) &&
+                tag <= static_cast<uint8_t>(fccc::Fidelity::Flow),
+            "fcc3: unknown fidelity tag");
+        fidelity = static_cast<fccc::Fidelity>(tag);
+        quantumUs = r.varint();
+        if (fidelity == fccc::Fidelity::Quantized)
+            util::require(quantumUs >= 1,
+                          "fcc3: quantized grid must be >= 1 us");
+        else
+            util::require(quantumUs == 0,
+                          "fcc3: unexpected fidelity parameter");
+    }
 
     std::array<fccc::ColumnFrame, fccc::ColAddr + 1> sharedFrames;
     for (size_t c = 0; c <= fccc::ColAddr; ++c)
@@ -313,8 +332,13 @@ FccArchive::decodeSharedRegion() const
     for (size_t c = 0; c <= fccc::ColAddr; ++c)
         columns[c] = fccc::decodeColumnFrame(sharedFrames[c]);
     region.chunkLen = fccc::decodeColumnFrame(chunkLenFrame);
+    // The flow profile's shared region carries no templates, so the
+    // standard assembly (which accepts empty template columns) works
+    // for every tier; the tag just rides along on the datasets.
     region.shared =
         fccc::assembleFcc3Columns(region.weights, columns);
+    region.shared.fidelity = fidelity;
+    region.shared.quantumUs = quantumUs;
 
     util::require(index_->chunks.size() == region.chunkLen.size(),
                   "fcc index: chunk count disagrees with container");
@@ -345,6 +369,9 @@ FccArchive::runIndexed(const Expr &expr,
     stats.fileBytes = bytes_.size();
 
     SharedRegion region = decodeSharedRegion();
+    util::require(region.shared.fidelity != fccc::Fidelity::Flow,
+                  "query: flow-fidelity archives carry no "
+                  "per-packet data; use aggregate queries");
     stats.chunksTotal = region.chunkLen.size();
 
     std::vector<size_t> planned = plan(expr);
@@ -390,6 +417,9 @@ FccArchive::runFullDecode(const Expr &expr,
     stats.bytesRead = bytes_.size();
 
     fccc::Datasets d = fccc::deserializeAuto(bytes_, cfg_.threads);
+    util::require(d.fidelity != fccc::Fidelity::Flow,
+                  "query: flow-fidelity archives carry no "
+                  "per-packet data; use aggregate queries");
     fccc::FccTraceCompressor codec(cfg_);
 
     if (d.chunkSizes.empty()) {

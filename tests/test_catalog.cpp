@@ -32,17 +32,15 @@
 #include "trace/web_gen.hpp"
 #include "util/error.hpp"
 
+#include "test_common.hpp"
+
 using namespace fcc;
 namespace fccc = fcc::codec::fcc;
 using query::Expr;
 
 namespace {
 
-std::string
-tempPath(const char *name)
-{
-    return ::testing::TempDir() + "/" + name;
-}
+using fcc::test::tempPath;
 
 trace::Trace
 webTrace(uint64_t seed, double seconds, uint64_t shiftSec)

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared test scaffolding. The one thing every suite needs and each
+ * used to hand-roll: scratch paths that cannot collide across test
+ * binaries. ctest runs the suites concurrently and gtest's
+ * TempDir() is one directory per machine, so two binaries writing
+ * "out.fcc" there race — historically dodged by choosing unique
+ * file names by hand (and commented as such in test_stream).
+ * tempPath()/tempDir() give each *binary* its own subdirectory, so
+ * suites are free to use natural names again.
+ */
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <filesystem>
+#include <string>
+
+#include <unistd.h>
+
+namespace fcc::test {
+
+/**
+ * This binary's private scratch directory under gtest's TempDir(),
+ * wiped and re-created on first use. Named after the executable
+ * (unique per suite: test_io, test_query, ...) so concurrent test
+ * binaries never share paths; the pid fallback covers platforms
+ * without program_invocation_short_name.
+ */
+inline const std::string &
+scratchDir()
+{
+    static const std::string dir = [] {
+#ifdef __GLIBC__
+        std::string tag = program_invocation_short_name;
+#else
+        std::string tag = "pid" + std::to_string(::getpid());
+#endif
+        std::string d = ::testing::TempDir() + "/" + tag;
+        std::filesystem::remove_all(d);
+        std::filesystem::create_directories(d);
+        return d;
+    }();
+    return dir;
+}
+
+/** A file path inside scratchDir(); nothing is created. */
+inline std::string
+tempPath(const std::string &name)
+{
+    return scratchDir() + "/" + name;
+}
+
+/** A fresh empty directory inside scratchDir(). */
+inline std::string
+tempDir(const std::string &name)
+{
+    std::string path = tempPath(name);
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+    return path;
+}
+
+} // namespace fcc::test

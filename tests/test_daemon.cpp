@@ -37,6 +37,8 @@
 #include "util/checksum.hpp"
 #include "util/error.hpp"
 
+#include "test_common.hpp"
+
 using namespace fcc;
 namespace fccc = fcc::codec::fcc;
 namespace fs = std::filesystem;
@@ -54,21 +56,8 @@ webTrace(uint64_t seed, double seconds)
     return gen.generate();
 }
 
-/** A fresh empty directory under the test temp root. */
-std::string
-tempDir(const char *name)
-{
-    std::string path = ::testing::TempDir() + "/" + name;
-    fs::remove_all(path);
-    fs::create_directories(path);
-    return path;
-}
-
-std::string
-tempPath(const char *name)
-{
-    return ::testing::TempDir() + "/" + name;
-}
+using fcc::test::tempDir;
+using fcc::test::tempPath;
 
 std::vector<uint8_t>
 readFileBytes(const std::string &path)

@@ -30,6 +30,8 @@
 #include "util/error.hpp"
 #include "util/io.hpp"
 
+#include "test_common.hpp"
+
 using namespace fcc;
 
 namespace {
@@ -49,11 +51,7 @@ webTrace(uint64_t seed, double seconds)
     return gen.generate();
 }
 
-std::string
-tempPath(const char *name)
-{
-    return ::testing::TempDir() + "/" + name;
-}
+using fcc::test::tempPath;
 
 void
 writeBytes(const std::string &path, const std::vector<uint8_t> &data)

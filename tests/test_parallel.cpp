@@ -23,6 +23,8 @@
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
+#include "test_common.hpp"
+
 using namespace fcc;
 namespace fccc = fcc::codec::fcc;
 
@@ -249,8 +251,8 @@ TEST(Parallel, StreamingChunkedDecompressMatchesInMemory)
     ASSERT_GT(fccc::deserialize(bytes).chunkSizes.size(), 6u);
     trace::Trace inMemory = codec.decompress(bytes);
 
-    std::string fccIn = ::testing::TempDir() + "/chunked.fcc";
-    std::string tshOut = ::testing::TempDir() + "/chunked.tsh";
+    std::string fccIn = fcc::test::tempPath("chunked.fcc");
+    std::string tshOut = fcc::test::tempPath("chunked.tsh");
     {
         std::ofstream f(fccIn, std::ios::binary);
         f.write(reinterpret_cast<const char *>(bytes.data()),

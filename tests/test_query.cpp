@@ -27,6 +27,8 @@
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
+#include "test_common.hpp"
+
 using namespace fcc;
 namespace fccc = fcc::codec::fcc;
 
@@ -47,11 +49,7 @@ webTrace(uint64_t seed, double seconds)
     return gen.generate();
 }
 
-std::string
-tempPath(const char *name)
-{
-    return ::testing::TempDir() + "/" + name;
-}
+using fcc::test::tempPath;
 
 void
 writeBytes(const std::string &path, const std::vector<uint8_t> &data)

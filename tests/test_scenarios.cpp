@@ -38,6 +38,8 @@
 #include "trace/tsh.hpp"
 #include "util/error.hpp"
 
+#include "test_common.hpp"
+
 using namespace fcc;
 namespace fccc = fcc::codec::fcc;
 using backendEnum = fcc::codec::backend::EntropyBackend;
@@ -55,11 +57,7 @@ smokeTests()
     return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
 
-std::string
-tempPath(const char *name)
-{
-    return ::testing::TempDir() + "/" + name;
-}
+using fcc::test::tempPath;
 
 std::vector<uint8_t>
 readFileBytes(const std::string &path)

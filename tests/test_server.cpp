@@ -34,16 +34,14 @@
 #include "util/error.hpp"
 #include "util/io.hpp"
 
+#include "test_common.hpp"
+
 using namespace fcc;
 namespace fccc = fcc::codec::fcc;
 
 namespace {
 
-std::string
-tempPath(const char *name)
-{
-    return ::testing::TempDir() + "/" + name;
-}
+using fcc::test::tempPath;
 
 /**
  * Two small sealed archives, a catalog over them, and one running

@@ -34,6 +34,8 @@
 #include "util/rng.hpp"
 #include "util/simd.hpp"
 
+#include "test_common.hpp"
+
 using namespace fcc;
 namespace fccc = fcc::codec::fcc;
 namespace field = fcc::codec::field;
@@ -492,7 +494,7 @@ TEST(SimdReadahead, MatchesWholeFileRead)
         GTEST_SKIP() << "posix_fadvise unavailable on this platform";
 
     const std::string path =
-        ::testing::TempDir() + "/simd_readahead.bin";
+        fcc::test::tempPath("simd_readahead.bin");
     util::Rng rng(0xFEED5EED);
     std::vector<uint8_t> content(300000);
     for (auto &b : content)

@@ -19,6 +19,8 @@
 #include "trace/web_gen.hpp"
 #include "util/error.hpp"
 
+#include "test_common.hpp"
+
 using namespace fcc;
 namespace fccc = fcc::codec::fcc;
 
@@ -35,11 +37,7 @@ webTrace(uint64_t seed, double seconds)
     return gen.generate();
 }
 
-std::string
-tempPath(const char *name)
-{
-    return ::testing::TempDir() + "/" + name;
-}
+using fcc::test::tempPath;
 
 /** Explicit TSH spec: these fixtures move raw 44-byte records. */
 const trace::TraceFormatSpec kTsh =
@@ -198,9 +196,7 @@ TEST(Stream, CrossContainerMatrixDecodesIdentically)
     // unchunked, all three containers agree; chunked, FCC2 and FCC3
     // agree.
     trace::Trace original = webTrace(35, 5.0);
-    // Unique name: test_scenarios uses matrix_in.tsh in the same
-    // TempDir, and ctest runs the two binaries concurrently.
-    std::string tshIn = tempPath("stream_matrix_in.tsh");
+    std::string tshIn = tempPath("matrix_in.tsh");
     trace::writeTshFile(original, tshIn);
 
     auto compressAs = [&](fccc::ContainerFormat container,

@@ -21,6 +21,8 @@
 #include "trace/web_gen.hpp"
 #include "util/error.hpp"
 
+#include "test_common.hpp"
+
 using namespace fcc;
 using namespace fcc::trace;
 
@@ -196,7 +198,7 @@ TEST(Tsh, RejectsNonIpv4)
 TEST(Tsh, FileRoundTrip)
 {
     Trace t = smallWebTrace(3, 2.0);
-    std::string path = ::testing::TempDir() + "/fcc_test.tsh";
+    std::string path = fcc::test::tempPath("roundtrip.tsh");
     writeTshFile(t, path);
     Trace back = readTshFile(path);
     EXPECT_EQ(back.size(), t.size());
@@ -241,7 +243,7 @@ TEST(Pcap, RejectsTruncatedBody)
 TEST(Pcap, FileRoundTrip)
 {
     Trace t = smallWebTrace(5, 2.0);
-    std::string path = ::testing::TempDir() + "/fcc_test.pcap";
+    std::string path = fcc::test::tempPath("roundtrip.pcap");
     writePcapFile(t, path);
     Trace back = readPcapFile(path);
     EXPECT_EQ(back.size(), t.size());

@@ -149,6 +149,22 @@ main(int argc, char **argv)
                       static_cast<uint32_t>(cli::parseUnsigned(
                           "--threads", v, 0, UINT32_MAX));
               });
+    flags.add("--fidelity", "TIER",
+              "exact|quantized|header|flow — fidelity tier\n"
+              "of the sealed archives (default exact; see\n"
+              "docs/FIDELITY.md — flow-tier archives serve\n"
+              "aggregate queries only)",
+              [&](const char *v) {
+                  config.codec.fidelity =
+                      codec::fcc::parseFidelityName(v);
+              });
+    flags.add("--quantum-us", "N",
+              "timestamp grid of the quantized tier in\n"
+              "microseconds (default 1000)",
+              [&](const char *v) {
+                  config.codec.quantumUs = cli::parseUnsigned(
+                      "--quantum-us", v, 1, UINT64_MAX);
+              });
 
     cli::ParseResult parsed = flags.parse(argc, argv);
     if (parsed.exit)
